@@ -1,0 +1,87 @@
+// Package statebench's root benchmarks regenerate every table and
+// figure of the paper's evaluation. Each benchmark runs the
+// corresponding experiment at smoke scale per iteration; run
+//
+//	go test -bench=. -benchmem
+//
+// to regenerate all of them, or target one (e.g. -bench=Fig9). The
+// reported metrics (ns/op) measure the harness itself; the scientific
+// output is printed through -v or cmd/statebench.
+package statebench_test
+
+import (
+	"testing"
+
+	"statebench/internal/experiments"
+)
+
+// benchOpts keeps per-iteration work bounded.
+func benchOpts() experiments.Options {
+	o := experiments.QuickOptions()
+	o.Iters = 5
+	o.ColdHours = 6
+	o.VideoIters = 1
+	o.Fig14Target = 500
+	return o
+}
+
+func runSingle(b *testing.B, fn func(experiments.Options) (*experiments.Report, error)) {
+	b.Helper()
+	o := benchOpts()
+	for i := 0; i < b.N; i++ {
+		r, err := fn(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(r.Table.Rows) == 0 {
+			b.Fatal("empty report")
+		}
+	}
+}
+
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if r := experiments.Table1(); len(r.Table.Rows) == 0 {
+			b.Fatal("empty report")
+		}
+	}
+}
+
+func BenchmarkTable2(b *testing.B) { runSingle(b, experiments.Table2) }
+
+func BenchmarkFig6(b *testing.B) {
+	o := benchOpts()
+	for i := 0; i < b.N; i++ {
+		rs, err := experiments.Fig6(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rs) != 4 {
+			b.Fatalf("fig6 produced %d reports", len(rs))
+		}
+	}
+}
+
+func BenchmarkFig7(b *testing.B)  { runSingle(b, experiments.Fig7) }
+func BenchmarkFig8(b *testing.B)  { runSingle(b, experiments.Fig8) }
+func BenchmarkFig9(b *testing.B)  { runSingle(b, experiments.Fig9) }
+func BenchmarkFig10(b *testing.B) { runSingle(b, experiments.Fig10) }
+
+func BenchmarkFig11(b *testing.B) {
+	o := benchOpts()
+	for i := 0; i < b.N; i++ {
+		rs, err := experiments.Fig11(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rs) != 4 {
+			b.Fatalf("fig11 produced %d reports", len(rs))
+		}
+	}
+}
+
+func BenchmarkFig12(b *testing.B)  { runSingle(b, experiments.Fig12) }
+func BenchmarkFig13(b *testing.B)  { runSingle(b, experiments.Fig13) }
+func BenchmarkFig14(b *testing.B)  { runSingle(b, experiments.Fig14) }
+func BenchmarkFig15(b *testing.B)  { runSingle(b, experiments.Fig15) }
+func BenchmarkTable3(b *testing.B) { runSingle(b, experiments.Table3) }

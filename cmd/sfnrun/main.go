@@ -1,0 +1,115 @@
+// Command sfnrun executes an Amazon-States-Language state machine
+// definition (JSON) against the simulated Step Functions service, with
+// stub Lambda functions that echo their input after a configurable
+// busy time. It demonstrates the ASL engine in isolation.
+//
+// Usage:
+//
+//	sfnrun -definition machine.json [-input '{"n":1}'] [-busy 100ms]
+//
+// Every Task state's Resource is auto-registered as an echo function.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"statebench/internal/aws/lambda"
+	"statebench/internal/aws/sfn"
+	"statebench/internal/platform"
+	"statebench/internal/sim"
+)
+
+func main() {
+	defPath := flag.String("definition", "", "path to ASL JSON definition (required)")
+	inputJSON := flag.String("input", "{}", "execution input (JSON)")
+	busy := flag.Duration("busy", 100*time.Millisecond, "simulated compute per task")
+	seed := flag.Uint64("seed", 1, "simulation seed")
+	flag.Parse()
+
+	if *defPath == "" {
+		fmt.Fprintln(os.Stderr, "sfnrun: -definition is required")
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(*defPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sfnrun:", err)
+		os.Exit(1)
+	}
+	machine, err := sfn.ParseDefinition(data)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sfnrun:", err)
+		os.Exit(1)
+	}
+	var input any
+	if err := json.Unmarshal([]byte(*inputJSON), &input); err != nil {
+		fmt.Fprintln(os.Stderr, "sfnrun: bad -input:", err)
+		os.Exit(2)
+	}
+
+	k := sim.NewKernel(*seed)
+	params := platform.DefaultAWS()
+	lsvc := lambda.New(k, params)
+	svc := sfn.New(k, params, lsvc)
+
+	// Register an echo function for every Task resource.
+	registerTasks(machine, lsvc, *busy)
+	if err := svc.CreateStateMachine("main", machine); err != nil {
+		fmt.Fprintln(os.Stderr, "sfnrun:", err)
+		os.Exit(1)
+	}
+
+	var exec *sfn.Execution
+	k.Spawn("client", func(p *sim.Proc) {
+		exec, err = svc.StartExecution(p, "main", input)
+	})
+	k.Run()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sfnrun:", err)
+		os.Exit(1)
+	}
+	out, _ := json.MarshalIndent(exec.Output, "", "  ")
+	fmt.Printf("status:       %v\n", statusOf(exec))
+	fmt.Printf("duration:     %v\n", exec.Duration())
+	fmt.Printf("transitions:  %d\n", exec.Transitions)
+	fmt.Printf("output:       %s\n", out)
+	fmt.Println("history:")
+	for _, ev := range exec.History {
+		fmt.Printf("  %-12v %-20s %s\n", ev.At, ev.Type, ev.State)
+	}
+}
+
+func statusOf(e *sfn.Execution) string {
+	if e.Err != nil {
+		return "FAILED: " + e.Err.Error()
+	}
+	return "SUCCEEDED"
+}
+
+// registerTasks walks the machine and registers an echo Lambda for each
+// distinct Task resource.
+func registerTasks(m *sfn.StateMachine, lsvc *lambda.Service, busy time.Duration) {
+	for _, st := range m.States {
+		if st.Type == sfn.TypeTask {
+			name := st.Resource
+			if _, exists := lsvc.Function(name); !exists {
+				lsvc.MustRegister(lambda.Config{
+					Name: name, MemoryMB: 512,
+					Handler: func(ctx *lambda.Context, payload []byte) ([]byte, error) {
+						ctx.Busy(busy)
+						return payload, nil
+					},
+				})
+			}
+		}
+		if st.Iterator != nil {
+			registerTasks(st.Iterator, lsvc, busy)
+		}
+		for _, b := range st.Branches {
+			registerTasks(b, lsvc, busy)
+		}
+	}
+}

@@ -1,0 +1,88 @@
+// Command statebench regenerates the paper's tables and figures from
+// the simulated measurement campaigns.
+//
+// Usage:
+//
+//	statebench [flags] [experiment...]
+//
+// With no arguments every experiment runs in paper order. Experiments:
+// table1, table2, fig6, fig7, fig8, fig9, fig10, fig11, fig12, fig13,
+// fig14, fig15, table3.
+//
+// Flags:
+//
+//	-quick     use the fast smoke-scale campaign sizes
+//	-csv       emit CSV instead of text tables
+//	-iters N   override the per-style iteration count
+//	-seed N    simulation master seed
+//	-list      list experiment IDs and exit
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"statebench/internal/experiments"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "use fast smoke-scale campaign sizes")
+	iters := flag.Int("iters", 0, "override per-style iteration count")
+	seed := flag.Uint64("seed", 42, "simulation master seed")
+	list := flag.Bool("list", false, "list experiment IDs and exit")
+	csv := flag.Bool("csv", false, "emit CSV instead of text tables")
+	flag.Parse()
+
+	if *list {
+		for _, r := range experiments.RegistryWithAblations() {
+			fmt.Println(r.ID)
+		}
+		return
+	}
+
+	opts := experiments.DefaultOptions()
+	if *quick {
+		opts = experiments.QuickOptions()
+	}
+	if *iters > 0 {
+		opts.Iters = *iters
+	}
+	opts.Seed = *seed
+
+	ids := flag.Args()
+	if len(ids) == 0 {
+		reports, err := experiments.All(opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "statebench:", err)
+			os.Exit(1)
+		}
+		for _, r := range reports {
+			if *csv {
+				fmt.Print(r.CSV())
+			} else {
+				fmt.Println(r)
+			}
+		}
+		return
+	}
+	for _, id := range ids {
+		runner, err := experiments.Find(id)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "statebench:", err)
+			os.Exit(1)
+		}
+		reports, err := runner.Run(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "statebench: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		for _, r := range reports {
+			if *csv {
+				fmt.Print(r.CSV())
+			} else {
+				fmt.Println(r)
+			}
+		}
+	}
+}

@@ -1,0 +1,90 @@
+// costexplorer projects monthly costs for the video workload across
+// request rates on both clouds, separating computation from stateful
+// charges — the decision the paper's §V-C helps a tenant make.
+//
+//	go run ./examples/costexplorer
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"statebench/internal/core"
+	"statebench/internal/obs"
+	"statebench/internal/pricing"
+	"statebench/internal/sim"
+	"statebench/internal/workloads/videoproc"
+)
+
+func main() {
+	rates := []int{1, 4, 24} // runs per day
+	tbl := obs.Table{Header: []string{"runs/day", "AWS-Step total", "AWS stateful", "Az-Dorch total", "Az stateful", "cheaper"}}
+	for _, perDay := range rates {
+		aws, err := project(core.AWSStep, perDay)
+		if err != nil {
+			fail(err)
+		}
+		az, err := project(core.AzDorch, perDay)
+		if err != nil {
+			fail(err)
+		}
+		cheaper := "AWS"
+		if az.Total() < aws.Total() {
+			cheaper = "Azure"
+		}
+		tbl.AddRow(fmt.Sprintf("%d", perDay),
+			fmt.Sprintf("$%.4f", aws.Total()), fmt.Sprintf("%.1f%%", aws.StatefulShare()*100),
+			fmt.Sprintf("$%.4f", az.Total()), fmt.Sprintf("%.1f%%", az.StatefulShare()*100),
+			cheaper)
+	}
+	fmt.Println("projected monthly cost, video processing with 20 workers:")
+	fmt.Println(tbl.String())
+	fmt.Println("Azure's stateful share grows as usage drops: the task hub")
+	fmt.Println("polls its queues even when no workflow is running.")
+}
+
+// project simulates a 12h window at the given rate and scales to 30 days.
+func project(impl core.Impl, runsPerDay int) (pricing.Bill, error) {
+	window := 12 * time.Hour
+	interval := 24 * time.Hour / time.Duration(runsPerDay)
+	runs := int(window / interval)
+	if runs < 1 {
+		runs = 1
+	}
+	env := core.NewEnv(11)
+	dep, err := videoproc.New(20).Deploy(env, impl)
+	if err != nil {
+		return pricing.Bill{}, err
+	}
+	var runErr error
+	env.K.Spawn("driver", func(p *sim.Proc) {
+		for i := 0; i < runs; i++ {
+			if _, err := dep.Runner.Invoke(p, nil); err != nil {
+				runErr = err
+				return
+			}
+			p.Sleep(interval)
+		}
+	})
+	env.K.RunUntil(window)
+	env.Stop()
+	env.K.Run()
+	if runErr != nil {
+		return pricing.Bill{}, runErr
+	}
+	scale := float64(30*24*time.Hour) / float64(window)
+	if impl.Cloud() == core.AWS {
+		m := env.AWS.Lambda.TotalMeter()
+		return env.AWSPrices.AWSBill(m.BilledGBs, m.Invocations,
+			env.AWS.SFN.TotalTransitions, env.AWS.S3.Stats().Transactions()).Scale(scale), nil
+	}
+	m := env.Azure.Host.TotalMeter()
+	return env.AzurePrices.AzureBill(m.BilledGBs, m.Invocations,
+		env.Azure.StorageTransactions(), env.Azure.Blob.Stats().Transactions()).Scale(scale), nil
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "costexplorer:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,106 @@
+// interactive demonstrates the human-in-the-loop pattern the paper
+// notes AWS built Step Functions for ("the ability to make it
+// interactive with the customers"): a durable purchase-approval
+// orchestration that fans work out, waits for an external approval
+// event with a timeout, and reacts to whichever comes first.
+//
+//	go run ./examples/interactive [-approveAfter 2m] [-timeout 10m]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"statebench/internal/azure/durable"
+	"statebench/internal/azure/functions"
+	"statebench/internal/core"
+	"statebench/internal/sim"
+)
+
+func main() {
+	approveAfter := flag.Duration("approveAfter", 2*time.Minute, "when the (simulated) human approves")
+	timeout := flag.Duration("timeout", 10*time.Minute, "approval deadline")
+	flag.Parse()
+
+	env := core.NewEnv(17)
+	hub := env.Azure.Hub
+
+	if err := hub.RegisterActivity("prepare-order", 192, func(ctx *functions.Context, in []byte) ([]byte, error) {
+		ctx.Busy(3 * time.Second)
+		return []byte(`{"order":"#1042","total":"$1,299"}`), nil
+	}); err != nil {
+		fail(err)
+	}
+	if err := hub.RegisterActivity("fulfil", 192, func(ctx *functions.Context, in []byte) ([]byte, error) {
+		ctx.Busy(5 * time.Second)
+		return []byte("shipped"), nil
+	}); err != nil {
+		fail(err)
+	}
+
+	deadline := *timeout
+	if err := hub.RegisterOrchestrator("purchase", 150, func(ctx *durable.OrchestrationContext, input []byte) ([]byte, error) {
+		order, err := ctx.CallActivity("prepare-order", input).Await()
+		if err != nil {
+			return nil, err
+		}
+		// Race the human against the deadline — the canonical durable
+		// interaction pattern.
+		approval := ctx.WaitForExternalEvent("ManagerApproval")
+		timer := ctx.CreateTimer(deadline)
+		if ctx.WaitAny(approval, timer) == 1 {
+			return []byte("order expired: no approval before the deadline"), nil
+		}
+		decision, err := approval.Await()
+		if err != nil {
+			return nil, err
+		}
+		if string(decision) != "approve" {
+			return []byte("order rejected by manager"), nil
+		}
+		if _, err := ctx.CallActivity("fulfil", order).Await(); err != nil {
+			return nil, err
+		}
+		return []byte("order approved and shipped"), nil
+	}); err != nil {
+		fail(err)
+	}
+
+	var outcome []byte
+	var hd *durable.Handle
+	env.K.Spawn("client", func(p *sim.Proc) {
+		defer env.Stop()
+		var err error
+		hd, err = env.Azure.Client.StartOrchestration(p, "purchase", nil)
+		if err != nil {
+			fail(err)
+		}
+		// The "human": approves after a while (or never, if the
+		// deadline is shorter).
+		p.Sleep(*approveAfter)
+		if hd.Status() == durable.StatusRunning {
+			if err := env.Azure.Client.RaiseEvent(p, hd.ID, "ManagerApproval", []byte("approve")); err != nil {
+				fmt.Fprintln(os.Stderr, "raise:", err)
+			}
+		}
+		outcome, err = hd.Wait(p)
+		if err != nil {
+			fail(err)
+		}
+	})
+	env.K.Run()
+
+	fmt.Printf("outcome: %s\n", outcome)
+	fmt.Printf("end-to-end: %v (approval raised at %v, deadline %v)\n", hd.E2E(), *approveAfter, deadline)
+	fmt.Printf("orchestrator episodes (replays): %d\n", hub.EpisodeCount)
+	fmt.Println()
+	fmt.Println("while the orchestration waited, the task hub kept polling its")
+	fmt.Printf("queues: %d billable storage transactions accrued.\n", hub.StorageTransactions())
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "interactive:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,3 @@
+module statebench
+
+go 1.22

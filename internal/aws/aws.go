@@ -1,0 +1,39 @@
+// Package aws assembles the simulated AWS deployment used by the
+// benchmarks: a Lambda service, a Step Functions service on top of it,
+// and an S3-like object store for data too large for service payloads.
+package aws
+
+import (
+	"statebench/internal/aws/lambda"
+	"statebench/internal/aws/sfn"
+	"statebench/internal/cloud/blob"
+	"statebench/internal/platform"
+	"statebench/internal/sim"
+)
+
+// Cloud is one simulated AWS region/account.
+type Cloud struct {
+	Params platform.AWSParams
+	Lambda *lambda.Service
+	SFN    *sfn.Service
+	S3     *blob.Store
+}
+
+// New builds a Cloud with the given calibration parameters.
+func New(k *sim.Kernel, params platform.AWSParams) *Cloud {
+	lsvc := lambda.New(k, params)
+	return &Cloud{
+		Params: params,
+		Lambda: lsvc,
+		SFN:    sfn.New(k, params, lsvc),
+		S3:     blob.New(k, "s3", blob.DefaultParams()),
+	}
+}
+
+// ResetMeters zeroes billing meters and storage stats across services,
+// keeping deployed functions and warm containers.
+func (c *Cloud) ResetMeters() {
+	c.Lambda.ResetMeters()
+	c.SFN.ResetMeters()
+	c.S3.ResetStats()
+}

@@ -1,0 +1,292 @@
+// Package lambda simulates AWS Lambda: per-request container scaling
+// with cold/warm starts, configurable memory in 128 MB steps, a 256 KB
+// synchronous payload limit, the 15-minute execution cap, and billing
+// on configured memory with 100 ms duration rounding.
+package lambda
+
+import (
+	"fmt"
+	"time"
+
+	"statebench/internal/platform"
+	"statebench/internal/sim"
+	"statebench/internal/trace"
+)
+
+// Handler is the user function body. It runs on the invoking process's
+// virtual-time context; compute is modeled by ctx.Busy and I/O by
+// calling simulated services with ctx.Proc().
+type Handler func(ctx *Context, payload []byte) ([]byte, error)
+
+// Context is passed to handlers.
+type Context struct {
+	p  *sim.Proc
+	fn *Function
+}
+
+// Proc returns the simulation process executing this invocation; pass
+// it to simulated storage services.
+func (c *Context) Proc() *sim.Proc { return c.p }
+
+// Busy consumes d of virtual compute time.
+func (c *Context) Busy(d time.Duration) { c.p.Sleep(d) }
+
+// FunctionName returns the executing function's name.
+func (c *Context) FunctionName() string { return c.fn.cfg.Name }
+
+// MemoryMB returns the configured memory size.
+func (c *Context) MemoryMB() int { return c.fn.cfg.MemoryMB }
+
+// Config describes one Lambda function.
+type Config struct {
+	Name string
+	// MemoryMB is the configured memory; must be a multiple of the
+	// platform's memory step (128 MB). Billing uses this value.
+	MemoryMB int
+	// ConsumedMemMB models the memory the function actually uses
+	// (reported, not billed, on AWS).
+	ConsumedMemMB int
+	// CodeSizeMB is the deployment-package size; it lengthens cold
+	// starts (Table II packages are 63–271 MB).
+	CodeSizeMB float64
+	// Timeout overrides the platform execution cap if smaller.
+	Timeout time.Duration
+	Handler Handler
+}
+
+// Invocation reports one completed invoke.
+type Invocation struct {
+	Output         []byte
+	Cold           bool
+	ColdStartDelay time.Duration
+	// QueueDelay is time spent waiting for burst-concurrency capacity.
+	QueueDelay time.Duration
+	// ExecTime is handler wall time (billed after rounding).
+	ExecTime time.Duration
+	// Total is RTT + start + queue + exec.
+	Total time.Duration
+	Err   error
+}
+
+// Stats aggregates per-function invoke outcomes.
+type Stats struct {
+	Invokes    int64
+	ColdStarts int64
+	Errors     int64
+	// ColdDelays holds each cold start's delay (for Fig 10/13).
+	ColdDelays []time.Duration
+}
+
+// Function is a registered Lambda function.
+type Function struct {
+	cfg   Config
+	svc   *Service
+	warm  []sim.Time // expiry times of idle warm containers
+	slots *sim.Resource
+	Meter platform.Meter
+	stats Stats
+}
+
+// Stats returns a snapshot of invoke outcomes.
+func (f *Function) Stats() Stats { return f.stats }
+
+// Config returns the function's configuration.
+func (f *Function) Config() Config { return f.cfg }
+
+// WarmContainers returns how many idle warm containers exist now.
+func (f *Function) WarmContainers(now sim.Time) int {
+	n := 0
+	for _, exp := range f.warm {
+		if exp > now {
+			n++
+		}
+	}
+	return n
+}
+
+// Service is the simulated Lambda control plane.
+type Service struct {
+	k      *sim.Kernel
+	rng    *sim.RNG
+	params platform.AWSParams
+	fns    map[string]*Function
+	// Logs, when non-nil, receives a CloudWatch-style record per
+	// invocation, cold start, and error.
+	Logs *trace.Collector
+}
+
+// New creates a Lambda service with the given calibration parameters.
+func New(k *sim.Kernel, params platform.AWSParams) *Service {
+	return &Service{k: k, rng: k.Stream("aws/lambda"), params: params, fns: make(map[string]*Function)}
+}
+
+// Params returns the service's calibration parameters.
+func (s *Service) Params() platform.AWSParams { return s.params }
+
+// Register adds a function. It validates the memory configuration.
+func (s *Service) Register(cfg Config) (*Function, error) {
+	if cfg.Name == "" {
+		return nil, fmt.Errorf("lambda: function name required")
+	}
+	if _, dup := s.fns[cfg.Name]; dup {
+		return nil, fmt.Errorf("lambda: function %q already registered", cfg.Name)
+	}
+	if cfg.MemoryMB <= 0 || cfg.MemoryMB%s.params.MemoryStepMB != 0 {
+		return nil, fmt.Errorf("lambda: memory %d MB must be a positive multiple of %d", cfg.MemoryMB, s.params.MemoryStepMB)
+	}
+	if cfg.Handler == nil {
+		return nil, fmt.Errorf("lambda: function %q has no handler", cfg.Name)
+	}
+	if cfg.ConsumedMemMB <= 0 {
+		cfg.ConsumedMemMB = cfg.MemoryMB
+	}
+	if cfg.Timeout <= 0 || cfg.Timeout > s.params.TimeLimit {
+		cfg.Timeout = s.params.TimeLimit
+	}
+	f := &Function{cfg: cfg, svc: s, slots: sim.NewResource(s.k, s.params.BurstConcurrency)}
+	s.fns[cfg.Name] = f
+	return f, nil
+}
+
+// MustRegister is Register that panics on error, for tests and fixed
+// deployment code.
+func (s *Service) MustRegister(cfg Config) *Function {
+	f, err := s.Register(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// Function returns a registered function by name.
+func (s *Service) Function(name string) (*Function, bool) {
+	f, ok := s.fns[name]
+	return f, ok
+}
+
+// TimeoutError reports an execution that exceeded its time limit.
+type TimeoutError struct {
+	Function string
+	Limit    time.Duration
+}
+
+func (e *TimeoutError) Error() string {
+	return fmt.Sprintf("lambda: %s timed out after %v", e.Function, e.Limit)
+}
+
+// PayloadTooLargeError reports an oversized synchronous payload.
+type PayloadTooLargeError struct {
+	Function string
+	Size     int
+	Limit    int
+}
+
+func (e *PayloadTooLargeError) Error() string {
+	return fmt.Sprintf("lambda: payload for %s is %d bytes, limit %d", e.Function, e.Size, e.Limit)
+}
+
+// Invoke synchronously invokes a function from process p, blocking until
+// the handler returns. Handler errors are reported in Invocation.Err
+// (the Invocation still carries timing); infrastructure errors (unknown
+// function, oversized payload) are returned as err.
+func (s *Service) Invoke(p *sim.Proc, name string, payload []byte) (*Invocation, error) {
+	f, ok := s.fns[name]
+	if !ok {
+		return nil, fmt.Errorf("lambda: no such function %q", name)
+	}
+	if s.params.PayloadLimit > 0 && len(payload) > s.params.PayloadLimit {
+		return nil, &PayloadTooLargeError{Function: name, Size: len(payload), Limit: s.params.PayloadLimit}
+	}
+	start := p.Now()
+	p.Sleep(s.params.InvokeRTT.Sample(s.rng))
+
+	// Burst-concurrency admission.
+	qStart := p.Now()
+	f.slots.Acquire(p)
+	queueDelay := p.Now() - qStart
+
+	inv := &Invocation{QueueDelay: queueDelay}
+	f.stats.Invokes++
+
+	// Container acquisition: reuse a warm container or cold start.
+	if exp, ok := f.takeWarm(p.Now()); ok {
+		_ = exp
+		p.Sleep(s.params.WarmStart.Sample(s.rng))
+	} else {
+		inv.Cold = true
+		f.stats.ColdStarts++
+		delay := s.params.ColdStartBase.Sample(s.rng)
+		if s.params.CodeFetchBW > 0 {
+			delay += time.Duration(f.cfg.CodeSizeMB * 1e6 / s.params.CodeFetchBW * float64(time.Second))
+		}
+		inv.ColdStartDelay = delay
+		f.stats.ColdDelays = append(f.stats.ColdDelays, delay)
+		p.Sleep(delay)
+	}
+
+	execStart := p.Now()
+	out, err := f.cfg.Handler(&Context{p: p, fn: f}, payload)
+	exec := p.Now() - execStart
+	if exec > f.cfg.Timeout {
+		exec = f.cfg.Timeout
+		err = &TimeoutError{Function: name, Limit: f.cfg.Timeout}
+		out = nil
+	}
+	f.Meter.RecordAWS(exec, f.cfg.MemoryMB, f.cfg.ConsumedMemMB)
+
+	// Return the container to the warm pool.
+	f.warm = append(f.warm, p.Now()+s.params.KeepAlive)
+	f.slots.Release()
+
+	inv.Output = out
+	inv.Err = err
+	if err != nil {
+		f.stats.Errors++
+	}
+	inv.ExecTime = exec
+	inv.Total = p.Now() - start
+	if s.Logs != nil {
+		s.Logs.Invocation(p.Now(), name, exec)
+		if inv.Cold {
+			s.Logs.ColdStart(p.Now(), name, inv.ColdStartDelay)
+		}
+		if err != nil {
+			s.Logs.Error(p.Now(), name, err.Error())
+		}
+	}
+	return inv, nil
+}
+
+// takeWarm pops one unexpired warm container, discarding expired ones.
+func (f *Function) takeWarm(now sim.Time) (sim.Time, bool) {
+	live := f.warm[:0]
+	for _, exp := range f.warm {
+		if exp > now {
+			live = append(live, exp)
+		}
+	}
+	f.warm = live
+	if len(f.warm) == 0 {
+		return 0, false
+	}
+	exp := f.warm[len(f.warm)-1]
+	f.warm = f.warm[:len(f.warm)-1]
+	return exp, true
+}
+
+// TotalMeter sums billing meters across all functions.
+func (s *Service) TotalMeter() platform.Meter {
+	var m platform.Meter
+	for _, f := range s.fns {
+		m.Add(f.Meter)
+	}
+	return m
+}
+
+// ResetMeters zeroes all function meters and stats (warm pools are kept).
+func (s *Service) ResetMeters() {
+	for _, f := range s.fns {
+		f.Meter.Reset()
+		f.stats = Stats{}
+	}
+}

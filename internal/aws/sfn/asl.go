@@ -1,0 +1,322 @@
+// Package sfn simulates AWS Step Functions: state machines written in
+// a subset of the Amazon States Language (Task, Map, Parallel, Choice,
+// Pass, Wait, Succeed, Fail with InputPath/ResultPath/OutputPath),
+// executed against the simulated Lambda service with per-transition
+// billing — the stateful cost component of AWS in the paper.
+package sfn
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// StateType enumerates the supported ASL state types.
+type StateType string
+
+// Supported state types.
+const (
+	TypeTask     StateType = "Task"
+	TypeMap      StateType = "Map"
+	TypeParallel StateType = "Parallel"
+	TypeChoice   StateType = "Choice"
+	TypePass     StateType = "Pass"
+	TypeWait     StateType = "Wait"
+	TypeSucceed  StateType = "Succeed"
+	TypeFail     StateType = "Fail"
+)
+
+// StateMachine is an ASL state machine (or a Map iterator / Parallel
+// branch, which share the structure).
+type StateMachine struct {
+	Comment string            `json:"Comment,omitempty"`
+	StartAt string            `json:"StartAt"`
+	States  map[string]*State `json:"States"`
+}
+
+// State is one ASL state. Fields apply according to Type, mirroring the
+// ASL JSON schema so definitions round-trip through encoding/json.
+type State struct {
+	Type    StateType `json:"Type"`
+	Comment string    `json:"Comment,omitempty"`
+
+	// Flow control.
+	Next string `json:"Next,omitempty"`
+	End  bool   `json:"End,omitempty"`
+
+	// I/O processing.
+	InputPath  string `json:"InputPath,omitempty"`
+	ResultPath string `json:"ResultPath,omitempty"`
+	OutputPath string `json:"OutputPath,omitempty"`
+
+	// Task.
+	Resource string `json:"Resource,omitempty"`
+
+	// Map.
+	ItemsPath      string        `json:"ItemsPath,omitempty"`
+	MaxConcurrency int           `json:"MaxConcurrency,omitempty"`
+	Iterator       *StateMachine `json:"Iterator,omitempty"`
+
+	// Parallel.
+	Branches []*StateMachine `json:"Branches,omitempty"`
+
+	// Choice.
+	Choices []ChoiceRule `json:"Choices,omitempty"`
+	Default string       `json:"Default,omitempty"`
+
+	// Wait.
+	Seconds     float64 `json:"Seconds,omitempty"`
+	SecondsPath string  `json:"SecondsPath,omitempty"`
+
+	// Pass.
+	Result any `json:"Result,omitempty"`
+
+	// Fail.
+	Error string `json:"Error,omitempty"`
+	Cause string `json:"Cause,omitempty"`
+
+	// Error handling (Task/Map/Parallel).
+	Retry []RetryPolicy `json:"Retry,omitempty"`
+	Catch []Catcher     `json:"Catch,omitempty"`
+}
+
+// RetryPolicy is an ASL retrier: exponential backoff on matching errors.
+type RetryPolicy struct {
+	// ErrorEquals matches error names; "States.ALL" matches anything.
+	ErrorEquals []string `json:"ErrorEquals"`
+	// IntervalSeconds is the first retry delay (default 1).
+	IntervalSeconds float64 `json:"IntervalSeconds,omitempty"`
+	// MaxAttempts bounds retries (default 3; 0 in the JSON means the
+	// field is absent and the default applies).
+	MaxAttempts int `json:"MaxAttempts,omitempty"`
+	// BackoffRate multiplies the delay each attempt (default 2).
+	BackoffRate float64 `json:"BackoffRate,omitempty"`
+}
+
+// Catcher is an ASL catcher: route matching errors to a recovery state.
+type Catcher struct {
+	ErrorEquals []string `json:"ErrorEquals"`
+	// ResultPath places the error info into the input for the catch
+	// target (default "$").
+	ResultPath string `json:"ResultPath,omitempty"`
+	Next       string `json:"Next"`
+}
+
+// matchesError reports whether the error-name list matches name.
+func matchesError(patterns []string, name string) bool {
+	for _, p := range patterns {
+		if p == "States.ALL" || p == name {
+			return true
+		}
+	}
+	return false
+}
+
+// ChoiceRule is one ASL choice, supporting the comparison operators the
+// workloads need plus boolean composition.
+type ChoiceRule struct {
+	Variable string `json:"Variable,omitempty"`
+
+	StringEquals             *string  `json:"StringEquals,omitempty"`
+	NumericEquals            *float64 `json:"NumericEquals,omitempty"`
+	NumericLessThan          *float64 `json:"NumericLessThan,omitempty"`
+	NumericGreaterThan       *float64 `json:"NumericGreaterThan,omitempty"`
+	NumericGreaterThanEquals *float64 `json:"NumericGreaterThanEquals,omitempty"`
+	NumericLessThanEquals    *float64 `json:"NumericLessThanEquals,omitempty"`
+	BooleanEquals            *bool    `json:"BooleanEquals,omitempty"`
+	IsPresent                *bool    `json:"IsPresent,omitempty"`
+
+	And []ChoiceRule `json:"And,omitempty"`
+	Or  []ChoiceRule `json:"Or,omitempty"`
+	Not *ChoiceRule  `json:"Not,omitempty"`
+
+	Next string `json:"Next,omitempty"`
+}
+
+// Validate checks structural well-formedness: StartAt exists, every
+// Next/Default/Choice target exists, terminal states terminate, and
+// nested machines validate recursively.
+func (sm *StateMachine) Validate() error {
+	if sm.StartAt == "" {
+		return fmt.Errorf("sfn: StartAt required")
+	}
+	if _, ok := sm.States[sm.StartAt]; !ok {
+		return fmt.Errorf("sfn: StartAt %q not in States", sm.StartAt)
+	}
+	for name, st := range sm.States {
+		if err := st.validate(name, sm); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (sm *StateMachine) hasState(name string) bool {
+	_, ok := sm.States[name]
+	return ok
+}
+
+func (st *State) validate(name string, sm *StateMachine) error {
+	terminal := st.Type == TypeSucceed || st.Type == TypeFail || st.Type == TypeChoice
+	if !terminal {
+		if st.Next == "" && !st.End {
+			return fmt.Errorf("sfn: state %q must have Next or End", name)
+		}
+		if st.Next != "" && st.End {
+			return fmt.Errorf("sfn: state %q has both Next and End", name)
+		}
+	}
+	if st.Next != "" && !sm.hasState(st.Next) {
+		return fmt.Errorf("sfn: state %q Next %q not found", name, st.Next)
+	}
+	for _, c := range st.Catch {
+		if c.Next == "" || !sm.hasState(c.Next) {
+			return fmt.Errorf("sfn: state %q Catch Next %q not found", name, c.Next)
+		}
+		if len(c.ErrorEquals) == 0 {
+			return fmt.Errorf("sfn: state %q Catch requires ErrorEquals", name)
+		}
+	}
+	for _, r := range st.Retry {
+		if len(r.ErrorEquals) == 0 {
+			return fmt.Errorf("sfn: state %q Retry requires ErrorEquals", name)
+		}
+	}
+	switch st.Type {
+	case TypeTask:
+		if st.Resource == "" {
+			return fmt.Errorf("sfn: Task %q requires Resource", name)
+		}
+	case TypeMap:
+		if st.Iterator == nil {
+			return fmt.Errorf("sfn: Map %q requires Iterator", name)
+		}
+		if err := st.Iterator.Validate(); err != nil {
+			return fmt.Errorf("sfn: Map %q iterator: %w", name, err)
+		}
+	case TypeParallel:
+		if len(st.Branches) == 0 {
+			return fmt.Errorf("sfn: Parallel %q requires Branches", name)
+		}
+		for i, b := range st.Branches {
+			if err := b.Validate(); err != nil {
+				return fmt.Errorf("sfn: Parallel %q branch %d: %w", name, i, err)
+			}
+		}
+	case TypeChoice:
+		if len(st.Choices) == 0 {
+			return fmt.Errorf("sfn: Choice %q requires Choices", name)
+		}
+		for _, c := range st.Choices {
+			if c.Next == "" {
+				return fmt.Errorf("sfn: Choice %q has rule without Next", name)
+			}
+			if !sm.hasState(c.Next) {
+				return fmt.Errorf("sfn: Choice %q rule Next %q not found", name, c.Next)
+			}
+		}
+		if st.Default != "" && !sm.hasState(st.Default) {
+			return fmt.Errorf("sfn: Choice %q Default %q not found", name, st.Default)
+		}
+	case TypeWait:
+		if st.Seconds < 0 {
+			return fmt.Errorf("sfn: Wait %q negative Seconds", name)
+		}
+	case TypePass, TypeSucceed, TypeFail:
+	default:
+		return fmt.Errorf("sfn: state %q has unsupported Type %q", name, st.Type)
+	}
+	return nil
+}
+
+// ParseDefinition decodes an ASL JSON document and validates it.
+func ParseDefinition(data []byte) (*StateMachine, error) {
+	var sm StateMachine
+	if err := json.Unmarshal(data, &sm); err != nil {
+		return nil, fmt.Errorf("sfn: parse definition: %w", err)
+	}
+	if err := sm.Validate(); err != nil {
+		return nil, err
+	}
+	return &sm, nil
+}
+
+// Definition encodes the machine back to ASL JSON.
+func (sm *StateMachine) Definition() ([]byte, error) {
+	return json.MarshalIndent(sm, "", "  ")
+}
+
+// evalRule evaluates a choice rule against the state input document.
+func evalRule(rule *ChoiceRule, doc any) (bool, error) {
+	switch {
+	case len(rule.And) > 0:
+		for i := range rule.And {
+			ok, err := evalRule(&rule.And[i], doc)
+			if err != nil || !ok {
+				return false, err
+			}
+		}
+		return true, nil
+	case len(rule.Or) > 0:
+		for i := range rule.Or {
+			ok, err := evalRule(&rule.Or[i], doc)
+			if err != nil {
+				return false, err
+			}
+			if ok {
+				return true, nil
+			}
+		}
+		return false, nil
+	case rule.Not != nil:
+		ok, err := evalRule(rule.Not, doc)
+		return !ok, err
+	}
+
+	if rule.IsPresent != nil {
+		_, err := GetPath(doc, rule.Variable)
+		return (err == nil) == *rule.IsPresent, nil
+	}
+	v, err := GetPath(doc, rule.Variable)
+	if err != nil {
+		return false, err
+	}
+	switch {
+	case rule.StringEquals != nil:
+		s, ok := v.(string)
+		return ok && s == *rule.StringEquals, nil
+	case rule.BooleanEquals != nil:
+		b, ok := v.(bool)
+		return ok && b == *rule.BooleanEquals, nil
+	case rule.NumericEquals != nil:
+		f, ok := asFloat(v)
+		return ok && f == *rule.NumericEquals, nil
+	case rule.NumericLessThan != nil:
+		f, ok := asFloat(v)
+		return ok && f < *rule.NumericLessThan, nil
+	case rule.NumericGreaterThan != nil:
+		f, ok := asFloat(v)
+		return ok && f > *rule.NumericGreaterThan, nil
+	case rule.NumericGreaterThanEquals != nil:
+		f, ok := asFloat(v)
+		return ok && f >= *rule.NumericGreaterThanEquals, nil
+	case rule.NumericLessThanEquals != nil:
+		f, ok := asFloat(v)
+		return ok && f <= *rule.NumericLessThanEquals, nil
+	}
+	return false, fmt.Errorf("sfn: choice rule on %q has no comparison", rule.Variable)
+}
+
+func asFloat(v any) (float64, bool) {
+	switch n := v.(type) {
+	case float64:
+		return n, true
+	case int:
+		return float64(n), true
+	case int64:
+		return float64(n), true
+	case json.Number:
+		f, err := n.Float64()
+		return f, err == nil
+	}
+	return 0, false
+}

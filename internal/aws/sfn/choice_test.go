@@ -1,0 +1,95 @@
+package sfn
+
+import "testing"
+
+func doc2() map[string]any {
+	return map[string]any{"n": float64(7), "s": "go", "ok": true}
+}
+
+func fp(v float64) *float64 { return &v }
+func sp(v string) *string   { return &v }
+func bp(v bool) *bool       { return &v }
+
+func TestChoiceComparisons(t *testing.T) {
+	cases := []struct {
+		rule ChoiceRule
+		want bool
+	}{
+		{ChoiceRule{Variable: "$.n", NumericEquals: fp(7)}, true},
+		{ChoiceRule{Variable: "$.n", NumericEquals: fp(8)}, false},
+		{ChoiceRule{Variable: "$.n", NumericLessThan: fp(8)}, true},
+		{ChoiceRule{Variable: "$.n", NumericGreaterThan: fp(7)}, false},
+		{ChoiceRule{Variable: "$.n", NumericGreaterThanEquals: fp(7)}, true},
+		{ChoiceRule{Variable: "$.n", NumericLessThanEquals: fp(6)}, false},
+		{ChoiceRule{Variable: "$.s", StringEquals: sp("go")}, true},
+		{ChoiceRule{Variable: "$.s", StringEquals: sp("no")}, false},
+		{ChoiceRule{Variable: "$.ok", BooleanEquals: bp(true)}, true},
+		{ChoiceRule{Variable: "$.missing", IsPresent: bp(false)}, true},
+		{ChoiceRule{Variable: "$.n", IsPresent: bp(true)}, true},
+	}
+	for i, c := range cases {
+		got, err := evalRule(&c.rule, doc2())
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if got != c.want {
+			t.Errorf("case %d = %v, want %v", i, got, c.want)
+		}
+	}
+}
+
+func TestChoiceBooleanComposition(t *testing.T) {
+	and := ChoiceRule{And: []ChoiceRule{
+		{Variable: "$.n", NumericGreaterThan: fp(5)},
+		{Variable: "$.s", StringEquals: sp("go")},
+	}}
+	if got, _ := evalRule(&and, doc2()); !got {
+		t.Fatal("And should match")
+	}
+	or := ChoiceRule{Or: []ChoiceRule{
+		{Variable: "$.n", NumericGreaterThan: fp(100)},
+		{Variable: "$.ok", BooleanEquals: bp(true)},
+	}}
+	if got, _ := evalRule(&or, doc2()); !got {
+		t.Fatal("Or should match")
+	}
+	not := ChoiceRule{Not: &ChoiceRule{Variable: "$.n", NumericEquals: fp(7)}}
+	if got, _ := evalRule(&not, doc2()); got {
+		t.Fatal("Not should not match")
+	}
+	nested := ChoiceRule{And: []ChoiceRule{
+		{Not: &ChoiceRule{Variable: "$.s", StringEquals: sp("no")}},
+		{Or: []ChoiceRule{
+			{Variable: "$.n", NumericLessThan: fp(0)},
+			{Variable: "$.n", NumericGreaterThan: fp(5)},
+		}},
+	}}
+	if got, _ := evalRule(&nested, doc2()); !got {
+		t.Fatal("nested composition should match")
+	}
+}
+
+func TestChoiceTypeMismatchesAreFalse(t *testing.T) {
+	r := ChoiceRule{Variable: "$.s", NumericEquals: fp(1)}
+	if got, _ := evalRule(&r, doc2()); got {
+		t.Fatal("string compared as number matched")
+	}
+	r2 := ChoiceRule{Variable: "$.n", StringEquals: sp("7")}
+	if got, _ := evalRule(&r2, doc2()); got {
+		t.Fatal("number compared as string matched")
+	}
+}
+
+func TestChoiceMissingVariableErrors(t *testing.T) {
+	r := ChoiceRule{Variable: "$.ghost", NumericEquals: fp(1)}
+	if _, err := evalRule(&r, doc2()); err == nil {
+		t.Fatal("missing variable did not error")
+	}
+}
+
+func TestChoiceNoComparisonErrors(t *testing.T) {
+	r := ChoiceRule{Variable: "$.n"}
+	if _, err := evalRule(&r, doc2()); err == nil {
+		t.Fatal("comparison-free rule did not error")
+	}
+}

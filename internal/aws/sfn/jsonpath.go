@@ -1,0 +1,162 @@
+package sfn
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// This file implements the minimal JSONPath subset the Amazon States
+// Language uses for InputPath/ResultPath/OutputPath/ItemsPath/Variable:
+// "$" (whole document) and dotted field access with optional numeric
+// indexing, e.g. "$.detail.items[2].id".
+
+// pathSegments splits "$.a.b[2]" into []seg{{field:a},{field:b},{index:2}}.
+type seg struct {
+	field string
+	index int // -1 if field access
+}
+
+func parsePath(path string) ([]seg, error) {
+	if path == "" || path == "$" {
+		return nil, nil
+	}
+	if !strings.HasPrefix(path, "$.") && !strings.HasPrefix(path, "$[") {
+		return nil, fmt.Errorf("sfn: invalid path %q (must start with $)", path)
+	}
+	var segs []seg
+	rest := path[1:]
+	for len(rest) > 0 {
+		switch {
+		case rest[0] == '.':
+			rest = rest[1:]
+			end := strings.IndexAny(rest, ".[")
+			if end == -1 {
+				end = len(rest)
+			}
+			if end == 0 {
+				return nil, fmt.Errorf("sfn: invalid path %q (empty field)", path)
+			}
+			segs = append(segs, seg{field: rest[:end], index: -1})
+			rest = rest[end:]
+		case rest[0] == '[':
+			close := strings.IndexByte(rest, ']')
+			if close == -1 {
+				return nil, fmt.Errorf("sfn: invalid path %q (unclosed index)", path)
+			}
+			idx, err := strconv.Atoi(rest[1:close])
+			if err != nil {
+				return nil, fmt.Errorf("sfn: invalid path %q: %v", path, err)
+			}
+			segs = append(segs, seg{index: idx})
+			rest = rest[close+1:]
+		default:
+			return nil, fmt.Errorf("sfn: invalid path %q near %q", path, rest)
+		}
+	}
+	return segs, nil
+}
+
+// GetPath extracts the value at path from a JSON-like document
+// (map[string]any / []any / scalars). Path "$" returns doc itself.
+func GetPath(doc any, path string) (any, error) {
+	segs, err := parsePath(path)
+	if err != nil {
+		return nil, err
+	}
+	cur := doc
+	for _, s := range segs {
+		if s.index >= 0 {
+			arr, ok := cur.([]any)
+			if !ok {
+				return nil, fmt.Errorf("sfn: path %q: indexing non-array", path)
+			}
+			if s.index >= len(arr) {
+				return nil, fmt.Errorf("sfn: path %q: index %d out of range", path, s.index)
+			}
+			cur = arr[s.index]
+			continue
+		}
+		m, ok := cur.(map[string]any)
+		if !ok {
+			return nil, fmt.Errorf("sfn: path %q: field %q of non-object", path, s.field)
+		}
+		v, ok := m[s.field]
+		if !ok {
+			return nil, fmt.Errorf("sfn: path %q: field %q absent", path, s.field)
+		}
+		cur = v
+	}
+	return cur, nil
+}
+
+// SetPath returns doc with val placed at path, creating intermediate
+// objects as needed (ResultPath semantics). Path "$" replaces the
+// document. The input document is shallow-copied along the touched
+// spine so callers' documents are not mutated.
+func SetPath(doc any, path string, val any) (any, error) {
+	segs, err := parsePath(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(segs) == 0 {
+		return val, nil
+	}
+	return setSegs(doc, segs, val, path)
+}
+
+func setSegs(doc any, segs []seg, val any, full string) (any, error) {
+	s := segs[0]
+	if s.index >= 0 {
+		arr, ok := doc.([]any)
+		if !ok {
+			return nil, fmt.Errorf("sfn: ResultPath %q: indexing non-array", full)
+		}
+		if s.index >= len(arr) {
+			return nil, fmt.Errorf("sfn: ResultPath %q: index out of range", full)
+		}
+		cp := make([]any, len(arr))
+		copy(cp, arr)
+		if len(segs) == 1 {
+			cp[s.index] = val
+			return cp, nil
+		}
+		sub, err := setSegs(cp[s.index], segs[1:], val, full)
+		if err != nil {
+			return nil, err
+		}
+		cp[s.index] = sub
+		return cp, nil
+	}
+	var m map[string]any
+	switch d := doc.(type) {
+	case map[string]any:
+		m = make(map[string]any, len(d)+1)
+		for k, v := range d {
+			m[k] = v
+		}
+	case nil:
+		m = make(map[string]any, 1)
+	default:
+		// ResultPath onto a scalar replaces it with an object.
+		m = make(map[string]any, 1)
+	}
+	if len(segs) == 1 {
+		m[s.field] = val
+		return m, nil
+	}
+	sub, err := setSegs(m[s.field], segs[1:], val, full)
+	if err != nil {
+		return nil, err
+	}
+	m[s.field] = sub
+	return m, nil
+}
+
+// applyPath is GetPath treating an empty path as "$".
+func applyPath(doc any, path string) (any, error) {
+	if path == "" {
+		return doc, nil
+	}
+	return GetPath(doc, path)
+}

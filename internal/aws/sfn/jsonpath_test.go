@@ -1,0 +1,103 @@
+package sfn
+
+import (
+	"reflect"
+	"testing"
+)
+
+func doc() map[string]any {
+	return map[string]any{
+		"a": map[string]any{"b": float64(7)},
+		"items": []any{
+			map[string]any{"id": "x"},
+			map[string]any{"id": "y"},
+		},
+		"flag": true,
+	}
+}
+
+func TestGetPathRoot(t *testing.T) {
+	d := doc()
+	v, err := GetPath(d, "$")
+	if err != nil || !reflect.DeepEqual(v, d) {
+		t.Fatalf("root get: %v %v", v, err)
+	}
+}
+
+func TestGetPathNested(t *testing.T) {
+	v, err := GetPath(doc(), "$.a.b")
+	if err != nil || v != float64(7) {
+		t.Fatalf("got %v, %v", v, err)
+	}
+}
+
+func TestGetPathIndexed(t *testing.T) {
+	v, err := GetPath(doc(), "$.items[1].id")
+	if err != nil || v != "y" {
+		t.Fatalf("got %v, %v", v, err)
+	}
+}
+
+func TestGetPathErrors(t *testing.T) {
+	cases := []string{"a.b", "$.missing", "$.a.b.c", "$.items[9]", "$.items[x]", "$.", "$.flag[0]"}
+	for _, path := range cases {
+		if _, err := GetPath(doc(), path); err == nil {
+			t.Errorf("GetPath(%q) succeeded, want error", path)
+		}
+	}
+}
+
+func TestSetPathRootReplaces(t *testing.T) {
+	v, err := SetPath(doc(), "$", "replaced")
+	if err != nil || v != "replaced" {
+		t.Fatalf("got %v, %v", v, err)
+	}
+}
+
+func TestSetPathCreatesSpine(t *testing.T) {
+	v, err := SetPath(map[string]any{}, "$.x.y", float64(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := GetPath(v, "$.x.y")
+	if err != nil || got != float64(1) {
+		t.Fatalf("round trip = %v, %v", got, err)
+	}
+}
+
+func TestSetPathDoesNotMutateInput(t *testing.T) {
+	d := doc()
+	if _, err := SetPath(d, "$.a.b", float64(99)); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := GetPath(d, "$.a.b"); v != float64(7) {
+		t.Fatalf("input mutated: a.b = %v", v)
+	}
+}
+
+func TestSetPathIntoArray(t *testing.T) {
+	d := doc()
+	v, err := SetPath(d, "$.items[0].id", "z")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := GetPath(v, "$.items[0].id")
+	if got != "z" {
+		t.Fatalf("set into array = %v", got)
+	}
+	// Original untouched.
+	if orig, _ := GetPath(d, "$.items[0].id"); orig != "x" {
+		t.Fatalf("original mutated: %v", orig)
+	}
+}
+
+func TestSetPathOntoNilCreatesObject(t *testing.T) {
+	v, err := SetPath(nil, "$.result", float64(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := GetPath(v, "$.result")
+	if got != float64(5) {
+		t.Fatalf("got %v", got)
+	}
+}

@@ -1,0 +1,82 @@
+// Package azure assembles the simulated Azure deployment used by the
+// benchmarks: a consumption-plan function app, a durable task hub with
+// client, blob storage, and factory helpers for manually managed
+// storage queues (the Az-Queue implementation style).
+package azure
+
+import (
+	"statebench/internal/azure/durable"
+	"statebench/internal/azure/functions"
+	"statebench/internal/cloud/blob"
+	"statebench/internal/cloud/queue"
+	"statebench/internal/platform"
+	"statebench/internal/sim"
+)
+
+// Cloud is one simulated Azure subscription/region.
+type Cloud struct {
+	Params platform.AzureParams
+	Host   *functions.Host
+	Hub    *durable.Hub
+	Client *durable.Client
+	Blob   *blob.Store
+
+	k *sim.Kernel
+	// ManualQueues tracks queues created with NewQueue so their
+	// transactions can be summed into the stateful bill.
+	ManualQueues []*queue.Queue
+}
+
+// New builds a Cloud with the given calibration parameters.
+func New(k *sim.Kernel, params platform.AzureParams) *Cloud {
+	host := functions.NewHost(k, "app", params)
+	hub := durable.NewHub(k, host, "hub")
+	return &Cloud{
+		Params: params,
+		Host:   host,
+		Hub:    hub,
+		Client: durable.NewClient(hub),
+		Blob:   blob.New(k, "azblob", blob.DefaultParams()),
+		k:      k,
+	}
+}
+
+// NewQueue creates a manually managed storage queue (Az-Queue style)
+// whose transactions are tracked for billing.
+func (c *Cloud) NewQueue(name string) *queue.Queue {
+	qp := queue.DefaultParams()
+	qp.MaxPayload = c.Params.QueuePayloadLimit
+	q := queue.New(c.k, name, qp)
+	c.ManualQueues = append(c.ManualQueues, q)
+	return q
+}
+
+// StorageTransactions sums billable storage transactions across the
+// task hub and all manual queues.
+func (c *Cloud) StorageTransactions() int64 {
+	return c.Hub.StorageTransactions() + c.ManualQueueTransactions()
+}
+
+// ManualQueueTransactions sums transactions of manually managed queues
+// only (what a deployment without the durable extension is billed for).
+func (c *Cloud) ManualQueueTransactions() int64 {
+	var total int64
+	for _, q := range c.ManualQueues {
+		total += q.Stats().Transactions()
+	}
+	return total
+}
+
+// ResetMeters zeroes compute meters and storage transaction counters.
+func (c *Cloud) ResetMeters() {
+	c.Host.ResetMeters()
+	c.Hub.ResetStorageStats()
+	for _, q := range c.ManualQueues {
+		q.ResetStats()
+	}
+	c.Blob.ResetStats()
+}
+
+// Stop terminates listeners and the scale controller so a finished
+// simulation's kernel can drain.
+func (c *Cloud) Stop() { c.Host.Stop() }

@@ -1,0 +1,68 @@
+package durable
+
+import (
+	"testing"
+	"time"
+
+	"statebench/internal/sim"
+)
+
+func TestEntityToEntitySignal(t *testing.T) {
+	// A Producer entity signals an Auditor entity on every write —
+	// the entity-to-entity communication the paper's §II-B describes.
+	k, host, hub, client := fixture()
+	if err := hub.RegisterEntity("Producer", 128, func(ctx *EntityContext, op string, input []byte) ([]byte, error) {
+		switch op {
+		case "put":
+			ctx.SetState(input)
+			if err := ctx.Signal(EntityID{Name: "Auditor", Key: "log"}, "record", input); err != nil {
+				return nil, err
+			}
+			return nil, nil
+		}
+		return ctx.State(), nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := hub.RegisterEntity("Auditor", 128, func(ctx *EntityContext, op string, input []byte) ([]byte, error) {
+		ctx.SetState(append(ctx.State(), input...))
+		return nil, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	drive(k, host, func(p *sim.Proc) {
+		if err := client.SignalEntity(p, EntityID{Name: "Producer", Key: "p"}, "put", []byte("a")); err != nil {
+			t.Errorf("signal: %v", err)
+		}
+		p.Sleep(5 * time.Second)
+		if err := client.SignalEntity(p, EntityID{Name: "Producer", Key: "p"}, "put", []byte("b")); err != nil {
+			t.Errorf("signal: %v", err)
+		}
+		p.Sleep(10 * time.Second)
+		state, ok := client.ReadEntityState(p, EntityID{Name: "Auditor", Key: "log"})
+		if !ok || string(state) != "ab" {
+			t.Errorf("auditor state = %q ok=%v, want \"ab\"", state, ok)
+		}
+	})
+}
+
+func TestEntitySelfSignalRejected(t *testing.T) {
+	k, host, hub, client := fixture()
+	var sigErr error
+	if err := hub.RegisterEntity("Loop", 128, func(ctx *EntityContext, op string, input []byte) ([]byte, error) {
+		sigErr = ctx.Signal(EntityID{Name: "Loop", Key: "x"}, "again", nil)
+		return nil, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	drive(k, host, func(p *sim.Proc) {
+		if err := client.SignalEntity(p, EntityID{Name: "Loop", Key: "x"}, "go", nil); err != nil {
+			t.Errorf("signal: %v", err)
+		}
+		p.Sleep(5 * time.Second)
+	})
+	if sigErr == nil {
+		t.Fatal("self-signal was not rejected")
+	}
+}

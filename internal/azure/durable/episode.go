@@ -1,0 +1,271 @@
+package durable
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"statebench/internal/azure/functions"
+	"statebench/internal/cloud/table"
+	"statebench/internal/sim"
+)
+
+// This file implements orchestration episodes: each time messages
+// arrive for an instance, the orchestrator function is executed *from
+// the beginning* on a host instance, consulting the history table to
+// skip completed work (replay). Awaiting an incomplete task ends the
+// episode — the orchestrator is unloaded until results arrive.
+
+// activateOrch queues an episode for instance st if none is in flight.
+func (h *Hub) activateOrch(st *orchState) {
+	if st.active || st.done {
+		return
+	}
+	st.active = true
+	if _, err := h.host.Submit(st.name, []byte(st.id)); err != nil {
+		st.active = false
+	}
+}
+
+// handleControlMessage routes one control-queue message, activating the
+// target orchestration or entity.
+func (h *Hub) handleControlMessage(p *sim.Proc, m message) {
+	if len(m.Instance) > 0 && m.Instance[0] == '@' {
+		h.handleEntityMessage(m)
+		return
+	}
+	st, ok := h.orchs[m.Instance]
+	if !ok || st.done {
+		return // late message for a finished/unknown instance
+	}
+	st.inbox = append(st.inbox, m)
+	h.activateOrch(st)
+}
+
+// handleWorkItem executes one activity work item on the function app
+// and posts the completion back to the orchestration's control queue.
+func (h *Hub) handleWorkItem(p *sim.Proc, m message) {
+	fnName, ok := h.activities[m.Name]
+	if !ok {
+		_ = h.send(message{Kind: kindTaskFailed, Instance: m.Instance, TaskID: m.TaskID, Name: m.Name,
+			Error: fmt.Sprintf("unknown activity %q", m.Name)})
+		return
+	}
+	fut, err := h.host.Submit(fnName, m.Input)
+	if err != nil {
+		_ = h.send(message{Kind: kindTaskFailed, Instance: m.Instance, TaskID: m.TaskID, Name: m.Name, Error: err.Error()})
+		return
+	}
+	inst, taskID, name := m.Instance, m.TaskID, m.Name
+	fut.OnComplete(func(res functions.Result, _ error) {
+		if res.Err != nil {
+			_ = h.send(message{Kind: kindTaskFailed, Instance: inst, TaskID: taskID, Name: name, Error: res.Err.Error()})
+			return
+		}
+		if limit := h.params.DurablePayloadLimit; limit > 0 && len(res.Output) > limit {
+			_ = h.send(message{Kind: kindTaskFailed, Instance: inst, TaskID: taskID, Name: name,
+				Error: (&PayloadTooLargeError{What: "activity " + name + " result", Size: len(res.Output), Limit: limit}).Error()})
+			return
+		}
+		_ = h.send(message{Kind: kindTaskCompleted, Instance: inst, TaskID: taskID, Name: name, Result: res.Output})
+	})
+}
+
+// episodeHandler returns the host-function body that runs orchestration
+// episodes for orchestrator name. The episode's execution time (history
+// load, replay CPU, persistence) is billed as a normal function
+// execution — the source of the durable GB-s inflation in Fig 11a.
+func (h *Hub) episodeHandler(name string) functions.Handler {
+	return func(fctx *functions.Context, payload []byte) ([]byte, error) {
+		instance := string(payload)
+		st, ok := h.orchs[instance]
+		if !ok {
+			return nil, fmt.Errorf("durable: unknown instance %q", instance)
+		}
+		p := fctx.Proc()
+
+		msgs := st.inbox
+		st.inbox = nil
+		if len(msgs) == 0 || st.done {
+			st.active = false
+			return nil, nil
+		}
+		h.EpisodeCount++
+
+		// 1. Load persisted history (a billed table query every episode).
+		rows := h.history.Query(p, instance)
+		events := make([]histEvent, 0, len(rows)+len(msgs))
+		for _, r := range rows {
+			var ev histEvent
+			if err := json.Unmarshal(r.Data, &ev); err == nil {
+				events = append(events, ev)
+			}
+		}
+		h.ReplayEvents += int64(len(events))
+
+		// 2. Fold arrived messages into new history events.
+		var newEvents []histEvent
+		addEvent := func(ev histEvent) {
+			ev.Seq = len(events)
+			events = append(events, ev)
+			newEvents = append(newEvents, ev)
+		}
+		for _, m := range msgs {
+			switch m.Kind {
+			case kindExecutionStarted:
+				addEvent(histEvent{Kind: evExecutionStarted, Data: m.Input})
+				st.handle.markRunning(p.Now())
+			case kindTaskCompleted:
+				addEvent(histEvent{Kind: evTaskCompleted, TaskID: m.TaskID, Name: m.Name, Data: m.Result})
+			case kindTaskFailed:
+				addEvent(histEvent{Kind: evTaskFailed, TaskID: m.TaskID, Name: m.Name, Error: m.Error})
+			case kindTimerFired:
+				addEvent(histEvent{Kind: evTimerFired, TaskID: m.TaskID})
+			case kindEntityResponse:
+				addEvent(histEvent{Kind: evEntityResponded, TaskID: m.TaskID, Error: m.Error, Data: m.Result})
+			case kindSubOrchCompleted:
+				addEvent(histEvent{Kind: evSubOrchCompleted, TaskID: m.TaskID, Name: m.Name, Data: m.Result})
+			case kindSubOrchFailed:
+				addEvent(histEvent{Kind: evSubOrchFailed, TaskID: m.TaskID, Name: m.Name, Error: m.Error})
+			case kindEventRaised:
+				addEvent(histEvent{Kind: evEventRaised, Name: m.Name, Data: m.Input})
+			}
+		}
+
+		// 3. Replay cost: the function re-executes from the start,
+		// processing the whole event list.
+		p.Sleep(5*time.Millisecond + h.params.HistoryReplayPerEvent*time.Duration(len(events)))
+
+		// 4. Run the orchestrator with replay semantics.
+		octx := newOrchContext(h, instance, events)
+		var out []byte
+		var runErr error
+		completed := true
+		restarted := false
+		var restartInput []byte
+		func() {
+			defer func() {
+				r := recover()
+				switch f := r.(type) {
+				case nil:
+				case pendingSentinel:
+					completed = false
+				case orchFailure:
+					runErr = f.err
+				case continueAsNew:
+					completed = false
+					restarted = true
+					restartInput = f.input
+				default:
+					panic(r)
+				}
+			}()
+			out, runErr = h.orchestrators[name](octx, octx.input)
+		}()
+
+		// ContinueAsNew: purge history, restart with fresh input.
+		if restarted {
+			h.history.DeletePartition(p, instance)
+			st.inbox = append([]message{{Kind: kindExecutionStarted, Instance: instance, Input: restartInput}}, st.inbox...)
+			if _, err := h.host.Submit(st.name, []byte(st.id)); err != nil {
+				st.active = false
+			}
+			return nil, nil
+		}
+
+		// 5. Persist this episode's new events (messages + schedules).
+		for _, act := range octx.actions {
+			switch act.kind {
+			case actActivity:
+				addEvent(histEvent{Kind: evTaskScheduled, TaskID: act.taskID, Name: act.name, Data: act.input})
+			case actTimer:
+				addEvent(histEvent{Kind: evTimerCreated, TaskID: act.taskID})
+			case actEntity:
+				addEvent(histEvent{Kind: evEntityCalled, TaskID: act.taskID, Name: act.entity.instanceID(), Op: act.op, Data: act.input})
+			case actEventWait:
+				addEvent(histEvent{Kind: evEventWaited, TaskID: act.taskID, Name: act.name})
+			case actSubOrch:
+				addEvent(histEvent{Kind: evSubOrchCreated, TaskID: act.taskID, Name: act.name, Data: act.input})
+			}
+		}
+		if completed {
+			if runErr != nil {
+				addEvent(histEvent{Kind: evExecutionFailed, Error: runErr.Error()})
+			} else {
+				addEvent(histEvent{Kind: evExecutionCompleted, Data: out})
+			}
+		}
+		if len(newEvents) > 0 {
+			ents := make([]table.Entity, len(newEvents))
+			for i, ev := range newEvents {
+				data, err := json.Marshal(ev)
+				if err != nil {
+					return nil, err
+				}
+				ents[i] = table.Entity{PK: instance, RK: fmt.Sprintf("%06d", ev.Seq), Data: data}
+			}
+			h.history.WriteBatch(p, instance, ents)
+		}
+
+		// 6. Execute side effects for newly scheduled work.
+		for _, act := range octx.actions {
+			h.dispatchAction(instance, act)
+		}
+
+		// 7. Completion or continuation.
+		if completed {
+			st.done = true
+			st.active = false
+			st.handle.complete(p.Now(), out, runErr)
+			if st.parent != "" {
+				kind, errStr := kindSubOrchCompleted, ""
+				if runErr != nil {
+					kind, errStr = kindSubOrchFailed, runErr.Error()
+				}
+				_ = h.send(message{Kind: kind, Instance: st.parent, TaskID: st.parentTask, Name: name, Result: out, Error: errStr})
+			}
+			return nil, nil
+		}
+		if len(st.inbox) > 0 {
+			// New messages arrived during the episode: run again.
+			if _, err := h.host.Submit(st.name, []byte(st.id)); err != nil {
+				st.active = false
+			}
+			return nil, nil
+		}
+		st.active = false
+		return nil, nil
+	}
+}
+
+// dispatchAction performs one scheduled side effect after an episode.
+func (h *Hub) dispatchAction(instance string, act action) {
+	switch act.kind {
+	case actActivity:
+		_ = h.sendWorkItem(message{Kind: "Activity", Instance: instance, TaskID: act.taskID, Name: act.name, Input: act.input})
+	case actTimer:
+		taskID := act.taskID
+		h.k.After(act.delay, func() {
+			_ = h.send(message{Kind: kindTimerFired, Instance: instance, TaskID: taskID})
+		})
+	case actEntity:
+		_ = h.send(message{
+			Kind: kindEntityOp, Instance: act.entity.instanceID(), Op: act.op, Input: act.input,
+			Caller: instance, CallerTask: act.taskID, Signal: act.signal,
+		})
+	case actEventWait:
+		// Waiting is passive: the event arrives via Client.RaiseEvent.
+	case actSubOrch:
+		child := h.newInstanceID(act.name)
+		st := &orchState{id: child, name: act.name, parent: instance, parentTask: act.taskID,
+			handle: newHandle(h, child, h.k.Now())}
+		h.orchs[child] = st
+		_ = h.send(message{Kind: kindExecutionStarted, Instance: child, Input: act.input})
+	}
+}
+
+// newInstanceID mints a unique orchestration instance ID.
+func (h *Hub) newInstanceID(name string) string {
+	h.nextInstance++
+	return fmt.Sprintf("%s-%06d", name, h.nextInstance)
+}

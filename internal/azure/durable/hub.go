@@ -1,0 +1,385 @@
+// Package durable simulates the Azure Durable Functions extension (the
+// Durable Task Framework): orchestrator functions executed by event-
+// sourcing replay over a history table, stateless activities dispatched
+// through a work-item queue, durable entities with serialized
+// operations, sub-orchestrations, and durable timers — all connected by
+// billed control queues on a task hub.
+//
+// The cost anomalies the paper measures emerge mechanistically here:
+// orchestrator replays inflate GB-s (Fig 11a), constant control/work-
+// item queue polling bills transactions even when idle (Fig 11c, 15),
+// and every activity execution rides the function app's rate-limited
+// scale controller (Fig 12/14).
+package durable
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"time"
+
+	"statebench/internal/azure/functions"
+	"statebench/internal/cloud/queue"
+	"statebench/internal/cloud/table"
+	"statebench/internal/platform"
+	"statebench/internal/sim"
+)
+
+// OrchestratorFn is a user orchestrator. It must be deterministic: it is
+// re-executed (replayed) from the start on every wake-up, exactly like a
+// real Durable orchestrator.
+type OrchestratorFn func(ctx *OrchestrationContext, input []byte) ([]byte, error)
+
+// ActivityFn is a stateless activity body.
+type ActivityFn func(ctx *functions.Context, input []byte) ([]byte, error)
+
+// EntityFn handles one operation on a durable entity.
+type EntityFn func(ctx *EntityContext, op string, input []byte) ([]byte, error)
+
+// message is a task-hub queue message. Messages are serialized to JSON
+// on the billed queues so payload limits act on realistic sizes.
+type message struct {
+	Kind     string `json:"kind"`
+	Instance string `json:"instance"`
+	TaskID   int    `json:"taskId,omitempty"`
+	Name     string `json:"name,omitempty"`
+	Op       string `json:"op,omitempty"`
+	Input    []byte `json:"input,omitempty"`
+	Result   []byte `json:"result,omitempty"`
+	Error    string `json:"error,omitempty"`
+	// Caller routing for entity calls and sub-orchestrations.
+	Caller     string `json:"caller,omitempty"`
+	CallerTask int    `json:"callerTask,omitempty"`
+	// Signal marks one-way entity messages (no response).
+	Signal bool `json:"signal,omitempty"`
+}
+
+// Message kinds.
+const (
+	kindExecutionStarted = "ExecutionStarted"
+	kindTaskCompleted    = "TaskCompleted"
+	kindTaskFailed       = "TaskFailed"
+	kindTimerFired       = "TimerFired"
+	kindEntityOp         = "EntityOp"
+	kindEntityResponse   = "EntityResponse"
+	kindSubOrchCompleted = "SubOrchCompleted"
+	kindSubOrchFailed    = "SubOrchFailed"
+	kindEventRaised      = "EventRaised"
+)
+
+// PayloadTooLargeError reports a durable message body over the 64 KB
+// cross-function limit; callers must stage large data in blob storage,
+// as the paper's workloads do.
+type PayloadTooLargeError struct {
+	What  string
+	Size  int
+	Limit int
+}
+
+func (e *PayloadTooLargeError) Error() string {
+	return fmt.Sprintf("durable: %s payload %d bytes exceeds %d limit", e.What, e.Size, e.Limit)
+}
+
+// orchState is the in-memory runtime record of one orchestration.
+type orchState struct {
+	id         string
+	name       string
+	inbox      []message
+	active     bool // an episode is queued/running
+	done       bool
+	handle     *Handle
+	parent     string // parent instance for sub-orchestrations
+	parentTask int
+}
+
+// entityState is the runtime record of one entity (its durable state
+// lives in the instances table; this tracks the operation queue).
+type entityState struct {
+	id     string
+	name   string
+	key    string
+	inbox  []message
+	active bool
+}
+
+// Hub is a simulated task hub bound to one function app.
+type Hub struct {
+	k      *sim.Kernel
+	rng    *sim.RNG
+	host   *functions.Host
+	params platform.AzureParams
+
+	control   []*queue.Queue
+	workItems *queue.Queue
+	history   *table.Table
+	instances *table.Table
+
+	orchestrators map[string]OrchestratorFn
+	activities    map[string]string // activity name -> host function name
+	entities      map[string]EntityFn
+
+	orchs map[string]*orchState
+	ents  map[string]*entityState
+
+	kickers []*kicker
+	wiKick  *kicker
+
+	nextInstance int64
+
+	// Stats.
+	EpisodeCount int64
+	ReplayEvents int64
+}
+
+// NewHub creates a task hub on host, wiring its control and work-item
+// queues, history table, and listeners.
+func NewHub(k *sim.Kernel, host *functions.Host, name string) *Hub {
+	params := host.Params()
+	h := &Hub{
+		k:             k,
+		rng:           k.Stream("durable/" + name),
+		host:          host,
+		params:        params,
+		workItems:     queue.New(k, name+"-workitems", durableQueueParams(params)),
+		history:       table.New(k, name+"-history", table.DefaultParams()),
+		instances:     table.New(k, name+"-instances", table.DefaultParams()),
+		orchestrators: make(map[string]OrchestratorFn),
+		activities:    make(map[string]string),
+		entities:      make(map[string]EntityFn),
+		orchs:         make(map[string]*orchState),
+		ents:          make(map[string]*entityState),
+	}
+	for i := 0; i < params.ControlQueuePartitions; i++ {
+		h.control = append(h.control, queue.New(k, fmt.Sprintf("%s-control-%02d", name, i), durableQueueParams(params)))
+		h.kickers = append(h.kickers, newKicker(k))
+	}
+	h.wiKick = newKicker(k)
+	host.OnHTTPActivity(h.KickAll)
+	h.startListeners()
+	return h
+}
+
+func durableQueueParams(p platform.AzureParams) queue.Params {
+	qp := queue.DefaultParams()
+	qp.MaxPayload = p.QueuePayloadLimit
+	return qp
+}
+
+// Host returns the function app this hub runs on.
+func (h *Hub) Host() *functions.Host { return h.host }
+
+// HistoryTable exposes the history table (for transaction accounting).
+func (h *Hub) HistoryTable() *table.Table { return h.history }
+
+// InstancesTable exposes the instances table.
+func (h *Hub) InstancesTable() *table.Table { return h.instances }
+
+// ControlQueues exposes the control queues (for transaction accounting).
+func (h *Hub) ControlQueues() []*queue.Queue { return h.control }
+
+// WorkItemQueue exposes the work-item queue.
+func (h *Hub) WorkItemQueue() *queue.Queue { return h.workItems }
+
+// StorageTransactions sums billable storage transactions across the
+// hub's queues and tables — the stateful cost component of Azure.
+func (h *Hub) StorageTransactions() int64 {
+	total := h.workItems.Stats().Transactions()
+	for _, q := range h.control {
+		total += q.Stats().Transactions()
+	}
+	total += h.history.Stats().Transactions()
+	total += h.instances.Stats().Transactions()
+	return total
+}
+
+// ResetStorageStats zeroes queue and table transaction counters.
+func (h *Hub) ResetStorageStats() {
+	h.workItems.ResetStats()
+	for _, q := range h.control {
+		q.ResetStats()
+	}
+	h.history.ResetStats()
+	h.instances.ResetStats()
+}
+
+// KickAll resets all listener poll back-offs (called on HTTP activity).
+func (h *Hub) KickAll() {
+	for _, kk := range h.kickers {
+		kk.Kick()
+	}
+	h.wiKick.Kick()
+}
+
+// RegisterOrchestrator adds an orchestrator function. Episodes are
+// billed as executions of a host function with the same name.
+func (h *Hub) RegisterOrchestrator(name string, consumedMemMB int, fn OrchestratorFn) error {
+	if _, dup := h.orchestrators[name]; dup {
+		return fmt.Errorf("durable: orchestrator %q already registered", name)
+	}
+	if _, err := h.host.Register(functions.Config{
+		Name:          name,
+		ConsumedMemMB: consumedMemMB,
+		Handler:       h.episodeHandler(name),
+	}); err != nil {
+		return err
+	}
+	h.orchestrators[name] = fn
+	return nil
+}
+
+// RegisterActivity adds a stateless activity, hosted as a function.
+func (h *Hub) RegisterActivity(name string, consumedMemMB int, fn ActivityFn) error {
+	if _, dup := h.activities[name]; dup {
+		return fmt.Errorf("durable: activity %q already registered", name)
+	}
+	if _, err := h.host.Register(functions.Config{
+		Name:          name,
+		ConsumedMemMB: consumedMemMB,
+		Handler:       functions.Handler(fn),
+	}); err != nil {
+		return err
+	}
+	h.activities[name] = name
+	return nil
+}
+
+// RegisterEntity adds a durable entity class. Operations on each entity
+// key are serialized; the handler is billed as a host function.
+func (h *Hub) RegisterEntity(name string, consumedMemMB int, fn EntityFn) error {
+	if _, dup := h.entities[name]; dup {
+		return fmt.Errorf("durable: entity %q already registered", name)
+	}
+	if _, err := h.host.Register(functions.Config{
+		Name:          "entity:" + name,
+		ConsumedMemMB: consumedMemMB,
+		Handler:       h.entityEpisodeHandler(name),
+	}); err != nil {
+		return err
+	}
+	h.entities[name] = fn
+	return nil
+}
+
+// partitionOf maps an instance ID onto a control-queue partition.
+func (h *Hub) partitionOf(instance string) int {
+	f := fnv.New32a()
+	_, _ = f.Write([]byte(instance))
+	return int(f.Sum32()) % len(h.control)
+}
+
+// send enqueues a control message (from kernel or callback context) and
+// kicks the partition's listener.
+func (h *Hub) send(m message) error {
+	body, err := json.Marshal(m)
+	if err != nil {
+		return err
+	}
+	p := h.partitionOf(m.Instance)
+	if err := h.control[p].EnqueueFromKernel(body); err != nil {
+		return err
+	}
+	h.kickers[p].Kick()
+	return nil
+}
+
+// sendFromProc enqueues a control message, charging queue latency to p.
+func (h *Hub) sendFromProc(p *sim.Proc, m message) error {
+	body, err := json.Marshal(m)
+	if err != nil {
+		return err
+	}
+	part := h.partitionOf(m.Instance)
+	if err := h.control[part].Enqueue(p, body); err != nil {
+		return err
+	}
+	h.kickers[part].Kick()
+	return nil
+}
+
+// sendWorkItem enqueues an activity work item.
+func (h *Hub) sendWorkItem(m message) error {
+	body, err := json.Marshal(m)
+	if err != nil {
+		return err
+	}
+	if err := h.workItems.EnqueueFromKernel(body); err != nil {
+		return err
+	}
+	h.wiKick.Kick()
+	return nil
+}
+
+// kicker lets a polling listener be woken early when a message is
+// enqueued locally, while idle polling still happens (and is billed) at
+// the adaptive interval.
+type kicker struct {
+	k   *sim.Kernel
+	fut *sim.Future[struct{}]
+}
+
+func newKicker(k *sim.Kernel) *kicker {
+	return &kicker{k: k, fut: sim.NewFuture[struct{}](k)}
+}
+
+// Kick wakes the current waiter (or makes the next wait return
+// immediately).
+func (kk *kicker) Kick() {
+	if !kk.fut.Done() {
+		kk.fut.Complete(struct{}{}, nil)
+	}
+}
+
+// Wait blocks up to d, returning true if kicked early.
+func (kk *kicker) Wait(p *sim.Proc, d time.Duration) bool {
+	_, _, kicked := kk.fut.AwaitTimeout(p, d)
+	if kicked {
+		kk.fut = sim.NewFuture[struct{}](kk.k)
+	}
+	return kicked
+}
+
+// startListeners launches the control-queue and work-item pollers. They
+// poll with adaptive back-off — every poll is a billed transaction, the
+// idle-cost mechanism the paper highlights — and stop with the host.
+func (h *Hub) startListeners() {
+	stop := h.host.StopSignal()
+	for i := range h.control {
+		i := i
+		h.k.Spawn(fmt.Sprintf("durable/control-%d", i), func(p *sim.Proc) {
+			h.pollLoop(p, h.control[i], h.kickers[i], stop, h.handleControlMessage)
+		})
+	}
+	h.k.Spawn("durable/workitems", func(p *sim.Proc) {
+		h.pollLoop(p, h.workItems, h.wiKick, stop, h.handleWorkItem)
+	})
+}
+
+// pollLoop drains q, backing off while idle, waking early on kicks.
+func (h *Hub) pollLoop(p *sim.Proc, q *queue.Queue, kk *kicker, stop *sim.Future[struct{}], handle func(*sim.Proc, message)) {
+	interval := 100 * time.Millisecond
+	maxPoll := h.params.DurableMaxPoll
+	if maxPoll <= 0 {
+		maxPoll = 30 * time.Second
+	}
+	for {
+		if stop.Done() {
+			return
+		}
+		if m, ok := q.TryDequeue(p); ok {
+			interval = 100 * time.Millisecond
+			var msg message
+			if err := json.Unmarshal(m.Body, &msg); err == nil {
+				handle(p, msg)
+			}
+			continue
+		}
+		if kk.Wait(p, interval) {
+			interval = 100 * time.Millisecond
+		} else {
+			interval *= 2
+			if interval > maxPoll {
+				interval = maxPoll
+			}
+		}
+	}
+}

@@ -1,0 +1,493 @@
+// Package functions simulates an Azure Functions app on the consumption
+// plan: a pool of worker instances fed by an internal dispatch queue and
+// grown by a rate-limited scale controller. The controller's gradual
+// instance allocation is the mechanism behind the paper's Azure fan-out
+// scheduling delays (Fig 14), and queue-triggered listeners' poll phase
+// is the mechanism behind Az-Queue cold starts (Fig 10).
+package functions
+
+import (
+	"fmt"
+	"time"
+
+	"statebench/internal/cloud/queue"
+	"statebench/internal/platform"
+	"statebench/internal/sim"
+	"statebench/internal/trace"
+)
+
+// Handler is a function body. Compute is modeled with ctx.Busy; I/O by
+// calling simulated services with ctx.Proc().
+type Handler func(ctx *Context, payload []byte) ([]byte, error)
+
+// Context is passed to executing handlers.
+type Context struct {
+	p    *sim.Proc
+	host *Host
+	fn   *Function
+}
+
+// Proc returns the simulation process executing this invocation.
+func (c *Context) Proc() *sim.Proc { return c.p }
+
+// Busy consumes d of virtual compute time.
+func (c *Context) Busy(d time.Duration) { c.p.Sleep(d) }
+
+// FunctionName returns the executing function's name.
+func (c *Context) FunctionName() string { return c.fn.cfg.Name }
+
+// Host returns the function app hosting this execution.
+func (c *Context) Host() *Host { return c.host }
+
+// Config describes one function in the app.
+type Config struct {
+	Name string
+	// ConsumedMemMB models observed memory usage; Azure bills this
+	// (rounded up to 128 MB), not a configured value.
+	ConsumedMemMB int
+	Handler       Handler
+}
+
+// Function is a registered function with its billing meter.
+type Function struct {
+	cfg   Config
+	Meter platform.Meter
+	// Execs counts completed executions; Errors counts handler errors.
+	Execs  int64
+	Errors int64
+}
+
+// Config returns the function's configuration.
+func (f *Function) Config() Config { return f.cfg }
+
+// Result is the outcome of one execution.
+type Result struct {
+	Output []byte
+	Err    error
+	// SchedDelay is submit-to-handler-start time (queueing + scale-out).
+	SchedDelay time.Duration
+	// Cold reports whether a fresh instance had to start for this work.
+	Cold bool
+	// ExecTime is the handler's wall time.
+	ExecTime time.Duration
+}
+
+// workItem is one queued execution request.
+type workItem struct {
+	fn        string
+	payload   []byte
+	submitted sim.Time
+	cold      bool
+	done      *sim.Future[Result]
+}
+
+// instance is one worker VM/container.
+type instance struct {
+	id        int
+	idleSince sim.Time
+	stopped   bool
+}
+
+// Stats aggregates host-level scheduling behavior.
+type Stats struct {
+	Submitted   int64
+	Completed   int64
+	ColdStarts  int64
+	SchedDelays []time.Duration
+	// MaxReady is the peak simultaneous ready instances.
+	MaxReady int
+}
+
+// Host is one function app (deployment unit). All functions in an app
+// share its instance pool, exactly as on the consumption plan.
+type Host struct {
+	k      *sim.Kernel
+	rng    *sim.RNG
+	name   string
+	params platform.AzureParams
+
+	fns      map[string]*Function
+	pending  []*workItem
+	idle     []*instance
+	ready    int
+	starting int
+	nextInst int
+	stats    Stats
+
+	// onHTTPActivity lets layered components (durable task hub) reset
+	// their queue-poll back-off when an HTTP trigger proves the app is
+	// active.
+	onHTTPActivity []func()
+	// onActivity fires on every Submit: an active app's listeners are
+	// scheduled eagerly, so queue-trigger pollers reset their back-off.
+	onActivity []func()
+
+	// Logs, when non-nil, receives an Application-Insights-style
+	// record per execution, cold start, and error.
+	Logs *trace.Collector
+
+	// scaledFromZeroAt records when the app last left the
+	// scaled-to-zero state; queue listeners activating shortly after
+	// pay the ColdPollPhase.
+	scaledFromZeroAt sim.Time
+	everScaled       bool
+
+	// controllerArmed tracks whether a scale-controller tick is queued;
+	// ticks are scheduled lazily so an idle app generates no events and
+	// Kernel.Run terminates.
+	controllerArmed bool
+	stopped         bool
+	stop            *sim.Future[struct{}]
+}
+
+// NewHost creates an app named name, scaled to zero.
+func NewHost(k *sim.Kernel, name string, params platform.AzureParams) *Host {
+	h := &Host{
+		k:      k,
+		rng:    k.Stream("azure/host/" + name),
+		name:   name,
+		params: params,
+		fns:    make(map[string]*Function),
+		stop:   sim.NewFuture[struct{}](k),
+	}
+	return h
+}
+
+// Name returns the app name.
+func (h *Host) Name() string { return h.name }
+
+// Params returns the calibration parameters.
+func (h *Host) Params() platform.AzureParams { return h.params }
+
+// Kernel returns the simulation kernel.
+func (h *Host) Kernel() *sim.Kernel { return h.k }
+
+// Stats returns a snapshot of scheduling statistics.
+func (h *Host) Stats() Stats { return h.stats }
+
+// ReadyInstances returns the number of started instances.
+func (h *Host) ReadyInstances() int { return h.ready }
+
+// PendingWork returns the dispatch-queue length.
+func (h *Host) PendingWork() int { return len(h.pending) }
+
+// Register adds a function to the app.
+func (h *Host) Register(cfg Config) (*Function, error) {
+	if cfg.Name == "" {
+		return nil, fmt.Errorf("functions: name required")
+	}
+	if _, dup := h.fns[cfg.Name]; dup {
+		return nil, fmt.Errorf("functions: %q already registered", cfg.Name)
+	}
+	if cfg.Handler == nil {
+		return nil, fmt.Errorf("functions: %q has no handler", cfg.Name)
+	}
+	if cfg.ConsumedMemMB <= 0 {
+		cfg.ConsumedMemMB = 128
+	}
+	if cfg.ConsumedMemMB > h.params.MemoryLimitMB {
+		return nil, fmt.Errorf("functions: %q consumed memory %d exceeds plan limit %d", cfg.Name, cfg.ConsumedMemMB, h.params.MemoryLimitMB)
+	}
+	f := &Function{cfg: cfg}
+	h.fns[cfg.Name] = f
+	return f, nil
+}
+
+// MustRegister is Register that panics on error.
+func (h *Host) MustRegister(cfg Config) *Function {
+	f, err := h.Register(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// Function returns a registered function.
+func (h *Host) Function(name string) (*Function, bool) {
+	f, ok := h.fns[name]
+	return f, ok
+}
+
+// OnHTTPActivity registers a callback fired whenever an HTTP trigger
+// reaches the app (used by the durable extension to reset poll back-off).
+func (h *Host) OnHTTPActivity(fn func()) { h.onHTTPActivity = append(h.onHTTPActivity, fn) }
+
+// OnActivity registers a callback fired on every execution submission.
+func (h *Host) OnActivity(fn func()) { h.onActivity = append(h.onActivity, fn) }
+
+// Submit enqueues an execution of fn and returns a future for its
+// result. It may be called from kernel or process context. Submitting
+// to an idle app triggers immediate scale-out of one instance (the
+// HTTP-style activation path); further growth is up to the controller.
+func (h *Host) Submit(fn string, payload []byte) (*sim.Future[Result], error) {
+	if _, ok := h.fns[fn]; !ok {
+		return nil, fmt.Errorf("functions: no such function %q", fn)
+	}
+	wi := &workItem{fn: fn, payload: payload, submitted: h.k.Now(), done: sim.NewFuture[Result](h.k)}
+	h.stats.Submitted++
+	for _, cb := range h.onActivity {
+		cb()
+	}
+	h.pending = append(h.pending, wi)
+	h.dispatch()
+	if h.ready+h.starting == 0 {
+		h.startInstance()
+	}
+	h.armController()
+	return wi.done, nil
+}
+
+// InvokeHTTP is the HTTP-trigger entry: front-end RTT, then submit and
+// wait for the result.
+func (h *Host) InvokeHTTP(p *sim.Proc, fn string, payload []byte) (Result, error) {
+	fut, err := h.InvokeHTTPAsync(p, fn, payload)
+	if err != nil {
+		return Result{}, err
+	}
+	res, _ := fut.Await(p)
+	return res, nil
+}
+
+// InvokeHTTPAsync is InvokeHTTP without waiting for the execution to
+// finish (HTTP 202-style), used by chains whose completion is observed
+// elsewhere.
+func (h *Host) InvokeHTTPAsync(p *sim.Proc, fn string, payload []byte) (*sim.Future[Result], error) {
+	p.Sleep(h.params.HTTPTriggerRTT.Sample(h.rng))
+	for _, cb := range h.onHTTPActivity {
+		cb()
+	}
+	return h.Submit(fn, payload)
+}
+
+// dispatch pairs pending work with idle instances.
+func (h *Host) dispatch() {
+	for len(h.pending) > 0 && len(h.idle) > 0 {
+		wi := h.pending[0]
+		h.pending = h.pending[1:]
+		inst := h.idle[0]
+		h.idle = h.idle[1:]
+		h.run(inst, wi)
+	}
+}
+
+// run executes one work item on an instance, then returns the instance
+// to the pool (or hands it the next pending item).
+func (h *Host) run(inst *instance, wi *workItem) {
+	f := h.fns[wi.fn]
+	h.k.Spawn(fmt.Sprintf("%s/%s", h.name, wi.fn), func(p *sim.Proc) {
+		sched := p.Now() - wi.submitted
+		h.stats.SchedDelays = append(h.stats.SchedDelays, sched)
+		p.Sleep(h.params.Dispatch.Sample(h.rng))
+
+		execStart := p.Now()
+		out, err := f.cfg.Handler(&Context{p: p, host: h, fn: f}, wi.payload)
+		exec := p.Now() - execStart
+		if exec > h.params.TimeLimit {
+			exec = h.params.TimeLimit
+			err = fmt.Errorf("functions: %s exceeded %v time limit", wi.fn, h.params.TimeLimit)
+			out = nil
+		}
+		f.Meter.RecordAzure(exec, f.cfg.ConsumedMemMB)
+		f.Execs++
+		if err != nil {
+			f.Errors++
+		}
+		if h.Logs != nil {
+			h.Logs.Invocation(p.Now(), wi.fn, exec)
+			if wi.cold {
+				h.Logs.ColdStart(p.Now(), wi.fn, sched)
+			}
+			if err != nil {
+				h.Logs.Error(p.Now(), wi.fn, err.Error())
+			}
+		}
+		h.stats.Completed++
+		wi.done.Complete(Result{Output: out, Err: err, SchedDelay: sched, Cold: wi.cold, ExecTime: exec}, nil)
+
+		// Instance picks up the next item or goes idle.
+		if inst.stopped {
+			return
+		}
+		if len(h.pending) > 0 {
+			next := h.pending[0]
+			h.pending = h.pending[1:]
+			h.run(inst, next)
+			return
+		}
+		inst.idleSince = p.Now()
+		h.idle = append(h.idle, inst)
+		h.armController() // idle instances must eventually be reaped
+	})
+}
+
+// startInstance begins provisioning a new worker.
+func (h *Host) startInstance() {
+	if h.ready+h.starting >= h.params.MaxInstances {
+		return
+	}
+	if h.ready+h.starting == 0 {
+		h.scaledFromZeroAt = h.k.Now()
+		h.everScaled = true
+	}
+	h.starting++
+	h.stats.ColdStarts++
+	// The controller binds a queued item to the starting instance at
+	// launch time (message prefetch); if this instance start stalls,
+	// that item waits out the stall — the Fig 14 tail mechanism.
+	var reserved *workItem
+	if len(h.pending) > 0 {
+		reserved = h.pending[0]
+		h.pending = h.pending[1:]
+		reserved.cold = true
+	}
+	delay := h.params.InstanceColdStart.Sample(h.rng)
+	h.k.After(delay, func() {
+		h.starting--
+		h.ready++
+		if h.ready > h.stats.MaxReady {
+			h.stats.MaxReady = h.ready
+		}
+		h.nextInst++
+		inst := &instance{id: h.nextInst, idleSince: h.k.Now()}
+		if reserved != nil {
+			h.run(inst, reserved)
+			return
+		}
+		if len(h.pending) > 0 {
+			wi := h.pending[0]
+			h.pending = h.pending[1:]
+			wi.cold = true
+			h.run(inst, wi)
+			return
+		}
+		h.idle = append(h.idle, inst)
+		h.armController()
+	})
+}
+
+// armController schedules the next scale-controller tick if one is not
+// already queued and there is anything for it to do.
+func (h *Host) armController() {
+	if h.controllerArmed || h.stopped {
+		return
+	}
+	if len(h.pending) == 0 && len(h.idle) == 0 && h.starting == 0 {
+		return
+	}
+	h.controllerArmed = true
+	h.k.After(h.params.ScaleEvalInterval, h.controllerTick)
+}
+
+// controllerTick is one scale-controller evaluation: scale out while
+// work is queued, reap instances idle past the timeout, re-arm if more
+// work remains.
+func (h *Host) controllerTick() {
+	h.controllerArmed = false
+	if h.stopped {
+		return
+	}
+	if len(h.pending) > 0 {
+		for i := 0; i < h.params.ScaleOutStep; i++ {
+			h.startInstance()
+		}
+	}
+	cutoff := h.k.Now() - h.params.IdleInstanceTimeout
+	keep := h.idle[:0]
+	for _, inst := range h.idle {
+		if inst.idleSince < cutoff && h.ready > 0 {
+			inst.stopped = true
+			h.ready--
+		} else {
+			keep = append(keep, inst)
+		}
+	}
+	h.idle = keep
+	h.armController()
+}
+
+// Stop halts the scale controller and all queue-trigger listeners (so a
+// Kernel.Run over a finished workload terminates).
+func (h *Host) Stop() {
+	h.stopped = true
+	if !h.stop.Done() {
+		h.stop.Complete(struct{}{}, nil)
+	}
+}
+
+// StopSignal exposes the host's stop future for layered listeners.
+func (h *Host) StopSignal() *sim.Future[struct{}] { return h.stop }
+
+// TotalMeter sums billing across all functions in the app.
+func (h *Host) TotalMeter() platform.Meter {
+	var m platform.Meter
+	for _, f := range h.fns {
+		m.Add(f.Meter)
+	}
+	return m
+}
+
+// ResetMeters zeroes meters, execution counters, and scheduling stats.
+func (h *Host) ResetMeters() {
+	for _, f := range h.fns {
+		f.Meter.Reset()
+		f.Execs, f.Errors = 0, 0
+	}
+	h.stats = Stats{MaxReady: h.ready}
+}
+
+// QueueTrigger binds fn to a billed storage queue: a listener polls q
+// with adaptive back-off (every poll is a billed transaction) and
+// submits each message for execution. If the app is scaled to zero when
+// a message is found, the scale-controller activation phase
+// (ColdPollPhase) is charged before execution — the Az-Queue cold-start
+// mechanism.
+func (h *Host) QueueTrigger(q *queue.Queue, fn string) error {
+	if _, ok := h.fns[fn]; !ok {
+		return fmt.Errorf("functions: no such function %q", fn)
+	}
+	kick := sim.NewFuture[struct{}](h.k)
+	h.OnActivity(func() {
+		if !kick.Done() {
+			kick.Complete(struct{}{}, nil)
+		}
+	})
+	qp := q // capture
+	h.k.Spawn(fmt.Sprintf("%s/listener/%s", h.name, q.Name()), func(p *sim.Proc) {
+		interval := 100 * time.Millisecond
+		maxPoll := h.params.TriggerMaxPoll
+		if maxPoll <= 0 {
+			maxPoll = 30 * time.Second
+		}
+		for {
+			if h.stop.Done() {
+				return
+			}
+			if m, ok := qp.TryDequeue(p); ok {
+				interval = 100 * time.Millisecond
+				coldApp := h.ready+h.starting == 0 ||
+					(h.everScaled && p.Now()-h.scaledFromZeroAt < time.Minute)
+				if coldApp {
+					// Scale-from-zero listener activation (the
+					// Az-Queue cold-start mechanism, Fig 10).
+					p.Sleep(h.params.ColdPollPhase.Sample(h.rng))
+				}
+				if _, err := h.Submit(fn, m.Body); err != nil {
+					continue
+				}
+				continue
+			}
+			// Back off while idle; reset when the app shows activity
+			// (listeners are scheduled eagerly on a busy app).
+			if _, _, kicked := kick.AwaitTimeout(p, interval); kicked {
+				kick = sim.NewFuture[struct{}](h.k)
+				interval = 100 * time.Millisecond
+			} else {
+				interval *= 2
+				if interval > maxPoll {
+					interval = maxPoll
+				}
+			}
+		}
+	})
+	return nil
+}

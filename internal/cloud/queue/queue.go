@@ -1,0 +1,183 @@
+// Package queue models a cloud storage queue (Azure Storage Queue /
+// SQS analogue). Its defining property for this study is the billing
+// model: every enqueue, dequeue, *and empty poll* is a metered storage
+// transaction, which is the mechanism behind Azure Durable Functions'
+// idle-time charges (paper §II-B, §V-A).
+package queue
+
+import (
+	"fmt"
+	"time"
+
+	"statebench/internal/sim"
+)
+
+// Params describes a queue's latency, payload, and polling behavior.
+type Params struct {
+	// OpLatency is the per-operation service latency.
+	OpLatency sim.Dist
+	// MaxPayload is the maximum message size in bytes (0 = unlimited).
+	// Azure Storage Queues and SQS both cap at 256 KB.
+	MaxPayload int
+	// MinPoll and MaxPoll bound the poller's adaptive back-off interval.
+	MinPoll time.Duration
+	MaxPoll time.Duration
+	// PollBackoff is the multiplicative back-off factor applied to the
+	// poll interval after each empty poll (>= 1).
+	PollBackoff float64
+}
+
+// DefaultParams matches Azure Storage Queue behavior: ~5 ms operations,
+// 256 KB payloads, and the Durable Task Framework's default adaptive
+// polling from 100 ms up to 30 s with 2x back-off.
+func DefaultParams() Params {
+	return Params{
+		OpLatency:   sim.LogNormalDist{Median: 5 * time.Millisecond, Sigma: 0.4, Max: 500 * time.Millisecond},
+		MaxPayload:  256 * 1024,
+		MinPoll:     100 * time.Millisecond,
+		MaxPoll:     30 * time.Second,
+		PollBackoff: 2,
+	}
+}
+
+// PayloadTooLargeError reports an Enqueue whose body exceeds MaxPayload.
+type PayloadTooLargeError struct {
+	Queue string
+	Size  int
+	Limit int
+}
+
+func (e *PayloadTooLargeError) Error() string {
+	return fmt.Sprintf("queue %s: payload %d bytes exceeds limit %d", e.Queue, e.Size, e.Limit)
+}
+
+// Message is a queued message.
+type Message struct {
+	ID         int64
+	Body       []byte
+	EnqueuedAt sim.Time
+	Dequeues   int
+}
+
+// Stats counts queue operations. EmptyPolls are polls that found no
+// message; they are billable transactions on Azure.
+type Stats struct {
+	Enqueues   int64
+	Dequeues   int64
+	EmptyPolls int64
+	Bytes      int64
+}
+
+// Transactions returns the billable transaction count. A successful
+// dequeue costs two operations (get + delete), matching Azure Storage
+// Queue semantics.
+func (s Stats) Transactions() int64 { return s.Enqueues + 2*s.Dequeues + s.EmptyPolls }
+
+// Queue is a simulated storage queue. Receivers use polling (TryDequeue
+// or Poll), never push delivery — that is exactly the storage-queue
+// model whose transaction costs the paper characterizes.
+type Queue struct {
+	k      *sim.Kernel
+	rng    *sim.RNG
+	name   string
+	params Params
+	msgs   []*Message
+	nextID int64
+	stats  Stats
+}
+
+// New creates an empty queue named name.
+func New(k *sim.Kernel, name string, params Params) *Queue {
+	if params.PollBackoff < 1 {
+		params.PollBackoff = 1
+	}
+	return &Queue{k: k, rng: k.Stream("queue/" + name), name: name, params: params}
+}
+
+// Name returns the queue name.
+func (q *Queue) Name() string { return q.name }
+
+// Len returns the number of queued messages (control-plane; free).
+func (q *Queue) Len() int { return len(q.msgs) }
+
+// Stats returns a snapshot of the operation counters.
+func (q *Queue) Stats() Stats { return q.stats }
+
+// ResetStats zeroes the operation counters.
+func (q *Queue) ResetStats() { q.stats = Stats{} }
+
+// Enqueue appends body, consuming one operation latency. It fails if
+// body exceeds the payload limit.
+func (q *Queue) Enqueue(p *sim.Proc, body []byte) error {
+	if q.params.MaxPayload > 0 && len(body) > q.params.MaxPayload {
+		return &PayloadTooLargeError{Queue: q.name, Size: len(body), Limit: q.params.MaxPayload}
+	}
+	q.stats.Enqueues++
+	q.stats.Bytes += int64(len(body))
+	p.Sleep(q.params.OpLatency.Sample(q.rng))
+	q.nextID++
+	q.msgs = append(q.msgs, &Message{ID: q.nextID, Body: body, EnqueuedAt: p.Now()})
+	return nil
+}
+
+// EnqueueFromKernel appends body from event-loop context (no process to
+// sleep); the message becomes visible after one mean op latency.
+func (q *Queue) EnqueueFromKernel(body []byte) error {
+	if q.params.MaxPayload > 0 && len(body) > q.params.MaxPayload {
+		return &PayloadTooLargeError{Queue: q.name, Size: len(body), Limit: q.params.MaxPayload}
+	}
+	q.stats.Enqueues++
+	q.stats.Bytes += int64(len(body))
+	d := q.params.OpLatency.Sample(q.rng)
+	q.k.After(d, func() {
+		q.nextID++
+		q.msgs = append(q.msgs, &Message{ID: q.nextID, Body: body, EnqueuedAt: q.k.Now()})
+	})
+	return nil
+}
+
+// TryDequeue polls the queue once, consuming one operation latency.
+// An empty result is metered as an EmptyPoll (billable).
+func (q *Queue) TryDequeue(p *sim.Proc) (*Message, bool) {
+	p.Sleep(q.params.OpLatency.Sample(q.rng))
+	if len(q.msgs) == 0 {
+		q.stats.EmptyPolls++
+		return nil, false
+	}
+	q.stats.Dequeues++
+	m := q.msgs[0]
+	q.msgs = q.msgs[1:]
+	m.Dequeues++
+	return m, true
+}
+
+// Poll blocks the calling process until a message is available, using
+// the queue's adaptive polling policy: poll, back off on empty, reset on
+// success. Every poll (empty or not) is metered. stop, if non-nil, is
+// checked between polls and aborts the wait when completed.
+func (q *Queue) Poll(p *sim.Proc, stop *sim.Future[struct{}]) (*Message, bool) {
+	interval := q.params.MinPoll
+	for {
+		if stop != nil && stop.Done() {
+			return nil, false
+		}
+		if m, ok := q.TryDequeue(p); ok {
+			return m, true
+		}
+		p.Sleep(interval)
+		interval = time.Duration(float64(interval) * q.params.PollBackoff)
+		if interval > q.params.MaxPoll {
+			interval = q.params.MaxPoll
+		}
+	}
+}
+
+// PeekAge returns the age of the oldest message, or 0 if empty.
+// Control-plane only (used by autoscalers, which in the real systems
+// read queue-length metrics out of band).
+func (q *Queue) PeekAge(now sim.Time) time.Duration {
+	if len(q.msgs) == 0 {
+		return 0
+	}
+	return now - q.msgs[0].EnqueuedAt
+}

@@ -1,0 +1,195 @@
+// Package table models a cloud NoSQL table (Azure Table Storage /
+// DynamoDB analogue) keyed by (partition key, row key). The Durable
+// Task Framework stores orchestration event-sourcing history here, so
+// table transactions are a metered component of Azure's stateful cost.
+package table
+
+import (
+	"sort"
+	"time"
+
+	"statebench/internal/sim"
+)
+
+// Params describes table latency and batching limits.
+type Params struct {
+	// OpLatency is the per-operation service latency.
+	OpLatency sim.Dist
+	// MaxBatch is the maximum entities per batch write (Azure: 100,
+	// single partition). 0 disables batching limits.
+	MaxBatch int
+}
+
+// DefaultParams matches Azure Table Storage: ~8 ms operations and
+// 100-entity entity-group transactions.
+func DefaultParams() Params {
+	return Params{
+		OpLatency: sim.LogNormalDist{Median: 8 * time.Millisecond, Sigma: 0.4, Max: time.Second},
+		MaxBatch:  100,
+	}
+}
+
+// Entity is one stored row.
+type Entity struct {
+	PK   string
+	RK   string
+	Data []byte
+}
+
+// Stats counts table operations.
+type Stats struct {
+	Reads   int64
+	Writes  int64
+	Queries int64
+	Batches int64
+	Deletes int64
+}
+
+// Transactions returns the billable transaction count. A batch counts
+// as one transaction (entity-group transaction), a query as one per
+// returned page (pages modeled as one here).
+func (s Stats) Transactions() int64 { return s.Reads + s.Writes + s.Queries + s.Batches + s.Deletes }
+
+type rowKey struct{ pk, rk string }
+
+// Table is a simulated NoSQL table.
+type Table struct {
+	k      *sim.Kernel
+	rng    *sim.RNG
+	name   string
+	params Params
+	rows   map[rowKey][]byte
+	stats  Stats
+}
+
+// New creates an empty table named name.
+func New(k *sim.Kernel, name string, params Params) *Table {
+	return &Table{k: k, rng: k.Stream("table/" + name), name: name, params: params, rows: make(map[rowKey][]byte)}
+}
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.name }
+
+// Stats returns a snapshot of the operation counters.
+func (t *Table) Stats() Stats { return t.stats }
+
+// ResetStats zeroes the operation counters.
+func (t *Table) ResetStats() { t.stats = Stats{} }
+
+// Len returns the number of rows (control-plane; free).
+func (t *Table) Len() int { return len(t.rows) }
+
+// Write upserts one row, consuming one operation latency.
+func (t *Table) Write(p *sim.Proc, pk, rk string, data []byte) {
+	t.stats.Writes++
+	p.Sleep(t.params.OpLatency.Sample(t.rng))
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	t.rows[rowKey{pk, rk}] = cp
+}
+
+// Read fetches one row. A miss still costs one operation.
+func (t *Table) Read(p *sim.Proc, pk, rk string) ([]byte, bool) {
+	t.stats.Reads++
+	p.Sleep(t.params.OpLatency.Sample(t.rng))
+	data, ok := t.rows[rowKey{pk, rk}]
+	if !ok {
+		return nil, false
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	return cp, true
+}
+
+// Preload upserts one row without consuming virtual time or metering a
+// transaction — for staging state that exists before the measured
+// window (e.g. entities trained in an earlier campaign).
+func (t *Table) Preload(pk, rk string, data []byte) {
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	t.rows[rowKey{pk, rk}] = cp
+}
+
+// Peek reads one row without consuming virtual time or metering a
+// transaction (control-plane helper for tests and reports).
+func (t *Table) Peek(pk, rk string) ([]byte, bool) {
+	data, ok := t.rows[rowKey{pk, rk}]
+	return data, ok
+}
+
+// Delete removes one row (idempotent), consuming one operation latency.
+func (t *Table) Delete(p *sim.Proc, pk, rk string) {
+	t.stats.Deletes++
+	p.Sleep(t.params.OpLatency.Sample(t.rng))
+	delete(t.rows, rowKey{pk, rk})
+}
+
+// WriteBatch upserts entities as entity-group transactions of up to
+// MaxBatch rows each; every group is one metered transaction. All
+// entities must share pk (enforced, matching Azure).
+func (t *Table) WriteBatch(p *sim.Proc, pk string, entities []Entity) {
+	if len(entities) == 0 {
+		return
+	}
+	max := t.params.MaxBatch
+	if max <= 0 {
+		max = len(entities)
+	}
+	for start := 0; start < len(entities); start += max {
+		end := start + max
+		if end > len(entities) {
+			end = len(entities)
+		}
+		t.stats.Batches++
+		p.Sleep(t.params.OpLatency.Sample(t.rng))
+		for _, e := range entities[start:end] {
+			if e.PK != pk {
+				panic("table: WriteBatch entities must share a partition key")
+			}
+			cp := make([]byte, len(e.Data))
+			copy(cp, e.Data)
+			t.rows[rowKey{e.PK, e.RK}] = cp
+		}
+	}
+}
+
+// Query returns all rows in partition pk in row-key order, consuming
+// one operation latency. It is how an orchestration's history is loaded.
+func (t *Table) Query(p *sim.Proc, pk string) []Entity {
+	t.stats.Queries++
+	p.Sleep(t.params.OpLatency.Sample(t.rng))
+	var out []Entity
+	for k, v := range t.rows {
+		if k.pk == pk {
+			cp := make([]byte, len(v))
+			copy(cp, v)
+			out = append(out, Entity{PK: k.pk, RK: k.rk, Data: cp})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].RK < out[j].RK })
+	return out
+}
+
+// DeletePartition removes every row in pk as batched deletes (one
+// transaction per MaxBatch rows), used when purging orchestration
+// history.
+func (t *Table) DeletePartition(p *sim.Proc, pk string) int {
+	var keys []rowKey
+	for k := range t.rows {
+		if k.pk == pk {
+			keys = append(keys, k)
+		}
+	}
+	max := t.params.MaxBatch
+	if max <= 0 {
+		max = len(keys)
+	}
+	for start := 0; start < len(keys); start += max {
+		t.stats.Batches++
+		p.Sleep(t.params.OpLatency.Sample(t.rng))
+	}
+	for _, k := range keys {
+		delete(t.rows, k)
+	}
+	return len(keys)
+}

@@ -1,0 +1,152 @@
+package table
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"statebench/internal/sim"
+)
+
+func fixedParams() Params {
+	return Params{OpLatency: sim.Fixed{D: 8 * time.Millisecond}, MaxBatch: 3}
+}
+
+func TestWriteReadDelete(t *testing.T) {
+	k := sim.NewKernel(1)
+	tb := New(k, "history", fixedParams())
+	k.Spawn("c", func(p *sim.Proc) {
+		tb.Write(p, "inst1", "0001", []byte("started"))
+		v, ok := tb.Read(p, "inst1", "0001")
+		if !ok || string(v) != "started" {
+			t.Errorf("read = %q %v", v, ok)
+		}
+		if _, ok := tb.Read(p, "inst1", "9999"); ok {
+			t.Error("read of missing row succeeded")
+		}
+		tb.Delete(p, "inst1", "0001")
+		if _, ok := tb.Read(p, "inst1", "0001"); ok {
+			t.Error("read after delete succeeded")
+		}
+	})
+	k.Run()
+	st := tb.Stats()
+	if st.Writes != 1 || st.Reads != 3 || st.Deletes != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestQueryOrderedByRowKey(t *testing.T) {
+	k := sim.NewKernel(1)
+	tb := New(k, "history", fixedParams())
+	var got []Entity
+	k.Spawn("c", func(p *sim.Proc) {
+		tb.Write(p, "inst1", "0003", []byte("c"))
+		tb.Write(p, "inst1", "0001", []byte("a"))
+		tb.Write(p, "inst1", "0002", []byte("b"))
+		tb.Write(p, "other", "0001", []byte("x"))
+		got = tb.Query(p, "inst1")
+	})
+	k.Run()
+	if len(got) != 3 {
+		t.Fatalf("query returned %d rows", len(got))
+	}
+	for i, want := range []string{"a", "b", "c"} {
+		if string(got[i].Data) != want {
+			t.Fatalf("row %d = %q, want %q", i, got[i].Data, want)
+		}
+	}
+}
+
+func TestWriteBatchGroupsTransactions(t *testing.T) {
+	k := sim.NewKernel(1)
+	tb := New(k, "history", fixedParams())
+	k.Spawn("c", func(p *sim.Proc) {
+		var ents []Entity
+		for i := 0; i < 7; i++ {
+			ents = append(ents, Entity{PK: "p", RK: fmt.Sprintf("%04d", i), Data: []byte{byte(i)}})
+		}
+		tb.WriteBatch(p, "p", ents)
+	})
+	k.Run()
+	// 7 entities at MaxBatch=3 => 3 entity-group transactions.
+	if tb.Stats().Batches != 3 {
+		t.Fatalf("batches = %d, want 3", tb.Stats().Batches)
+	}
+	if tb.Len() != 7 {
+		t.Fatalf("rows = %d", tb.Len())
+	}
+}
+
+func TestWriteBatchRejectsMixedPartitions(t *testing.T) {
+	k := sim.NewKernel(1)
+	tb := New(k, "history", fixedParams())
+	panicked := false
+	k.Spawn("c", func(p *sim.Proc) {
+		defer func() {
+			if recover() != nil {
+				panicked = true
+			}
+		}()
+		tb.WriteBatch(p, "p", []Entity{{PK: "other", RK: "1"}})
+	})
+	k.Run()
+	if !panicked {
+		t.Fatal("mixed-partition batch did not panic")
+	}
+}
+
+func TestDeletePartition(t *testing.T) {
+	k := sim.NewKernel(1)
+	tb := New(k, "history", fixedParams())
+	var removed int
+	k.Spawn("c", func(p *sim.Proc) {
+		for i := 0; i < 5; i++ {
+			tb.Write(p, "purge", fmt.Sprintf("%04d", i), []byte("x"))
+		}
+		tb.Write(p, "keep", "0001", []byte("y"))
+		removed = tb.DeletePartition(p, "purge")
+	})
+	k.Run()
+	if removed != 5 {
+		t.Fatalf("removed = %d", removed)
+	}
+	if tb.Len() != 1 {
+		t.Fatalf("rows left = %d, want 1", tb.Len())
+	}
+	// 5 rows at MaxBatch=3 => 2 batch transactions.
+	if tb.Stats().Batches != 2 {
+		t.Fatalf("batches = %d, want 2", tb.Stats().Batches)
+	}
+}
+
+func TestReadReturnsCopy(t *testing.T) {
+	k := sim.NewKernel(1)
+	tb := New(k, "history", fixedParams())
+	k.Spawn("c", func(p *sim.Proc) {
+		tb.Write(p, "p", "r", []byte("abc"))
+		v, _ := tb.Read(p, "p", "r")
+		v[0] = 'X'
+		v2, _ := tb.Read(p, "p", "r")
+		if string(v2) != "abc" {
+			t.Errorf("store mutated through returned slice: %q", v2)
+		}
+	})
+	k.Run()
+}
+
+func TestTransactionsTotal(t *testing.T) {
+	k := sim.NewKernel(1)
+	tb := New(k, "history", fixedParams())
+	k.Spawn("c", func(p *sim.Proc) {
+		tb.Write(p, "p", "1", nil)                          // 1 write
+		tb.Read(p, "p", "1")                                // 1 read
+		tb.Query(p, "p")                                    // 1 query
+		tb.Delete(p, "p", "1")                              // 1 delete
+		tb.WriteBatch(p, "p", []Entity{{PK: "p", RK: "2"}}) // 1 batch
+	})
+	k.Run()
+	if got := tb.Stats().Transactions(); got != 5 {
+		t.Fatalf("transactions = %d, want 5", got)
+	}
+}

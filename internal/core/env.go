@@ -1,0 +1,191 @@
+package core
+
+import (
+	"time"
+
+	"statebench/internal/aws"
+	"statebench/internal/azure"
+	"statebench/internal/obs"
+	"statebench/internal/platform"
+	"statebench/internal/pricing"
+	"statebench/internal/sim"
+)
+
+// Env is one fresh simulated deployment: a kernel plus both clouds,
+// ready for a Workflow to deploy into.
+type Env struct {
+	K     *sim.Kernel
+	AWS   *aws.Cloud
+	Azure *azure.Cloud
+	Seed  uint64
+
+	AWSPrices   pricing.AWSPrices
+	AzurePrices pricing.AzurePrices
+
+	// Scratch lets workloads expose experiment-specific measurements
+	// (e.g. per-worker finish times) to the experiment drivers.
+	Scratch map[string]any
+}
+
+// NewEnv builds an environment with default calibration parameters.
+func NewEnv(seed uint64) *Env {
+	return NewEnvWithParams(seed, platform.DefaultAWS(), platform.DefaultAzure())
+}
+
+// NewEnvWithParams builds an environment with explicit platform
+// parameters (used by ablation experiments).
+func NewEnvWithParams(seed uint64, ap platform.AWSParams, zp platform.AzureParams) *Env {
+	k := sim.NewKernel(seed)
+	return &Env{
+		K:           k,
+		AWS:         aws.New(k, ap),
+		Azure:       azure.New(k, zp),
+		Seed:        seed,
+		AWSPrices:   pricing.DefaultAWS(),
+		AzurePrices: pricing.DefaultAzure(),
+		Scratch:     make(map[string]any),
+	}
+}
+
+// Stop terminates long-running platform listeners so the kernel drains.
+func (e *Env) Stop() { e.Azure.Stop() }
+
+// RunStats is the outcome of one workflow invocation.
+type RunStats struct {
+	// E2E is the paper's end-to-end latency for this style (state
+	// machine Start→End on AWS; orchestrator Running→Completed on
+	// durable Azure; trigger→last-function elsewhere).
+	E2E time.Duration
+	// ColdStart is the style's cold-start metric (Fig 10 methodology).
+	ColdStart time.Duration
+	// ExecTime is the summed function execution time during the run.
+	ExecTime time.Duration
+	// Output is the workflow's result payload (workload-specific).
+	Output []byte
+	Err    error
+}
+
+// Breakdown derives the paper's queue-vs-execution decomposition: the
+// time not spent executing or cold-starting is queueing/transfer.
+func (r RunStats) Breakdown() obs.Breakdown {
+	queue := r.E2E - r.ExecTime - r.ColdStart
+	if queue < 0 {
+		// Parallel stages can make summed exec exceed E2E; attribute
+		// everything to execution then.
+		return obs.Breakdown{ColdStart: r.ColdStart, ExecTime: r.E2E - r.ColdStart}
+	}
+	return obs.Breakdown{ColdStart: r.ColdStart, QueueTime: queue, ExecTime: r.ExecTime}
+}
+
+// Runner executes a deployed workflow.
+type Runner interface {
+	// Invoke runs the workflow once from process p with an opaque
+	// workload-specific input.
+	Invoke(p *sim.Proc, input []byte) (RunStats, error)
+}
+
+// Deployment is a deployed workflow plus its Table II metadata.
+type Deployment struct {
+	Runner Runner
+	// FuncCount is the "# of Func" Table II column.
+	FuncCount int
+	// CodeSizeMB is the deployment-package size column.
+	CodeSizeMB float64
+}
+
+// Workflow is a workload that can deploy itself in multiple styles.
+type Workflow interface {
+	// Name identifies the workload (e.g. "ml-training").
+	Name() string
+	// Impls lists the supported styles.
+	Impls() []Impl
+	// Deploy installs the workflow into env using style impl.
+	Deploy(env *Env, impl Impl) (*Deployment, error)
+}
+
+// SupportsImpl reports whether wf lists impl.
+func SupportsImpl(wf Workflow, impl Impl) bool {
+	for _, i := range wf.Impls() {
+		if i == impl {
+			return true
+		}
+	}
+	return false
+}
+
+// meterSnapshot captures all billing counters at an instant.
+type meterSnapshot struct {
+	awsGBs   float64
+	awsInv   int64
+	awsTrans int64
+	awsS3    int64
+
+	azGBs       float64
+	azExec      int64
+	azTxn       int64
+	azTxnManual int64
+	azBlob      int64
+
+	awsExecTime time.Duration
+	azExecTime  time.Duration
+}
+
+func snapshot(env *Env) meterSnapshot {
+	am := env.AWS.Lambda.TotalMeter()
+	zm := env.Azure.Host.TotalMeter()
+	return meterSnapshot{
+		awsGBs:      am.BilledGBs,
+		awsInv:      am.Invocations,
+		awsTrans:    env.AWS.SFN.TotalTransitions,
+		awsS3:       env.AWS.S3.Stats().Transactions(),
+		azGBs:       zm.BilledGBs,
+		azExec:      zm.Invocations,
+		azTxn:       env.Azure.StorageTransactions(),
+		azTxnManual: env.Azure.ManualQueueTransactions(),
+		azBlob:      env.Azure.Blob.Stats().Transactions(),
+		awsExecTime: am.ExecTime,
+		azExecTime:  zm.ExecTime,
+	}
+}
+
+// billDelta prices the difference between two snapshots for the given
+// style's cloud.
+func billDelta(env *Env, impl Impl, before, after meterSnapshot) pricing.Bill {
+	if impl.Cloud() == AWS {
+		return env.AWSPrices.AWSBill(
+			after.awsGBs-before.awsGBs,
+			after.awsInv-before.awsInv,
+			after.awsTrans-before.awsTrans,
+			after.awsS3-before.awsS3,
+		)
+	}
+	// Deployments without the durable extension are not billed for the
+	// task hub's queues and tables.
+	txns := after.azTxn - before.azTxn
+	if !impl.Stateful() {
+		txns = after.azTxnManual - before.azTxnManual
+	}
+	return env.AzurePrices.AzureBill(
+		after.azGBs-before.azGBs,
+		after.azExec-before.azExec,
+		txns,
+		after.azBlob-before.azBlob,
+	)
+}
+
+// gbsDelta returns the billed GB-s difference for the style's cloud.
+func gbsDelta(impl Impl, before, after meterSnapshot) float64 {
+	if impl.Cloud() == AWS {
+		return after.awsGBs - before.awsGBs
+	}
+	return after.azGBs - before.azGBs
+}
+
+// execDelta returns summed function execution time for the style's
+// cloud between snapshots.
+func execDelta(impl Impl, before, after meterSnapshot) time.Duration {
+	if impl.Cloud() == AWS {
+		return after.awsExecTime - before.awsExecTime
+	}
+	return after.azExecTime - before.azExecTime
+}

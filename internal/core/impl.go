@@ -1,0 +1,97 @@
+// Package core is the paper's contribution packaged as a library: a
+// cross-platform framework for deploying the same stateful workflow in
+// the six implementation styles of Table II (AWS-Lambda, AWS-Step,
+// Az-Func, Az-Queue, Az-Dorch, Az-Dent), measuring end-to-end latency,
+// cold starts, and latency breakdowns, and pricing each run with both
+// clouds' billing models.
+package core
+
+import "fmt"
+
+// Impl identifies one implementation style from Table II.
+type Impl string
+
+// The six implementation styles.
+const (
+	AWSLambda Impl = "AWS-Lambda"
+	AWSStep   Impl = "AWS-Step"
+	AzFunc    Impl = "Az-Func"
+	AzQueue   Impl = "Az-Queue"
+	AzDorch   Impl = "Az-Dorch"
+	AzDent    Impl = "Az-Dent"
+)
+
+// AllImpls lists the styles in Table II order.
+func AllImpls() []Impl {
+	return []Impl{AWSLambda, AWSStep, AzFunc, AzQueue, AzDorch, AzDent}
+}
+
+// CloudKind distinguishes the two providers.
+type CloudKind int
+
+// Cloud kinds.
+const (
+	AWS CloudKind = iota
+	Azure
+)
+
+// String implements fmt.Stringer.
+func (c CloudKind) String() string {
+	if c == AWS {
+		return "AWS"
+	}
+	return "Azure"
+}
+
+// Cloud returns the provider hosting this style.
+func (i Impl) Cloud() CloudKind {
+	switch i {
+	case AWSLambda, AWSStep:
+		return AWS
+	default:
+		return Azure
+	}
+}
+
+// Stateful reports whether the style uses a platform stateful extension
+// (Table II's "Stateful" column).
+func (i Impl) Stateful() bool { return i == AWSStep || i == AzDorch || i == AzDent }
+
+// Valid reports whether i is one of the six styles.
+func (i Impl) Valid() bool {
+	switch i {
+	case AWSLambda, AWSStep, AzFunc, AzQueue, AzDorch, AzDent:
+		return true
+	}
+	return false
+}
+
+// Description returns the Table II description text.
+func (i Impl) Description() string {
+	switch i {
+	case AWSLambda:
+		return "One stateless Lambda function."
+	case AWSStep:
+		return "Workflow implementation using AWS Step Functions, calling AWS Lambda functions on each state."
+	case AzFunc:
+		return "One stateless Azure function."
+	case AzQueue:
+		return "Isolated functions connecting through Azure queues."
+	case AzDorch:
+		return "Workflow implemented using Azure Durable orchestrators, calling isolated functions through call_activity."
+	case AzDent:
+		return "Workflow implemented using Azure Durable orchestrators, calling stateful entities through call_entity."
+	}
+	return "unknown"
+}
+
+// UnsupportedImplError reports a workflow/style combination with no
+// implementation (Table II has gaps, e.g. Az-Queue video processing).
+type UnsupportedImplError struct {
+	Workflow string
+	Impl     Impl
+}
+
+func (e *UnsupportedImplError) Error() string {
+	return fmt.Sprintf("core: workflow %q has no %s implementation", e.Workflow, e.Impl)
+}

@@ -1,0 +1,190 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"statebench/internal/obs"
+	"statebench/internal/pricing"
+	"statebench/internal/sim"
+)
+
+// Series is the measured result of running one workflow style many
+// times — the unit from which every figure in the paper is built.
+type Series struct {
+	Workflow string
+	Impl     Impl
+	Iters    int
+	Errors   int
+
+	// E2E and Cold hold per-run latency and cold-start samples.
+	E2E  obs.Samples
+	Cold obs.Samples
+	// Breakdowns holds per-run queue/exec decompositions.
+	Breakdowns obs.BreakdownSet
+
+	// MeanBill is the mean per-run cost; MeanGBs the mean billed GB-s;
+	// MeanTxns the mean stateful transactions/transitions per run.
+	MeanBill pricing.Bill
+	MeanGBs  float64
+	MeanTxns float64
+
+	// Env is the environment the series ran in (for experiment-specific
+	// drill-downs such as Fig 14's scheduling delays).
+	Env *Env
+}
+
+// MeasureOptions tunes a measurement campaign.
+type MeasureOptions struct {
+	// Iters is the number of measured invocations (the paper uses 100+).
+	Iters int
+	// Gap is the virtual time between invocations; long enough to let
+	// queues quiesce, short enough to stay warm (like the paper's
+	// back-to-back iterations).
+	Gap time.Duration
+	// Warmup runs (unmeasured) before the campaign; the paper's
+	// latency numbers are warm-path, cold starts being measured
+	// separately (Fig 10).
+	Warmup int
+	// Seed for the environment.
+	Seed uint64
+	// Input builds the per-iteration input (nil means nil input).
+	Input func(iter int) []byte
+}
+
+// DefaultMeasureOptions returns the paper-like defaults.
+func DefaultMeasureOptions() MeasureOptions {
+	return MeasureOptions{Iters: 100, Gap: 30 * time.Second, Warmup: 1, Seed: 42}
+}
+
+// Measure deploys wf in the given style into a fresh environment and
+// invokes it opt.Iters times, collecting latency, breakdown, and cost
+// series.
+func Measure(wf Workflow, impl Impl, opt MeasureOptions) (*Series, error) {
+	if !SupportsImpl(wf, impl) {
+		return nil, &UnsupportedImplError{Workflow: wf.Name(), Impl: impl}
+	}
+	if opt.Iters <= 0 {
+		opt.Iters = 1
+	}
+	env := NewEnv(opt.Seed)
+	dep, err := wf.Deploy(env, impl)
+	if err != nil {
+		return nil, fmt.Errorf("core: deploy %s/%s: %w", wf.Name(), impl, err)
+	}
+	s := &Series{Workflow: wf.Name(), Impl: impl, Iters: opt.Iters, Env: env}
+
+	var bill pricing.Bill
+	var gbs, txns float64
+	var campaignErr error
+
+	env.K.Spawn("measure", func(p *sim.Proc) {
+		defer env.Stop()
+		for w := 0; w < opt.Warmup; w++ {
+			input := []byte(nil)
+			if opt.Input != nil {
+				input = opt.Input(-1 - w)
+			}
+			if _, err := dep.Runner.Invoke(p, input); err != nil {
+				campaignErr = fmt.Errorf("core: warmup: %w", err)
+				return
+			}
+			p.Sleep(opt.Gap)
+		}
+		for i := 0; i < opt.Iters; i++ {
+			input := []byte(nil)
+			if opt.Input != nil {
+				input = opt.Input(i)
+			}
+			before := snapshot(env)
+			stats, err := dep.Runner.Invoke(p, input)
+			if err != nil {
+				campaignErr = fmt.Errorf("core: iteration %d: %w", i, err)
+				return
+			}
+			after := snapshot(env)
+
+			if stats.Err != nil {
+				s.Errors++
+			}
+			s.E2E.Add(stats.E2E)
+			s.Cold.Add(stats.ColdStart)
+			if stats.ExecTime == 0 {
+				stats.ExecTime = execDelta(impl, before, after)
+			}
+			s.Breakdowns.Add(stats.Breakdown())
+
+			b := billDelta(env, impl, before, after)
+			bill = bill.Add(b)
+			gbs += gbsDelta(impl, before, after)
+			if impl.Cloud() == AWS {
+				txns += float64(after.awsTrans - before.awsTrans)
+			} else {
+				txns += float64(after.azTxn - before.azTxn)
+			}
+			p.Sleep(opt.Gap)
+		}
+	})
+	env.K.Run()
+	if campaignErr != nil {
+		return nil, campaignErr
+	}
+	n := float64(opt.Iters)
+	s.MeanBill = bill.Scale(1 / n)
+	s.MeanGBs = gbs / n
+	s.MeanTxns = txns / n
+	return s, nil
+}
+
+// ColdStartCampaign reproduces the paper's cold-start methodology: a
+// fresh deployment receives one request per hour for the given number
+// of hours (the paper: 4 days), and each request's cold-start delay is
+// recorded. Keep-alive windows are far below an hour, so every request
+// lands cold.
+func ColdStartCampaign(wf Workflow, impl Impl, hours int, seed uint64, input func(iter int) []byte) (*obs.Samples, error) {
+	if !SupportsImpl(wf, impl) {
+		return nil, &UnsupportedImplError{Workflow: wf.Name(), Impl: impl}
+	}
+	env := NewEnv(seed)
+	dep, err := wf.Deploy(env, impl)
+	if err != nil {
+		return nil, fmt.Errorf("core: deploy %s/%s: %w", wf.Name(), impl, err)
+	}
+	var samples obs.Samples
+	var campaignErr error
+	env.K.Spawn("coldstart-campaign", func(p *sim.Proc) {
+		defer env.Stop()
+		for h := 0; h < hours; h++ {
+			in := []byte(nil)
+			if input != nil {
+				in = input(h)
+			}
+			stats, err := dep.Runner.Invoke(p, in)
+			if err != nil {
+				campaignErr = err
+				return
+			}
+			samples.Add(stats.ColdStart)
+			p.Sleep(time.Hour)
+		}
+	})
+	env.K.Run()
+	if campaignErr != nil {
+		return nil, campaignErr
+	}
+	return &samples, nil
+}
+
+// MeasureAll runs Measure for every style the workflow supports and
+// returns the series keyed by style.
+func MeasureAll(wf Workflow, opt MeasureOptions) (map[Impl]*Series, error) {
+	out := make(map[Impl]*Series)
+	for _, impl := range wf.Impls() {
+		s, err := Measure(wf, impl, opt)
+		if err != nil {
+			return nil, err
+		}
+		out[impl] = s
+	}
+	return out, nil
+}

@@ -1,0 +1,69 @@
+package experiments
+
+import "fmt"
+
+// Runner is a named experiment entry point.
+type Runner struct {
+	ID  string
+	Run func(Options) ([]*Report, error)
+}
+
+// single adapts a one-report driver.
+func single(fn func(Options) (*Report, error)) func(Options) ([]*Report, error) {
+	return func(o Options) ([]*Report, error) {
+		r, err := fn(o)
+		if err != nil {
+			return nil, err
+		}
+		return []*Report{r}, nil
+	}
+}
+
+// Registry lists every experiment in paper order.
+func Registry() []Runner {
+	return []Runner{
+		{"table1", func(Options) ([]*Report, error) { return []*Report{Table1()}, nil }},
+		{"table2", single(Table2)},
+		{"fig6", Fig6},
+		{"fig7", single(Fig7)},
+		{"fig8", single(Fig8)},
+		{"fig9", single(Fig9)},
+		{"fig10", single(Fig10)},
+		{"fig11", Fig11},
+		{"fig12", single(Fig12)},
+		{"fig13", single(Fig13)},
+		{"fig14", single(Fig14)},
+		{"fig15", single(Fig15)},
+		{"table3", single(Table3)},
+	}
+}
+
+// RegistryWithAblations appends the ablation studies to the paper
+// experiments.
+func RegistryWithAblations() []Runner {
+	return append(Registry(), Ablations()...)
+}
+
+// Find returns the runner with the given ID (paper experiments and
+// ablations).
+func Find(id string) (Runner, error) {
+	for _, r := range RegistryWithAblations() {
+		if r.ID == id {
+			return r, nil
+		}
+	}
+	return Runner{}, fmt.Errorf("experiments: unknown experiment %q", id)
+}
+
+// All runs every experiment and returns the reports in paper order.
+func All(o Options) ([]*Report, error) {
+	var out []*Report
+	for _, r := range Registry() {
+		reports, err := r.Run(o)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s: %w", r.ID, err)
+		}
+		out = append(out, reports...)
+	}
+	return out, nil
+}

@@ -1,0 +1,132 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// tiny keeps experiment smoke tests fast.
+func tiny() Options {
+	return Options{Iters: 3, ColdHours: 3, VideoIters: 1, Fig14Target: 200, Seed: 42}
+}
+
+func TestTable1HasBothClouds(t *testing.T) {
+	r := Table1()
+	if len(r.Table.Rows) != 2 {
+		t.Fatalf("rows = %d", len(r.Table.Rows))
+	}
+	out := r.String()
+	if !strings.Contains(out, "AWS") || !strings.Contains(out, "Azure") {
+		t.Fatal("missing cloud rows")
+	}
+}
+
+func TestTable2MatchesPaperInventory(t *testing.T) {
+	r, err := Table2(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := r.String()
+	for _, want := range []string{"AWS-Step", "4 λ - 271.2 MB", "3 λ - 214.8 MB", "Az-Dent", "7 λ - 304.0 MB"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table2 missing %q:\n%s", want, out)
+		}
+	}
+	// Az-Queue and Az-Dent have no video column entries (paper gaps).
+	for _, row := range r.Table.Rows {
+		if row[0] == "Az-Queue" && row[3] != "-" {
+			t.Fatal("Az-Queue should have no video implementation")
+		}
+	}
+}
+
+func TestFig6ShapesHold(t *testing.T) {
+	reports, err := Fig6(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 4 {
+		t.Fatalf("reports = %d", len(reports))
+	}
+	for _, r := range reports {
+		if len(r.Table.Rows) == 0 {
+			t.Fatalf("%s empty", r.ID)
+		}
+	}
+}
+
+func TestFig9RatioNote(t *testing.T) {
+	r, err := Fig9(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Notes) == 0 || !strings.Contains(r.Notes[0], "AWS-Step / Az-Dorch") {
+		t.Fatalf("missing ratio note: %v", r.Notes)
+	}
+}
+
+func TestFig10ColdStartOrdering(t *testing.T) {
+	r, err := Fig10(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Az-Queue row must show a bigger median than the durable rows.
+	med := map[string]string{}
+	for _, row := range r.Table.Rows {
+		med[row[0]] = row[1]
+	}
+	parse := func(s string) time.Duration {
+		d, err := time.ParseDuration(strings.ReplaceAll(s, "m", "m0s"))
+		if err != nil {
+			// FormatDuration emits e.g. "14.20s" or "1.5m"; fall back.
+			t.Fatalf("cannot parse %q: %v", s, err)
+		}
+		return d
+	}
+	if parse(med["Az-Queue"]) <= parse(med["Az-Dorch"]) {
+		t.Fatalf("Az-Queue median %s not above Az-Dorch %s", med["Az-Queue"], med["Az-Dorch"])
+	}
+}
+
+func TestFig14CDF(t *testing.T) {
+	r, err := Fig14(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Table.Rows) != 7 {
+		t.Fatalf("cdf rows = %d", len(r.Table.Rows))
+	}
+	if !strings.Contains(r.Notes[0], ">=40s") {
+		t.Fatalf("note = %v", r.Notes)
+	}
+}
+
+func TestFig15IncludesIdleCharges(t *testing.T) {
+	r, err := Fig15(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var azShare string
+	for _, row := range r.Table.Rows {
+		if row[0] == "Az-Dorch" {
+			azShare = row[4]
+		}
+	}
+	if azShare == "" || azShare == "0.0%" {
+		t.Fatalf("Az-Dorch stateful share = %q, idle polling missing", azShare)
+	}
+}
+
+func TestRegistryAndFind(t *testing.T) {
+	reg := Registry()
+	if len(reg) != 13 {
+		t.Fatalf("registry size = %d", len(reg))
+	}
+	if _, err := Find("fig12"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Find("fig99"); err == nil {
+		t.Fatal("bogus experiment found")
+	}
+}

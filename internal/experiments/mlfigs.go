@@ -1,0 +1,186 @@
+package experiments
+
+import (
+	"fmt"
+
+	"statebench/internal/core"
+	"statebench/internal/obs"
+	"statebench/internal/workloads/mlinfer"
+	"statebench/internal/workloads/mlpipe"
+	"statebench/internal/workloads/mltrain"
+)
+
+// azureImpls and awsImpls are the per-cloud style groups of Fig 6/11.
+var (
+	azureImpls = []core.Impl{core.AzFunc, core.AzQueue, core.AzDorch, core.AzDent}
+	awsImpls   = []core.Impl{core.AWSLambda, core.AWSStep}
+)
+
+// trainSeries runs the ML training campaign for every style and both
+// dataset sizes; the result feeds Fig 6, 7, 8, and 11.
+func trainSeries(o Options) (map[mlpipe.DatasetSize]map[core.Impl]*core.Series, error) {
+	out := make(map[mlpipe.DatasetSize]map[core.Impl]*core.Series)
+	for _, size := range []mlpipe.DatasetSize{mlpipe.Small, mlpipe.Large} {
+		wf := mltrain.New(size)
+		series, err := core.MeasureAll(wf, measureOpts(o))
+		if err != nil {
+			return nil, err
+		}
+		out[size] = series
+	}
+	return out, nil
+}
+
+// Fig6 reproduces Fig 6a–d: median and 99ile end-to-end latency of the
+// ML training workflow on each cloud, for both dataset sizes.
+func Fig6(o Options) ([]*Report, error) {
+	series, err := trainSeries(o)
+	if err != nil {
+		return nil, err
+	}
+	mk := func(id, title string, impls []core.Impl, q float64) *Report {
+		r := &Report{ID: id, Title: title}
+		r.Table.Header = []string{"impl", "small", "large"}
+		for _, impl := range impls {
+			r.Table.AddRow(string(impl),
+				fmtDur(series[mlpipe.Small][impl].E2E.Quantile(q)),
+				fmtDur(series[mlpipe.Large][impl].E2E.Quantile(q)))
+		}
+		return r
+	}
+	return []*Report{
+		mk("fig6a", "ML training median latency, Azure", azureImpls, 0.5),
+		mk("fig6b", "ML training median latency, AWS", awsImpls, 0.5),
+		mk("fig6c", "ML training 99ile latency, Azure", azureImpls, 0.99),
+		mk("fig6d", "ML training 99ile latency, AWS", awsImpls, 0.99),
+	}, nil
+}
+
+// Fig7 reproduces Fig 7: the CDF of end-to-end latency on the large
+// dataset for the durable Azure styles vs AWS-Step.
+func Fig7(o Options) (*Report, error) {
+	wf := mltrain.New(mlpipe.Large)
+	r := &Report{ID: "fig7", Title: "CDF of end-to-end latency, ML training (large dataset)"}
+	r.Table.Header = []string{"fraction", string(core.AzDorch), string(core.AzDent), string(core.AWSStep)}
+	cdfs := map[core.Impl][]obs.CDFPoint{}
+	for _, impl := range []core.Impl{core.AzDorch, core.AzDent, core.AWSStep} {
+		s, err := core.Measure(wf, impl, measureOpts(o))
+		if err != nil {
+			return nil, err
+		}
+		cdfs[impl] = s.E2E.CDF(11)
+	}
+	for i := 0; i < 11; i++ {
+		r.Table.AddRow(
+			fmt.Sprintf("%.1f", cdfs[core.AzDorch][i].Frac),
+			fmtDur(cdfs[core.AzDorch][i].Value),
+			fmtDur(cdfs[core.AzDent][i].Value),
+			fmtDur(cdfs[core.AWSStep][i].Value))
+	}
+	r.Notes = append(r.Notes, "paper: AWS-Step CDF is sharp; Azure durable styles show a long tail")
+	return r, nil
+}
+
+// Fig8 reproduces Fig 8: the 99ile latency breakdown (queue time vs
+// execution time) of the Azure ML training styles on the large dataset.
+func Fig8(o Options) (*Report, error) {
+	wf := mltrain.New(mlpipe.Large)
+	r := &Report{ID: "fig8", Title: "ML training 99ile latency breakdown (large dataset)"}
+	r.Table.Header = []string{"impl", "queue time", "exec time"}
+	for _, impl := range azureImpls {
+		s, err := core.Measure(wf, impl, measureOpts(o))
+		if err != nil {
+			return nil, err
+		}
+		b := s.Breakdowns.AtQuantile(0.99)
+		// The paper's "Queue Time" is the total delay of queue polling
+		// and data transfer in the chain — trigger waits included.
+		r.Table.AddRow(string(impl), fmtDur(b.QueueTime+b.ColdStart), fmtDur(b.ExecTime))
+	}
+	r.Notes = append(r.Notes,
+		"paper: Az-Queue queue time ~30s; durable queue time <1s; durable exec time higher (replay)")
+	return r, nil
+}
+
+// Fig9 reproduces Fig 9: end-to-end latency of the ML inference
+// workflow (large dataset's trained model).
+func Fig9(o Options) (*Report, error) {
+	wf := mlinfer.New(mlpipe.Large)
+	r := &Report{ID: "fig9", Title: "ML inference end-to-end latency"}
+	r.Table.Header = []string{"impl", "median", "99ile"}
+	meds := map[core.Impl]float64{}
+	for _, impl := range wf.Impls() {
+		s, err := core.Measure(wf, impl, measureOpts(o))
+		if err != nil {
+			return nil, err
+		}
+		meds[impl] = float64(s.E2E.Median())
+		r.Table.AddRow(string(impl), fmtDur(s.E2E.Median()), fmtDur(s.E2E.P99()))
+	}
+	r.Notes = append(r.Notes,
+		fmt.Sprintf("AWS-Step / Az-Dorch = %.2fx (paper: ~2x); Az-Dent / Az-Dorch = %.2fx (paper: ~1.24x)",
+			meds[core.AWSStep]/meds[core.AzDorch], meds[core.AzDent]/meds[core.AzDorch]))
+	return r, nil
+}
+
+// Fig10 reproduces Fig 10: cold-start delay of each style, measured as
+// the paper does (one request per hour over ColdHours hours).
+func Fig10(o Options) (*Report, error) {
+	wf := mltrain.New(mlpipe.Small)
+	r := &Report{ID: "fig10", Title: "ML training cold-start delay (1 req/hour campaign)"}
+	r.Table.Header = []string{"impl", "median", "p90", "max"}
+	for _, impl := range []core.Impl{core.AzQueue, core.AWSStep, core.AWSLambda, core.AzDorch, core.AzDent} {
+		samples, err := core.ColdStartCampaign(wf, impl, o.ColdHours, o.Seed, nil)
+		if err != nil {
+			return nil, err
+		}
+		r.Table.AddRow(string(impl), fmtDur(samples.Median()), fmtDur(samples.Quantile(0.9)), fmtDur(samples.Max()))
+	}
+	r.Notes = append(r.Notes,
+		"paper: Azure durable <2s, AWS-Step 3-5s, Az-Queue 10-20s")
+	return r, nil
+}
+
+// Fig11 reproduces Fig 11a–d: the computation cost (GB-s) and the
+// stateful transaction/transition cost share per run.
+func Fig11(o Options) ([]*Report, error) {
+	series, err := trainSeries(o)
+	if err != nil {
+		return nil, err
+	}
+	gbs := func(id, title string, impls []core.Impl) *Report {
+		r := &Report{ID: id, Title: title}
+		r.Table.Header = []string{"impl", "small GB-s", "large GB-s"}
+		for _, impl := range impls {
+			r.Table.AddRow(string(impl),
+				fmt.Sprintf("%.2f", series[mlpipe.Small][impl].MeanGBs),
+				fmt.Sprintf("%.2f", series[mlpipe.Large][impl].MeanGBs))
+		}
+		return r
+	}
+	share := func(id, title string, impls []core.Impl) *Report {
+		r := &Report{ID: id, Title: title}
+		r.Table.Header = []string{"impl", "small txns/run", "small share", "large txns/run", "large share", "large cost/run"}
+		for _, impl := range impls {
+			s, l := series[mlpipe.Small][impl], series[mlpipe.Large][impl]
+			r.Table.AddRow(string(impl),
+				fmt.Sprintf("%.0f", s.MeanTxns), fmtPct(s.MeanBill.StatefulShare()),
+				fmt.Sprintf("%.0f", l.MeanTxns), fmtPct(l.MeanBill.StatefulShare()),
+				fmtUSD(l.MeanBill.Total()))
+		}
+		return r
+	}
+	awsL := series[mlpipe.Large][core.AWSStep].MeanBill.Total()
+	azDorchL := series[mlpipe.Large][core.AzDorch].MeanBill.Total()
+	azDentL := series[mlpipe.Large][core.AzDent].MeanBill.Total()
+	reports := []*Report{
+		gbs("fig11a", "Azure computation cost (GB-s per run)", azureImpls),
+		gbs("fig11b", "AWS computation cost (GB-s per run)", awsImpls),
+		share("fig11c", "Azure stateful transaction cost", azureImpls),
+		share("fig11d", "AWS stateful transition cost", awsImpls),
+	}
+	reports[3].Notes = append(reports[3].Notes,
+		fmt.Sprintf("AWS-Step total cost vs Az-Dorch: %.2fx, vs Az-Dent: %.2fx (paper headline: AWS ~1.89x Azure)",
+			awsL/azDorchL, awsL/azDentL))
+	return reports, nil
+}

@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"fmt"
+
+	"statebench/internal/core"
+	"statebench/internal/obs"
+	"statebench/internal/platform"
+	"statebench/internal/workloads/mlpipe"
+	"statebench/internal/workloads/mltrain"
+	"statebench/internal/workloads/videoproc"
+)
+
+// Table1 reproduces Table I: the serverless platform configuration.
+func Table1() *Report {
+	aws := platform.DefaultAWS()
+	az := platform.DefaultAzure()
+	r := &Report{ID: "table1", Title: "Serverless platform configuration"}
+	r.Table.Header = []string{"", "RunTime", "Region", "Memory", "TimeLimit", "Payload"}
+	r.Table.AddRow("AWS", "Py 3.7 (modeled)", "West US 2",
+		"configurable (128 MB steps)", fmtDur(aws.TimeLimit), fmt.Sprintf("%dKB", aws.PayloadLimit/1024))
+	r.Table.AddRow("Azure", "Py 3.7 (modeled)", "US East",
+		fmt.Sprintf("%dMB cap, billed observed", az.MemoryLimitMB), fmtDur(az.TimeLimit),
+		fmt.Sprintf("%dKB (durable)", az.DurablePayloadLimit/1024))
+	return r
+}
+
+// Table2 reproduces Table II: the implementation inventory, taken from
+// the live deployments' metadata.
+func Table2(o Options) (*Report, error) {
+	r := &Report{ID: "table2", Title: "Different implementations of the workloads"}
+	r.Table.Header = []string{"Graph Reference", "Stateful", "ML #Func-Code", "Video #Func-Code"}
+	mlWf := mltrain.New(mlpipe.Small)
+	vidWf := videoproc.New(4)
+	for _, impl := range core.AllImpls() {
+		ml := "-"
+		if core.SupportsImpl(mlWf, impl) {
+			env := core.NewEnv(o.Seed)
+			dep, err := mlWf.Deploy(env, impl)
+			if err != nil {
+				return nil, err
+			}
+			ml = fmt.Sprintf("%d λ - %.1f MB", dep.FuncCount, dep.CodeSizeMB)
+		}
+		vid := "-"
+		if core.SupportsImpl(vidWf, impl) {
+			env := core.NewEnv(o.Seed)
+			dep, err := vidWf.Deploy(env, impl)
+			if err != nil {
+				return nil, err
+			}
+			vid = fmt.Sprintf("%d λ - %.1f MB", dep.FuncCount, dep.CodeSizeMB)
+		}
+		stateful := "No"
+		if impl.Stateful() {
+			stateful = "Yes"
+		}
+		r.Table.AddRow(string(impl), stateful, ml, vid)
+	}
+	return r, nil
+}
+
+// Table3 reproduces Table III: finish-time percentiles for the
+// 80-worker video fan-out on Azure, per worker and for the whole
+// fan-out (makespan).
+func Table3(o Options) (*Report, error) {
+	perWorker, makespans, err := videoFanoutFinishTimes(o, 80, o.VideoIters)
+	if err != nil {
+		return nil, err
+	}
+	r := &Report{ID: "table3", Title: "Finish time for the large fan-out (80 workers, Az-Dorch)"}
+	r.Table.Header = []string{"", "50%ile", "95%ile", "99%ile"}
+	r.Table.AddRow("One worker", fmtDur(perWorker.Quantile(0.5)), fmtDur(perWorker.Quantile(0.95)), fmtDur(perWorker.Quantile(0.99)))
+	r.Table.AddRow("All workers", fmtDur(makespans.Quantile(0.5)), fmtDur(makespans.Quantile(0.95)), fmtDur(makespans.Quantile(0.99)))
+	r.Notes = append(r.Notes, fmt.Sprintf("%d per-worker observations over %d cold fan-outs", perWorker.Len(), makespans.Len()))
+	return r, nil
+}
+
+// videoFanoutFinishTimes runs cold Az-Dorch fan-outs and collects each
+// worker's finish time (relative to workflow start) and each run's
+// makespan.
+func videoFanoutFinishTimes(o Options, workers, iters int) (perWorker, makespans *obs.Samples, err error) {
+	wf := videoproc.New(workers)
+	perWorker = &obs.Samples{}
+	makespans = &obs.Samples{}
+	for i := 0; i < iters; i++ {
+		// Fresh environment per run: the paper's large fan-outs hit
+		// cold scale-out every time.
+		opt := core.DefaultMeasureOptions()
+		opt.Iters = 1
+		opt.Warmup = 0
+		opt.Seed = o.Seed + uint64(i)*1000
+		s, err := core.Measure(wf, core.AzDorch, opt)
+		if err != nil {
+			return nil, nil, err
+		}
+		finishes := videoproc.WorkerFinishTimes(s.Env)
+		perWorker.AddAll(finishes)
+		var max int64
+		for _, f := range finishes {
+			if int64(f) > max {
+				max = int64(f)
+			}
+		}
+		makespans.Add(sdur(max))
+	}
+	return perWorker, makespans, nil
+}

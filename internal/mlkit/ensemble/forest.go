@@ -1,0 +1,95 @@
+package ensemble
+
+import (
+	"fmt"
+
+	"statebench/internal/sim"
+)
+
+// RandomForestRegressor averages bootstrap-bagged regression trees with
+// per-split feature subsampling.
+type RandomForestRegressor struct {
+	// NumTrees is the ensemble size (default 10, sklearn's old default).
+	NumTrees int
+	// MaxDepth bounds each tree (0 = unlimited).
+	MaxDepth int
+	// MinSamplesLeaf is per-tree (default 1).
+	MinSamplesLeaf int
+	// MaxFeatures per split; 0 means all features (sklearn's
+	// regression default — pure bagging).
+	MaxFeatures int
+	// Seed makes training deterministic.
+	Seed uint64
+
+	Trees []*RegressionTree
+}
+
+// Fit trains the ensemble.
+func (m *RandomForestRegressor) Fit(X [][]float64, y []float64) error {
+	if len(X) == 0 || len(X) != len(y) {
+		return fmt.Errorf("ensemble: bad training shapes %d/%d", len(X), len(y))
+	}
+	if m.NumTrees <= 0 {
+		m.NumTrees = 10
+	}
+	d := len(X[0])
+	maxFeat := m.MaxFeatures
+	if maxFeat <= 0 || maxFeat > d {
+		maxFeat = d
+	}
+	rng := sim.NewRNG(m.Seed ^ 0x9e3779b97f4a7c15)
+	n := len(X)
+	m.Trees = m.Trees[:0]
+	for t := 0; t < m.NumTrees; t++ {
+		// Bootstrap sample.
+		bx := make([][]float64, n)
+		by := make([]float64, n)
+		for i := 0; i < n; i++ {
+			j := rng.Intn(n)
+			bx[i] = X[j]
+			by[i] = y[j]
+		}
+		tree := &RegressionTree{
+			MaxDepth:       m.MaxDepth,
+			MinSamplesLeaf: m.MinSamplesLeaf,
+			MaxFeatures:    maxFeat,
+			rng:            func(k int) int { return rng.Intn(k) },
+		}
+		if err := tree.Fit(bx, by); err != nil {
+			return fmt.Errorf("ensemble: tree %d: %w", t, err)
+		}
+		m.Trees = append(m.Trees, tree)
+	}
+	return nil
+}
+
+// Predict averages the trees' predictions.
+func (m *RandomForestRegressor) Predict(X [][]float64) ([]float64, error) {
+	if len(m.Trees) == 0 {
+		return nil, fmt.Errorf("ensemble: forest not fitted")
+	}
+	out := make([]float64, len(X))
+	for _, tree := range m.Trees {
+		p, err := tree.Predict(X)
+		if err != nil {
+			return nil, err
+		}
+		for i, v := range p {
+			out[i] += v
+		}
+	}
+	inv := 1 / float64(len(m.Trees))
+	for i := range out {
+		out[i] *= inv
+	}
+	return out, nil
+}
+
+// NodeCount sums nodes across trees (model size proxy).
+func (m *RandomForestRegressor) NodeCount() int {
+	n := 0
+	for _, t := range m.Trees {
+		n += len(t.Nodes)
+	}
+	return n
+}

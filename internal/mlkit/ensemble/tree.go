@@ -1,0 +1,216 @@
+// Package ensemble implements CART regression trees and a random
+// forest regressor — the heavyweight model in the paper's selection
+// search (sklearn's RandomForestRegressor analogue), trained via
+// bootstrap bagging with per-split feature subsampling.
+package ensemble
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// treeNode is one node of a regression tree, stored in a flat slice so
+// trees gob-encode compactly (model sizes matter to the workloads).
+type treeNode struct {
+	// Feature < 0 marks a leaf.
+	Feature   int
+	Threshold float64
+	Left      int
+	Right     int
+	Value     float64
+}
+
+// RegressionTree is a CART tree minimizing squared error.
+type RegressionTree struct {
+	// MaxDepth bounds tree depth (0 = unlimited).
+	MaxDepth int
+	// MinSamplesLeaf is the minimum rows per leaf (default 1).
+	MinSamplesLeaf int
+	// MaxFeatures limits features considered per split (0 = all);
+	// the forest sets this for decorrelation.
+	MaxFeatures int
+
+	Nodes []treeNode
+	// NumFeatures is the training feature count, checked at predict.
+	NumFeatures int
+
+	// rng returns pseudo-random ints for feature subsampling; injected
+	// by the forest for determinism. Nil means deterministic order.
+	rng func(n int) int
+}
+
+// Fit grows the tree on X, y.
+func (t *RegressionTree) Fit(X [][]float64, y []float64) error {
+	if len(X) == 0 || len(X) != len(y) {
+		return fmt.Errorf("ensemble: bad training shapes %d/%d", len(X), len(y))
+	}
+	if t.MinSamplesLeaf <= 0 {
+		t.MinSamplesLeaf = 1
+	}
+	t.NumFeatures = len(X[0])
+	idx := make([]int, len(X))
+	for i := range idx {
+		idx[i] = i
+	}
+	t.Nodes = t.Nodes[:0]
+	t.grow(X, y, idx, 0)
+	return nil
+}
+
+// grow recursively builds the subtree over rows idx, returning its
+// node index.
+func (t *RegressionTree) grow(X [][]float64, y []float64, idx []int, depth int) int {
+	mean := meanOf(y, idx)
+	node := treeNode{Feature: -1, Value: mean}
+	self := len(t.Nodes)
+	t.Nodes = append(t.Nodes, node)
+
+	if len(idx) < 2*t.MinSamplesLeaf || (t.MaxDepth > 0 && depth >= t.MaxDepth) || pure(y, idx) {
+		return self
+	}
+
+	feat, thr, ok := t.bestSplit(X, y, idx)
+	if !ok {
+		return self
+	}
+	var left, right []int
+	for _, i := range idx {
+		if X[i][feat] <= thr {
+			left = append(left, i)
+		} else {
+			right = append(right, i)
+		}
+	}
+	if len(left) < t.MinSamplesLeaf || len(right) < t.MinSamplesLeaf {
+		return self
+	}
+	l := t.grow(X, y, left, depth+1)
+	r := t.grow(X, y, right, depth+1)
+	t.Nodes[self].Feature = feat
+	t.Nodes[self].Threshold = thr
+	t.Nodes[self].Left = l
+	t.Nodes[self].Right = r
+	return self
+}
+
+// bestSplit finds the (feature, threshold) minimizing weighted child
+// variance over a feature subsample.
+func (t *RegressionTree) bestSplit(X [][]float64, y []float64, idx []int) (int, float64, bool) {
+	d := len(X[0])
+	feats := make([]int, d)
+	for i := range feats {
+		feats[i] = i
+	}
+	if t.MaxFeatures > 0 && t.MaxFeatures < d {
+		if t.rng != nil {
+			for i := d - 1; i > 0; i-- {
+				j := t.rng(i + 1)
+				feats[i], feats[j] = feats[j], feats[i]
+			}
+		}
+		feats = feats[:t.MaxFeatures]
+	}
+
+	bestScore := math.Inf(1)
+	bestFeat, bestThr := -1, 0.0
+
+	type pair struct{ x, y float64 }
+	vals := make([]pair, len(idx))
+	for _, f := range feats {
+		for i, row := range idx {
+			vals[i] = pair{x: X[row][f], y: y[row]}
+		}
+		sort.Slice(vals, func(a, b int) bool { return vals[a].x < vals[b].x })
+
+		// Prefix sums for O(n) split scan.
+		n := len(vals)
+		var totSum, totSq float64
+		for _, v := range vals {
+			totSum += v.y
+			totSq += v.y * v.y
+		}
+		var lSum, lSq float64
+		for i := 0; i < n-1; i++ {
+			lSum += vals[i].y
+			lSq += vals[i].y * vals[i].y
+			if vals[i].x == vals[i+1].x {
+				continue
+			}
+			nl, nr := float64(i+1), float64(n-i-1)
+			if int(nl) < t.MinSamplesLeaf || int(nr) < t.MinSamplesLeaf {
+				continue
+			}
+			rSum, rSq := totSum-lSum, totSq-lSq
+			score := (lSq - lSum*lSum/nl) + (rSq - rSum*rSum/nr)
+			if score < bestScore {
+				bestScore = score
+				bestFeat = f
+				bestThr = (vals[i].x + vals[i+1].x) / 2
+			}
+		}
+	}
+	return bestFeat, bestThr, bestFeat >= 0
+}
+
+// Predict evaluates the tree for each row.
+func (t *RegressionTree) Predict(X [][]float64) ([]float64, error) {
+	if len(t.Nodes) == 0 {
+		return nil, fmt.Errorf("ensemble: tree not fitted")
+	}
+	out := make([]float64, len(X))
+	for i, row := range X {
+		if len(row) != t.NumFeatures {
+			return nil, fmt.Errorf("ensemble: row has %d features, tree fitted on %d", len(row), t.NumFeatures)
+		}
+		n := 0
+		for t.Nodes[n].Feature >= 0 {
+			f := t.Nodes[n].Feature
+			if row[f] <= t.Nodes[n].Threshold {
+				n = t.Nodes[n].Left
+			} else {
+				n = t.Nodes[n].Right
+			}
+		}
+		out[i] = t.Nodes[n].Value
+	}
+	return out, nil
+}
+
+// Depth returns the tree's maximum depth.
+func (t *RegressionTree) Depth() int {
+	var walk func(n, d int) int
+	walk = func(n, d int) int {
+		if t.Nodes[n].Feature < 0 {
+			return d
+		}
+		l := walk(t.Nodes[n].Left, d+1)
+		r := walk(t.Nodes[n].Right, d+1)
+		if l > r {
+			return l
+		}
+		return r
+	}
+	if len(t.Nodes) == 0 {
+		return 0
+	}
+	return walk(0, 0)
+}
+
+func meanOf(y []float64, idx []int) float64 {
+	var s float64
+	for _, i := range idx {
+		s += y[i]
+	}
+	return s / float64(len(idx))
+}
+
+func pure(y []float64, idx []int) bool {
+	first := y[idx[0]]
+	for _, i := range idx[1:] {
+		if y[i] != first {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,167 @@
+// Package modelsel implements the model-selection machinery of the
+// paper's training workflow: train/test splitting, K-fold cross
+// validation, and grid search over candidate regressors, selecting the
+// best fit by validation MSE (the role of the paper's "ModelSelection"
+// collector entity).
+package modelsel
+
+import (
+	"fmt"
+	"sort"
+
+	"statebench/internal/mlkit/linmodel"
+	"statebench/internal/mlkit/metrics"
+	"statebench/internal/sim"
+)
+
+// Split divides (X, y) into train/test with the given test fraction,
+// shuffled deterministically by seed.
+func Split(X [][]float64, y []float64, testFrac float64, seed uint64) (trainX [][]float64, trainY []float64, testX [][]float64, testY []float64, err error) {
+	if len(X) != len(y) || len(X) == 0 {
+		return nil, nil, nil, nil, fmt.Errorf("modelsel: bad shapes %d/%d", len(X), len(y))
+	}
+	if testFrac <= 0 || testFrac >= 1 {
+		return nil, nil, nil, nil, fmt.Errorf("modelsel: testFrac %v out of (0,1)", testFrac)
+	}
+	perm := sim.NewRNG(seed).Perm(len(X))
+	nTest := int(float64(len(X)) * testFrac)
+	if nTest == 0 {
+		nTest = 1
+	}
+	for i, p := range perm {
+		if i < nTest {
+			testX = append(testX, X[p])
+			testY = append(testY, y[p])
+		} else {
+			trainX = append(trainX, X[p])
+			trainY = append(trainY, y[p])
+		}
+	}
+	return trainX, trainY, testX, testY, nil
+}
+
+// KFold yields k (train, validation) index partitions.
+type KFold struct {
+	K    int
+	Seed uint64
+}
+
+// Folds returns the index sets for n rows.
+func (kf KFold) Folds(n int) ([][]int, [][]int, error) {
+	if kf.K < 2 || kf.K > n {
+		return nil, nil, fmt.Errorf("modelsel: K=%d invalid for %d rows", kf.K, n)
+	}
+	perm := sim.NewRNG(kf.Seed).Perm(n)
+	trains := make([][]int, kf.K)
+	vals := make([][]int, kf.K)
+	for f := 0; f < kf.K; f++ {
+		lo := f * n / kf.K
+		hi := (f + 1) * n / kf.K
+		vals[f] = append(vals[f], perm[lo:hi]...)
+		trains[f] = append(trains[f], perm[:lo]...)
+		trains[f] = append(trains[f], perm[hi:]...)
+	}
+	return trains, vals, nil
+}
+
+// Candidate is one (name, constructor) grid-search entry; the
+// constructor returns a fresh unfitted model so folds don't share
+// state.
+type Candidate struct {
+	Name string
+	New  func() linmodel.Regressor
+}
+
+// Result is a scored candidate.
+type Result struct {
+	Name string
+	MSE  float64
+	R2   float64
+}
+
+// CrossValidate scores one candidate by K-fold mean validation MSE.
+func CrossValidate(c Candidate, X [][]float64, y []float64, k int, seed uint64) (Result, error) {
+	trains, vals, err := KFold{K: k, Seed: seed}.Folds(len(X))
+	if err != nil {
+		return Result{}, err
+	}
+	var mseSum, r2Sum float64
+	for f := range trains {
+		tx, ty := take(X, y, trains[f])
+		vx, vy := take(X, y, vals[f])
+		model := c.New()
+		if err := model.Fit(tx, ty); err != nil {
+			return Result{}, fmt.Errorf("modelsel: %s fold %d: %w", c.Name, f, err)
+		}
+		pred, err := model.Predict(vx)
+		if err != nil {
+			return Result{}, err
+		}
+		mse, err := metrics.MSE(vy, pred)
+		if err != nil {
+			return Result{}, err
+		}
+		r2, err := metrics.R2(vy, pred)
+		if err != nil {
+			return Result{}, err
+		}
+		mseSum += mse
+		r2Sum += r2
+	}
+	kf := float64(len(trains))
+	return Result{Name: c.Name, MSE: mseSum / kf, R2: r2Sum / kf}, nil
+}
+
+// GridSearch cross-validates every candidate and returns results sorted
+// by ascending MSE (best first).
+func GridSearch(cands []Candidate, X [][]float64, y []float64, k int, seed uint64) ([]Result, error) {
+	if len(cands) == 0 {
+		return nil, fmt.Errorf("modelsel: no candidates")
+	}
+	var out []Result
+	for _, c := range cands {
+		r, err := CrossValidate(c, X, y, k, seed)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].MSE < out[j].MSE })
+	return out, nil
+}
+
+// BestFit is the accumulator the paper implements as the
+// "ModelSelection" entity: it keeps the lowest-error model reported so
+// far.
+type BestFit struct {
+	Name  string
+	MSE   float64
+	Model []byte // serialized winning model
+	set   bool
+}
+
+// Report offers a candidate; it is kept only if it beats the current
+// best. Returns true if it became the new best.
+func (b *BestFit) Report(name string, mse float64, model []byte) bool {
+	if !b.set || mse < b.MSE {
+		b.Name = name
+		b.MSE = mse
+		b.Model = model
+		b.set = true
+		return true
+	}
+	return false
+}
+
+// HasModel reports whether any candidate has been accepted.
+func (b *BestFit) HasModel() bool { return b.set }
+
+func take(X [][]float64, y []float64, idx []int) ([][]float64, []float64) {
+	tx := make([][]float64, len(idx))
+	ty := make([]float64, len(idx))
+	for i, r := range idx {
+		tx[i] = X[r]
+		ty[i] = y[r]
+	}
+	return tx, ty
+}

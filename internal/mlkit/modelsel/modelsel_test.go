@@ -1,0 +1,137 @@
+package modelsel
+
+import (
+	"testing"
+
+	"statebench/internal/mlkit/linmodel"
+	"statebench/internal/mlkit/neighbors"
+	"statebench/internal/sim"
+)
+
+func linData(n int, seed uint64) ([][]float64, []float64) {
+	r := sim.NewRNG(seed)
+	X := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range X {
+		X[i] = []float64{r.Uniform(-3, 3), r.Uniform(-3, 3)}
+		y[i] = 2*X[i][0] - X[i][1] + r.Normal(0, 0.2)
+	}
+	return X, y
+}
+
+func TestSplitShapesAndDisjoint(t *testing.T) {
+	X, y := linData(100, 1)
+	trX, trY, teX, teY, err := Split(X, y, 0.25, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trX) != 75 || len(teX) != 25 || len(trY) != 75 || len(teY) != 25 {
+		t.Fatalf("split sizes %d/%d", len(trX), len(teX))
+	}
+	if _, _, _, _, err := Split(X, y, 0, 7); err == nil {
+		t.Fatal("testFrac=0 accepted")
+	}
+	if _, _, _, _, err := Split(nil, nil, 0.5, 7); err == nil {
+		t.Fatal("empty split accepted")
+	}
+}
+
+func TestSplitDeterministic(t *testing.T) {
+	X, y := linData(50, 2)
+	_, aY, _, _, err := Split(X, y, 0.2, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, bY, _, _, err := Split(X, y, 0.2, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range aY {
+		if aY[i] != bY[i] {
+			t.Fatal("same-seed split differs")
+		}
+	}
+}
+
+func TestKFoldPartitions(t *testing.T) {
+	kf := KFold{K: 4, Seed: 3}
+	trains, vals, err := kf.Folds(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trains) != 4 || len(vals) != 4 {
+		t.Fatal("fold count")
+	}
+	seen := map[int]int{}
+	for f := range vals {
+		if len(vals[f]) != 5 || len(trains[f]) != 15 {
+			t.Fatalf("fold %d sizes %d/%d", f, len(vals[f]), len(trains[f]))
+		}
+		for _, i := range vals[f] {
+			seen[i]++
+		}
+		// train ∩ val = ∅
+		inVal := map[int]bool{}
+		for _, i := range vals[f] {
+			inVal[i] = true
+		}
+		for _, i := range trains[f] {
+			if inVal[i] {
+				t.Fatalf("fold %d overlaps", f)
+			}
+		}
+	}
+	// Every row appears in exactly one validation fold.
+	for i := 0; i < 20; i++ {
+		if seen[i] != 1 {
+			t.Fatalf("row %d in %d validation folds", i, seen[i])
+		}
+	}
+	if _, _, err := (KFold{K: 1}).Folds(10); err == nil {
+		t.Fatal("K=1 accepted")
+	}
+}
+
+func TestGridSearchPicksRightModel(t *testing.T) {
+	// Linear data: linear regression must beat 1-NN.
+	X, y := linData(200, 4)
+	cands := []Candidate{
+		{Name: "knn1", New: func() linmodel.Regressor { return &neighbors.KNeighborsRegressor{K: 1} }},
+		{Name: "linear", New: func() linmodel.Regressor { return &linmodel.LinearRegression{} }},
+	}
+	results, err := GridSearch(cands, X, y, 5, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Name != "linear" {
+		t.Fatalf("grid search picked %s (mse %v) over linear", results[0].Name, results[0].MSE)
+	}
+	if results[0].MSE >= results[1].MSE {
+		t.Fatal("results not sorted by MSE")
+	}
+	if results[0].R2 < 0.9 {
+		t.Fatalf("winner R2 = %v", results[0].R2)
+	}
+	if _, err := GridSearch(nil, X, y, 5, 1); err == nil {
+		t.Fatal("empty grid accepted")
+	}
+}
+
+func TestBestFitKeepsMinimum(t *testing.T) {
+	var b BestFit
+	if b.HasModel() {
+		t.Fatal("empty best fit has model")
+	}
+	if !b.Report("a", 10, []byte("ma")) {
+		t.Fatal("first report rejected")
+	}
+	if b.Report("b", 20, []byte("mb")) {
+		t.Fatal("worse report accepted")
+	}
+	if !b.Report("c", 5, []byte("mc")) {
+		t.Fatal("better report rejected")
+	}
+	if b.Name != "c" || b.MSE != 5 || string(b.Model) != "mc" {
+		t.Fatalf("best = %+v", b)
+	}
+}

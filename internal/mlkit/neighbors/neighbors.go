@@ -1,0 +1,112 @@
+// Package neighbors implements the k-nearest-neighbors regressor the
+// paper's model-selection step searches over (sklearn's
+// KNeighborsRegressor analogue), with uniform and inverse-distance
+// weighting.
+package neighbors
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Weighting selects how neighbor targets are combined.
+type Weighting int
+
+// Weightings.
+const (
+	Uniform Weighting = iota
+	Distance
+)
+
+// KNeighborsRegressor predicts the (weighted) mean target of the K
+// nearest training rows by Euclidean distance.
+type KNeighborsRegressor struct {
+	K       int
+	Weights Weighting
+
+	// XTrain and YTrain are the memorized training set (exported so
+	// fitted models gob-serialize with their real size).
+	XTrain [][]float64
+	YTrain []float64
+}
+
+// Fit memorizes the training set.
+func (m *KNeighborsRegressor) Fit(X [][]float64, y []float64) error {
+	if m.K <= 0 {
+		return fmt.Errorf("neighbors: K must be positive, got %d", m.K)
+	}
+	if len(X) == 0 || len(X) != len(y) {
+		return fmt.Errorf("neighbors: bad training shapes %d/%d", len(X), len(y))
+	}
+	if m.K > len(X) {
+		return fmt.Errorf("neighbors: K=%d exceeds %d training rows", m.K, len(X))
+	}
+	d := len(X[0])
+	m.XTrain = make([][]float64, len(X))
+	for i := range X {
+		if len(X[i]) != d {
+			return fmt.Errorf("neighbors: ragged matrix at row %d", i)
+		}
+		m.XTrain[i] = append([]float64(nil), X[i]...)
+	}
+	m.YTrain = append([]float64(nil), y...)
+	return nil
+}
+
+// Predict returns the KNN estimate for each query row.
+func (m *KNeighborsRegressor) Predict(X [][]float64) ([]float64, error) {
+	if m.XTrain == nil {
+		return nil, fmt.Errorf("neighbors: model not fitted")
+	}
+	out := make([]float64, len(X))
+	type cand struct {
+		dist float64
+		y    float64
+	}
+	for qi, q := range X {
+		if len(q) != len(m.XTrain[0]) {
+			return nil, fmt.Errorf("neighbors: query has %d features, model has %d", len(q), len(m.XTrain[0]))
+		}
+		cands := make([]cand, len(m.XTrain))
+		for i, row := range m.XTrain {
+			var s float64
+			for j := range row {
+				d := row[j] - q[j]
+				s += d * d
+			}
+			cands[i] = cand{dist: math.Sqrt(s), y: m.YTrain[i]}
+		}
+		sort.Slice(cands, func(a, b int) bool { return cands[a].dist < cands[b].dist })
+		top := cands[:m.K]
+		switch m.Weights {
+		case Distance:
+			var num, den float64
+			exact := false
+			for _, c := range top {
+				if c.dist == 0 {
+					// Exact match dominates (sklearn semantics).
+					out[qi] = c.y
+					exact = true
+					break
+				}
+				w := 1 / c.dist
+				num += w * c.y
+				den += w
+			}
+			if !exact {
+				out[qi] = num / den
+			}
+		default:
+			var s float64
+			for _, c := range top {
+				s += c.y
+			}
+			out[qi] = s / float64(m.K)
+		}
+	}
+	return out, nil
+}
+
+// TrainingSize returns the memorized row count (model size proxy).
+func (m *KNeighborsRegressor) TrainingSize() int { return len(m.XTrain) }

@@ -1,0 +1,116 @@
+// Package pricing holds the 2021 public price books for both clouds and
+// computes the two cost components the paper compares: computation cost
+// (GB-s) and stateful transaction/transition cost.
+package pricing
+
+import "fmt"
+
+// AWSPrices is the AWS price book (us-west-2, 2021, USD).
+type AWSPrices struct {
+	// LambdaGBs is per GB-second of configured memory.
+	LambdaGBs float64
+	// LambdaRequest is per invocation.
+	LambdaRequest float64
+	// StepTransition is per state transition (Standard Workflows:
+	// $0.025 per 1,000).
+	StepTransition float64
+	// S3Request is per GET/PUT-class request (blended).
+	S3Request float64
+}
+
+// AzurePrices is the Azure price book (consumption plan, 2021, USD).
+type AzurePrices struct {
+	// FunctionsGBs is per GB-second of observed memory.
+	FunctionsGBs float64
+	// FunctionsExecution is per execution.
+	FunctionsExecution float64
+	// StorageTransaction is per queue/table transaction (blended
+	// $0.00036 per 10,000).
+	StorageTransaction float64
+	// BlobRequest is per blob operation.
+	BlobRequest float64
+}
+
+// DefaultAWS returns the 2021 list prices used in the paper's period.
+func DefaultAWS() AWSPrices {
+	return AWSPrices{
+		LambdaGBs:      0.0000166667,
+		LambdaRequest:  0.20 / 1e6,
+		StepTransition: 0.025 / 1e3,
+		S3Request:      0.0000054, // blended GET($0.4/M)/PUT($5/M)
+	}
+}
+
+// DefaultAzure returns the 2021 list prices.
+func DefaultAzure() AzurePrices {
+	return AzurePrices{
+		FunctionsGBs:       0.000016,
+		FunctionsExecution: 0.20 / 1e6,
+		StorageTransaction: 0.00036 / 1e4,
+		BlobRequest:        0.0000044,
+	}
+}
+
+// Bill is a cost breakdown in USD, split the way the paper splits it:
+// Compute (GB-s based) vs Stateful (transitions/transactions) vs
+// per-request charges and blob traffic.
+type Bill struct {
+	Compute  float64
+	Requests float64
+	Stateful float64
+	Blob     float64
+}
+
+// Total returns the summed cost.
+func (b Bill) Total() float64 { return b.Compute + b.Requests + b.Stateful + b.Blob }
+
+// StatefulShare returns the stateful fraction of the total (0 when the
+// total is zero).
+func (b Bill) StatefulShare() float64 {
+	t := b.Total()
+	if t == 0 {
+		return 0
+	}
+	return b.Stateful / t
+}
+
+// Add returns the element-wise sum of two bills.
+func (b Bill) Add(o Bill) Bill {
+	return Bill{
+		Compute:  b.Compute + o.Compute,
+		Requests: b.Requests + o.Requests,
+		Stateful: b.Stateful + o.Stateful,
+		Blob:     b.Blob + o.Blob,
+	}
+}
+
+// Scale returns the bill multiplied by f (e.g. runs per month).
+func (b Bill) Scale(f float64) Bill {
+	return Bill{Compute: b.Compute * f, Requests: b.Requests * f, Stateful: b.Stateful * f, Blob: b.Blob * f}
+}
+
+// String implements fmt.Stringer with a compact breakdown.
+func (b Bill) String() string {
+	return fmt.Sprintf("$%.6f (compute $%.6f, requests $%.6f, stateful $%.6f, blob $%.6f)",
+		b.Total(), b.Compute, b.Requests, b.Stateful, b.Blob)
+}
+
+// AWSBill prices an AWS run.
+func (p AWSPrices) AWSBill(billedGBs float64, invocations, transitions, s3Requests int64) Bill {
+	return Bill{
+		Compute:  billedGBs * p.LambdaGBs,
+		Requests: float64(invocations) * p.LambdaRequest,
+		Stateful: float64(transitions) * p.StepTransition,
+		Blob:     float64(s3Requests) * p.S3Request,
+	}
+}
+
+// AzureBill prices an Azure run.
+func (p AzurePrices) AzureBill(billedGBs float64, executions, storageTxns, blobRequests int64) Bill {
+	return Bill{
+		Compute:  billedGBs * p.FunctionsGBs,
+		Requests: float64(executions) * p.FunctionsExecution,
+		Stateful: float64(storageTxns) * p.StorageTransaction,
+		Blob:     float64(blobRequests) * p.BlobRequest,
+	}
+}

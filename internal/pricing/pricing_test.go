@@ -1,0 +1,69 @@
+package pricing
+
+import (
+	"math"
+	"testing"
+)
+
+func close(a, b float64) bool { return math.Abs(a-b) < 1e-12 }
+
+func TestAWSBill(t *testing.T) {
+	p := DefaultAWS()
+	b := p.AWSBill(100, 10, 1000, 50)
+	if !close(b.Compute, 100*0.0000166667) {
+		t.Fatalf("compute = %v", b.Compute)
+	}
+	if !close(b.Stateful, 1000*0.025/1000) {
+		t.Fatalf("stateful = %v", b.Stateful)
+	}
+	if !close(b.Requests, 10*0.2/1e6) {
+		t.Fatalf("requests = %v", b.Requests)
+	}
+	if b.Total() <= b.Compute {
+		t.Fatal("total not summing")
+	}
+}
+
+func TestAzureBill(t *testing.T) {
+	p := DefaultAzure()
+	b := p.AzureBill(100, 10, 20000, 5)
+	if !close(b.Compute, 100*0.000016) {
+		t.Fatalf("compute = %v", b.Compute)
+	}
+	if !close(b.Stateful, 20000*0.00036/1e4) {
+		t.Fatalf("stateful = %v", b.Stateful)
+	}
+}
+
+func TestStatefulShare(t *testing.T) {
+	b := Bill{Compute: 0.9, Stateful: 0.1}
+	if !close(b.StatefulShare(), 0.1) {
+		t.Fatalf("share = %v", b.StatefulShare())
+	}
+	var zero Bill
+	if zero.StatefulShare() != 0 {
+		t.Fatal("zero bill share should be 0")
+	}
+}
+
+func TestAddScale(t *testing.T) {
+	a := Bill{Compute: 1, Requests: 2, Stateful: 3, Blob: 4}
+	b := a.Add(a)
+	if b.Total() != 20 {
+		t.Fatalf("add total = %v", b.Total())
+	}
+	c := a.Scale(3)
+	if !close(c.Stateful, 9) {
+		t.Fatalf("scale = %v", c)
+	}
+}
+
+func TestPerTransitionVsPerTransactionGap(t *testing.T) {
+	// A Step transition is ~700x more expensive than a storage
+	// transaction — but Azure issues orders of magnitude more
+	// transactions (polling), which is the paper's cost story.
+	aws, az := DefaultAWS(), DefaultAzure()
+	if aws.StepTransition < 100*az.StorageTransaction {
+		t.Fatal("price book relationship broken")
+	}
+}

@@ -1,0 +1,50 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkEventThroughput measures raw event-loop dispatch rate.
+func BenchmarkEventThroughput(b *testing.B) {
+	k := NewKernel(1)
+	for i := 0; i < b.N; i++ {
+		k.After(time.Duration(i), func() {})
+	}
+	b.ResetTimer()
+	k.Run()
+}
+
+// BenchmarkProcContextSwitch measures the park/resume round trip that
+// every simulated blocking operation pays.
+func BenchmarkProcContextSwitch(b *testing.B) {
+	k := NewKernel(1)
+	n := b.N
+	k.Spawn("switcher", func(p *Proc) {
+		for i := 0; i < n; i++ {
+			p.Sleep(time.Nanosecond)
+		}
+	})
+	b.ResetTimer()
+	k.Run()
+}
+
+// BenchmarkFutureFanIn measures fan-out/fan-in through futures.
+func BenchmarkFutureFanIn(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		k := NewKernel(1)
+		futures := make([]*Future[int], 64)
+		for j := range futures {
+			f := NewFuture[int](k)
+			futures[j] = f
+			d := time.Duration(j) * time.Microsecond
+			k.After(d, func() { f.Complete(1, nil) })
+		}
+		k.Spawn("fanin", func(p *Proc) {
+			if _, err := AwaitAll(p, futures); err != nil {
+				b.Error(err)
+			}
+		})
+		k.Run()
+	}
+}

@@ -1,0 +1,226 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func sampleMany(d Dist, n int, seed uint64) []time.Duration {
+	r := NewRNG(seed)
+	out := make([]time.Duration, n)
+	for i := range out {
+		out[i] = d.Sample(r)
+	}
+	return out
+}
+
+func TestFixedDist(t *testing.T) {
+	d := Fixed{D: 3 * time.Second}
+	for _, s := range sampleMany(d, 10, 1) {
+		if s != 3*time.Second {
+			t.Fatalf("fixed sample = %v", s)
+		}
+	}
+	if d.Mean() != 3*time.Second {
+		t.Fatal("fixed mean")
+	}
+}
+
+func TestUniformDistBounds(t *testing.T) {
+	d := UniformDist{Lo: time.Second, Hi: 2 * time.Second}
+	for _, s := range sampleMany(d, 1000, 7) {
+		if s < time.Second || s > 2*time.Second {
+			t.Fatalf("uniform sample %v out of bounds", s)
+		}
+	}
+}
+
+func TestExpDistMean(t *testing.T) {
+	d := ExpDist{Base: 100 * time.Millisecond, M: time.Second}
+	samples := sampleMany(d, 20000, 3)
+	var sum float64
+	for _, s := range samples {
+		sum += float64(s)
+	}
+	mean := time.Duration(sum / float64(len(samples)))
+	want := d.Mean()
+	if math.Abs(float64(mean-want)) > 0.05*float64(want) {
+		t.Fatalf("empirical mean %v, want ~%v", mean, want)
+	}
+}
+
+func TestLogNormalMedianAndCap(t *testing.T) {
+	d := LogNormalDist{Median: time.Second, Sigma: 0.5, Max: 10 * time.Second}
+	samples := sampleMany(d, 20001, 5)
+	med := Quantile(samples, 0.5)
+	if med < 900*time.Millisecond || med > 1100*time.Millisecond {
+		t.Fatalf("median %v, want ~1s", med)
+	}
+	for _, s := range samples {
+		if s > 10*time.Second {
+			t.Fatalf("sample %v exceeds cap", s)
+		}
+	}
+}
+
+func TestParetoTailHeavierThanExp(t *testing.T) {
+	p := ParetoDist{Scale: time.Second, Alpha: 1.2}
+	samples := sampleMany(p, 20000, 9)
+	p50 := Quantile(samples, 0.5)
+	p99 := Quantile(samples, 0.99)
+	if float64(p99)/float64(p50) < 5 {
+		t.Fatalf("pareto p99/p50 = %.1f, want heavy tail", float64(p99)/float64(p50))
+	}
+	for _, s := range samples {
+		if s < time.Second {
+			t.Fatalf("pareto sample %v below scale", s)
+		}
+	}
+}
+
+func TestParetoMean(t *testing.T) {
+	p := ParetoDist{Scale: time.Second, Alpha: 2}
+	if p.Mean() != 2*time.Second {
+		t.Fatalf("pareto mean = %v, want 2s", p.Mean())
+	}
+	inf := ParetoDist{Scale: time.Second, Alpha: 0.9}
+	if inf.Mean() != time.Duration(math.MaxInt64) {
+		t.Fatal("alpha<=1 uncapped mean should be MaxInt64")
+	}
+}
+
+func TestEmpiricalSamplesFromObservations(t *testing.T) {
+	obs := []time.Duration{time.Second, 2 * time.Second, 3 * time.Second}
+	d := Empirical{Obs: obs}
+	seen := map[time.Duration]bool{}
+	for _, s := range sampleMany(d, 300, 11) {
+		seen[s] = true
+		if s != time.Second && s != 2*time.Second && s != 3*time.Second {
+			t.Fatalf("sample %v not in observation set", s)
+		}
+	}
+	if len(seen) != 3 {
+		t.Fatalf("only saw %d distinct values", len(seen))
+	}
+	if d.Mean() != 2*time.Second {
+		t.Fatalf("empirical mean = %v", d.Mean())
+	}
+}
+
+func TestEmpiricalEmpty(t *testing.T) {
+	d := Empirical{}
+	if d.Sample(NewRNG(1)) != 0 || d.Mean() != 0 {
+		t.Fatal("empty empirical should be zero")
+	}
+}
+
+func TestMixtureWeights(t *testing.T) {
+	m := Mixture{
+		Weights: []float64{0.9, 0.1},
+		Parts:   []Dist{Fixed{D: time.Second}, Fixed{D: 100 * time.Second}},
+	}
+	samples := sampleMany(m, 10000, 13)
+	slow := 0
+	for _, s := range samples {
+		if s == 100*time.Second {
+			slow++
+		}
+	}
+	frac := float64(slow) / float64(len(samples))
+	if frac < 0.07 || frac > 0.13 {
+		t.Fatalf("slow fraction %.3f, want ~0.1", frac)
+	}
+	wantMean := time.Duration(0.9*float64(time.Second) + 0.1*float64(100*time.Second))
+	if m.Mean() != wantMean {
+		t.Fatalf("mixture mean = %v, want %v", m.Mean(), wantMean)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	s := []time.Duration{4, 1, 3, 2, 5}
+	if Quantile(s, 0) != 1 || Quantile(s, 1) != 5 {
+		t.Fatal("extremes wrong")
+	}
+	if Quantile(s, 0.5) != 3 {
+		t.Fatalf("median = %v", Quantile(s, 0.5))
+	}
+	if Quantile(nil, 0.5) != 0 {
+		t.Fatal("empty quantile should be 0")
+	}
+	// Input must not be mutated.
+	if s[0] != 4 {
+		t.Fatal("Quantile mutated its input")
+	}
+}
+
+// Property: no distribution ever produces a negative duration.
+func TestPropertyNonNegativeSamples(t *testing.T) {
+	dists := []Dist{
+		Fixed{D: time.Second},
+		UniformDist{Lo: 0, Hi: time.Minute},
+		ExpDist{M: time.Second},
+		LogNormalDist{Median: time.Second, Sigma: 2},
+		ParetoDist{Scale: time.Millisecond, Alpha: 0.5, Max: time.Hour},
+		Mixture{Weights: []float64{1, 1}, Parts: []Dist{ExpDist{M: time.Second}, Fixed{}}},
+	}
+	f := func(seed uint64) bool {
+		r := NewRNG(seed)
+		for _, d := range dists {
+			for i := 0; i < 20; i++ {
+				if d.Sample(r) < 0 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: RNG Float64 is always in [0,1) and Intn in range.
+func TestPropertyRNGRanges(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		r := NewRNG(seed)
+		n := int(nRaw%100) + 1
+		for i := 0; i < 50; i++ {
+			u := r.Float64()
+			if u < 0 || u >= 1 {
+				return false
+			}
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Perm returns a valid permutation.
+func TestPropertyPerm(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw % 64)
+		p := NewRNG(seed).Perm(n)
+		if len(p) != n {
+			return false
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

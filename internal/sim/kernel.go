@@ -1,0 +1,145 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// The kernel advances a virtual clock by executing events in (time,
+// sequence) order. On top of raw events it offers simpy-style blocking
+// processes (see Proc): goroutines that run one at a time, interleaved
+// with the event loop, so that simulation code can be written in plain
+// sequential style (Sleep, Await, resource acquisition) while the whole
+// run remains fully deterministic and independent of the host clock.
+//
+// Exactly one logical thread of control is active at any instant —
+// either the kernel's event loop or a single process — so simulation
+// state never needs locking.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Time is a point in virtual time, measured as an offset from the start
+// of the simulation.
+type Time = time.Duration
+
+// event is a scheduled callback.
+type event struct {
+	at  Time
+	seq int64
+	fn  func()
+}
+
+// eventHeap is a min-heap ordered by (at, seq).
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+func (h eventHeap) peek() *event { return h[0] }
+
+// Kernel is a discrete-event simulation engine with a virtual clock.
+// Create one with NewKernel; it is not safe for concurrent use from
+// multiple host goroutines (all access must come from the event loop or
+// from the currently running Proc).
+type Kernel struct {
+	now     Time
+	seq     int64
+	pq      eventHeap
+	yield   chan struct{} // signalled when the running proc parks/exits
+	seed    uint64
+	procSeq int64
+	stopped bool
+	live    int // live (started, unfinished) procs; diagnostics only
+}
+
+// NewKernel returns a kernel whose clock starts at zero. seed is the
+// master seed from which all component RNG streams are derived; the same
+// seed always reproduces the same run.
+func NewKernel(seed uint64) *Kernel {
+	return &Kernel{
+		yield: make(chan struct{}),
+		seed:  seed,
+	}
+}
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() Time { return k.now }
+
+// Seed returns the master seed the kernel was created with.
+func (k *Kernel) Seed() uint64 { return k.seed }
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the
+// past (t < Now) runs the event at the current time, after already-queued
+// events for this instant.
+func (k *Kernel) At(t Time, fn func()) {
+	if t < k.now {
+		t = k.now
+	}
+	k.seq++
+	heap.Push(&k.pq, &event{at: t, seq: k.seq, fn: fn})
+}
+
+// After schedules fn to run d from now. Negative d is treated as zero.
+func (k *Kernel) After(d time.Duration, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	k.At(k.now+d, fn)
+}
+
+// Run executes events until the queue is empty or Stop is called.
+// It returns the final virtual time.
+func (k *Kernel) Run() Time { return k.RunUntil(-1) }
+
+// RunUntil executes events until the queue is empty, Stop is called, or
+// the next event would be after deadline (deadline < 0 means no limit).
+// The clock is left at the last executed event (or at deadline, if the
+// deadline cut execution short and deadline is beyond the clock).
+func (k *Kernel) RunUntil(deadline Time) Time {
+	for len(k.pq) > 0 && !k.stopped {
+		if deadline >= 0 && k.pq.peek().at > deadline {
+			if deadline > k.now {
+				k.now = deadline
+			}
+			return k.now
+		}
+		ev := heap.Pop(&k.pq).(*event)
+		k.now = ev.at
+		ev.fn()
+	}
+	return k.now
+}
+
+// Stop halts the event loop after the current event completes. Parked
+// processes are abandoned (their goroutines remain blocked until process
+// exit; they hold no host resources beyond their stacks).
+func (k *Kernel) Stop() { k.stopped = true }
+
+// Stopped reports whether Stop has been called.
+func (k *Kernel) Stopped() bool { return k.stopped }
+
+// Pending returns the number of queued events.
+func (k *Kernel) Pending() int { return len(k.pq) }
+
+// LiveProcs returns the number of spawned processes that have not yet
+// finished (parked processes count). Useful for leak detection in tests.
+func (k *Kernel) LiveProcs() int { return k.live }
+
+// String implements fmt.Stringer for debugging.
+func (k *Kernel) String() string {
+	return fmt.Sprintf("sim.Kernel{now: %v, pending: %d, procs: %d}", k.now, len(k.pq), k.live)
+}

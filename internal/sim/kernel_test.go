@@ -1,0 +1,423 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestEventOrdering(t *testing.T) {
+	k := NewKernel(1)
+	var got []int
+	k.At(3*time.Second, func() { got = append(got, 3) })
+	k.At(1*time.Second, func() { got = append(got, 1) })
+	k.At(2*time.Second, func() { got = append(got, 2) })
+	end := k.Run()
+	if end != 3*time.Second {
+		t.Fatalf("end time = %v, want 3s", end)
+	}
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSameTimeFIFO(t *testing.T) {
+	k := NewKernel(1)
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		k.At(time.Second, func() { got = append(got, i) })
+	}
+	k.Run()
+	for i := 0; i < 10; i++ {
+		if got[i] != i {
+			t.Fatalf("same-time events not FIFO: %v", got)
+		}
+	}
+}
+
+func TestSchedulingInPastClampsToNow(t *testing.T) {
+	k := NewKernel(1)
+	var at time.Duration
+	k.At(5*time.Second, func() {
+		k.At(time.Second, func() { at = k.Now() })
+	})
+	k.Run()
+	if at != 5*time.Second {
+		t.Fatalf("past event ran at %v, want clamped to 5s", at)
+	}
+}
+
+func TestAfterNegativeClampsToZero(t *testing.T) {
+	k := NewKernel(1)
+	ran := false
+	k.After(-time.Second, func() { ran = true })
+	if k.Run() != 0 {
+		t.Fatal("negative After should run at t=0")
+	}
+	if !ran {
+		t.Fatal("event did not run")
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	k := NewKernel(1)
+	var fired []time.Duration
+	for _, d := range []time.Duration{time.Second, 2 * time.Second, 5 * time.Second} {
+		d := d
+		k.At(d, func() { fired = append(fired, d) })
+	}
+	k.RunUntil(3 * time.Second)
+	if len(fired) != 2 {
+		t.Fatalf("fired %v, want 2 events before deadline", fired)
+	}
+	if k.Now() != 3*time.Second {
+		t.Fatalf("clock = %v, want deadline 3s", k.Now())
+	}
+	if k.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", k.Pending())
+	}
+	k.Run()
+	if len(fired) != 3 {
+		t.Fatalf("remaining event never ran")
+	}
+}
+
+func TestStop(t *testing.T) {
+	k := NewKernel(1)
+	count := 0
+	for i := 1; i <= 10; i++ {
+		k.At(time.Duration(i)*time.Second, func() {
+			count++
+			if count == 3 {
+				k.Stop()
+			}
+		})
+	}
+	k.Run()
+	if count != 3 {
+		t.Fatalf("ran %d events after Stop, want 3", count)
+	}
+	if !k.Stopped() {
+		t.Fatal("Stopped() = false")
+	}
+}
+
+func TestProcSleep(t *testing.T) {
+	k := NewKernel(1)
+	var marks []time.Duration
+	k.Spawn("sleeper", func(p *Proc) {
+		marks = append(marks, p.Now())
+		p.Sleep(10 * time.Second)
+		marks = append(marks, p.Now())
+		p.Sleep(5 * time.Second)
+		marks = append(marks, p.Now())
+	})
+	k.Run()
+	want := []time.Duration{0, 10 * time.Second, 15 * time.Second}
+	for i := range want {
+		if marks[i] != want[i] {
+			t.Fatalf("marks = %v, want %v", marks, want)
+		}
+	}
+	if k.LiveProcs() != 0 {
+		t.Fatalf("LiveProcs = %d, want 0", k.LiveProcs())
+	}
+}
+
+func TestSpawnAfter(t *testing.T) {
+	k := NewKernel(1)
+	var start time.Duration = -1
+	k.SpawnAfter(7*time.Second, "late", func(p *Proc) { start = p.Now() })
+	k.Run()
+	if start != 7*time.Second {
+		t.Fatalf("proc started at %v, want 7s", start)
+	}
+}
+
+func TestProcsInterleaveDeterministically(t *testing.T) {
+	run := func() []string {
+		k := NewKernel(42)
+		var log []string
+		for _, name := range []string{"a", "b", "c"} {
+			name := name
+			k.Spawn(name, func(p *Proc) {
+				for i := 0; i < 3; i++ {
+					log = append(log, name)
+					p.Sleep(time.Second)
+				}
+			})
+		}
+		k.Run()
+		return log
+	}
+	first := run()
+	for trial := 0; trial < 5; trial++ {
+		again := run()
+		if len(again) != len(first) {
+			t.Fatal("nondeterministic length")
+		}
+		for i := range first {
+			if first[i] != again[i] {
+				t.Fatalf("nondeterministic interleaving at %d: %v vs %v", i, first, again)
+			}
+		}
+	}
+	// Same-instant procs run in spawn order.
+	if first[0] != "a" || first[1] != "b" || first[2] != "c" {
+		t.Fatalf("spawn order not FIFO: %v", first)
+	}
+}
+
+func TestFutureCompleteBeforeAwait(t *testing.T) {
+	k := NewKernel(1)
+	f := CompletedFuture(k, 42, nil)
+	var got int
+	k.Spawn("reader", func(p *Proc) { got, _ = f.Await(p) })
+	k.Run()
+	if got != 42 {
+		t.Fatalf("got %d, want 42", got)
+	}
+}
+
+func TestFutureAwaitBlocksUntilComplete(t *testing.T) {
+	k := NewKernel(1)
+	f := NewFuture[string](k)
+	var got string
+	var at time.Duration
+	k.Spawn("reader", func(p *Proc) {
+		got, _ = f.Await(p)
+		at = p.Now()
+	})
+	k.At(9*time.Second, func() { f.Complete("done", nil) })
+	k.Run()
+	if got != "done" || at != 9*time.Second {
+		t.Fatalf("got %q at %v, want done at 9s", got, at)
+	}
+}
+
+func TestFutureMultipleWaiters(t *testing.T) {
+	k := NewKernel(1)
+	f := NewFuture[int](k)
+	total := 0
+	for i := 0; i < 4; i++ {
+		k.Spawn("w", func(p *Proc) {
+			v, _ := f.Await(p)
+			total += v
+		})
+	}
+	k.At(time.Second, func() { f.Complete(5, nil) })
+	k.Run()
+	if total != 20 {
+		t.Fatalf("total = %d, want 20", total)
+	}
+}
+
+func TestFutureDoubleCompletePanics(t *testing.T) {
+	k := NewKernel(1)
+	f := CompletedFuture(k, 1, nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on double complete")
+		}
+	}()
+	f.Complete(2, nil)
+}
+
+func TestAwaitTimeoutFires(t *testing.T) {
+	k := NewKernel(1)
+	f := NewFuture[int](k)
+	var ok bool
+	var at time.Duration
+	k.Spawn("reader", func(p *Proc) {
+		_, _, ok = f.AwaitTimeout(p, 3*time.Second)
+		at = p.Now()
+	})
+	k.Run()
+	if ok || at != 3*time.Second {
+		t.Fatalf("ok=%v at=%v, want timeout at 3s", ok, at)
+	}
+}
+
+func TestAwaitTimeoutBeatenByCompletion(t *testing.T) {
+	k := NewKernel(1)
+	f := NewFuture[int](k)
+	var v int
+	var ok bool
+	k.Spawn("reader", func(p *Proc) { v, _, ok = f.AwaitTimeout(p, 10*time.Second) })
+	k.At(time.Second, func() { f.Complete(7, nil) })
+	k.Run()
+	if !ok || v != 7 {
+		t.Fatalf("ok=%v v=%d, want completion 7", ok, v)
+	}
+}
+
+func TestAwaitAllOrderAndError(t *testing.T) {
+	k := NewKernel(1)
+	fs := []*Future[int]{NewFuture[int](k), NewFuture[int](k), NewFuture[int](k)}
+	var got []int
+	k.Spawn("fanin", func(p *Proc) { got, _ = AwaitAll(p, fs) })
+	// Complete out of order.
+	k.At(3*time.Second, func() { fs[0].Complete(10, nil) })
+	k.At(1*time.Second, func() { fs[1].Complete(20, nil) })
+	k.At(2*time.Second, func() { fs[2].Complete(30, nil) })
+	k.Run()
+	if len(got) != 3 || got[0] != 10 || got[1] != 20 || got[2] != 30 {
+		t.Fatalf("AwaitAll = %v", got)
+	}
+}
+
+func TestAwaitAny(t *testing.T) {
+	k := NewKernel(1)
+	fs := []*Future[int]{NewFuture[int](k), NewFuture[int](k)}
+	idx := -1
+	var at time.Duration
+	k.Spawn("any", func(p *Proc) {
+		idx = AwaitAny(p, fs)
+		at = p.Now()
+	})
+	k.At(5*time.Second, func() { fs[1].Complete(1, nil) })
+	k.At(8*time.Second, func() { fs[0].Complete(2, nil) })
+	k.Run()
+	if idx != 1 || at != 5*time.Second {
+		t.Fatalf("AwaitAny idx=%d at=%v, want 1 at 5s", idx, at)
+	}
+}
+
+func TestResourceLimitsConcurrency(t *testing.T) {
+	k := NewKernel(1)
+	r := NewResource(k, 2)
+	maxInUse := 0
+	for i := 0; i < 6; i++ {
+		k.Spawn("user", func(p *Proc) {
+			r.Acquire(p)
+			if r.InUse() > maxInUse {
+				maxInUse = r.InUse()
+			}
+			p.Sleep(time.Second)
+			r.Release()
+		})
+	}
+	end := k.Run()
+	if maxInUse != 2 {
+		t.Fatalf("max in use = %d, want 2", maxInUse)
+	}
+	// 6 jobs, 2 slots, 1s each => 3s makespan.
+	if end != 3*time.Second {
+		t.Fatalf("makespan = %v, want 3s", end)
+	}
+}
+
+func TestResourceFIFO(t *testing.T) {
+	k := NewKernel(1)
+	r := NewResource(k, 1)
+	var order []int
+	for i := 0; i < 4; i++ {
+		i := i
+		k.SpawnAfter(time.Duration(i)*time.Millisecond, "u", func(p *Proc) {
+			r.Acquire(p)
+			order = append(order, i)
+			p.Sleep(time.Second)
+			r.Release()
+		})
+	}
+	k.Run()
+	for i := range order {
+		if order[i] != i {
+			t.Fatalf("not FIFO: %v", order)
+		}
+	}
+}
+
+func TestResourceGrow(t *testing.T) {
+	k := NewKernel(1)
+	r := NewResource(k, 1)
+	done := 0
+	for i := 0; i < 4; i++ {
+		k.Spawn("u", func(p *Proc) {
+			r.Acquire(p)
+			p.Sleep(10 * time.Second)
+			r.Release()
+			done++
+		})
+	}
+	k.At(time.Second, func() { r.SetCapacity(4) })
+	end := k.Run()
+	if done != 4 {
+		t.Fatalf("done = %d", done)
+	}
+	// First job ends at 10s; the other three start at 1s and end at 11s.
+	if end != 11*time.Second {
+		t.Fatalf("end = %v, want 11s", end)
+	}
+}
+
+func TestTryAcquire(t *testing.T) {
+	k := NewKernel(1)
+	r := NewResource(k, 1)
+	if !r.TryAcquire() {
+		t.Fatal("first TryAcquire failed")
+	}
+	if r.TryAcquire() {
+		t.Fatal("second TryAcquire succeeded at capacity")
+	}
+	r.Release()
+	if !r.TryAcquire() {
+		t.Fatal("TryAcquire after release failed")
+	}
+}
+
+func TestStoreFIFO(t *testing.T) {
+	k := NewKernel(1)
+	s := NewStore[int](k)
+	var got []int
+	k.Spawn("consumer", func(p *Proc) {
+		for i := 0; i < 3; i++ {
+			got = append(got, s.Get(p))
+		}
+	})
+	k.At(time.Second, func() { s.Put(1); s.Put(2) })
+	k.At(2*time.Second, func() { s.Put(3) })
+	k.Run()
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestStoreTryGet(t *testing.T) {
+	k := NewKernel(1)
+	s := NewStore[string](k)
+	if _, ok := s.TryGet(); ok {
+		t.Fatal("TryGet on empty store succeeded")
+	}
+	s.Put("x")
+	v, ok := s.TryGet()
+	if !ok || v != "x" {
+		t.Fatalf("TryGet = %q, %v", v, ok)
+	}
+}
+
+func TestStreamDeterminism(t *testing.T) {
+	k1 := NewKernel(99)
+	k2 := NewKernel(99)
+	a := k1.Stream("lambda")
+	b := k2.Stream("lambda")
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same (seed,name) streams diverge")
+		}
+	}
+	c := k1.Stream("other")
+	d := k1.Stream("lambda")
+	same := true
+	for i := 0; i < 10; i++ {
+		if c.Uint64() != d.Uint64() {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different names produced identical streams")
+	}
+}

@@ -1,0 +1,112 @@
+package sim
+
+import "fmt"
+
+// Proc is a simulation process: a goroutine that runs in lockstep with
+// the kernel's event loop. At most one process runs at a time; a process
+// gives up control by calling a blocking operation (Sleep, Await, a
+// resource acquire) and is resumed by a scheduled event.
+//
+// All Proc methods must be called from the process's own goroutine.
+type Proc struct {
+	k    *Kernel
+	id   int64
+	name string
+
+	resume chan struct{}
+	dead   bool
+}
+
+// Spawn creates a process named name and schedules it to start at the
+// current virtual time. fn runs on its own goroutine under the kernel's
+// one-at-a-time discipline; when fn returns the process ends.
+func (k *Kernel) Spawn(name string, fn func(p *Proc)) *Proc {
+	k.procSeq++
+	p := &Proc{k: k, id: k.procSeq, name: name, resume: make(chan struct{})}
+	k.live++
+	k.After(0, func() {
+		go func() {
+			<-p.resume
+			fn(p)
+			p.dead = true
+			k.live--
+			k.yield <- struct{}{}
+		}()
+		p.step()
+	})
+	return p
+}
+
+// SpawnAfter is like Spawn but delays the start of the process by d.
+func (k *Kernel) SpawnAfter(d Time, name string, fn func(p *Proc)) *Proc {
+	k.procSeq++
+	p := &Proc{k: k, id: k.procSeq, name: name, resume: make(chan struct{})}
+	k.live++
+	k.After(d, func() {
+		go func() {
+			<-p.resume
+			fn(p)
+			p.dead = true
+			k.live--
+			k.yield <- struct{}{}
+		}()
+		p.step()
+	})
+	return p
+}
+
+// step transfers control to the process and blocks until it parks or
+// exits. It must be called from kernel (event-loop) context.
+func (p *Proc) step() {
+	p.resume <- struct{}{}
+	<-p.k.yield
+}
+
+// park suspends the process until something calls unpark on it. The
+// caller must have already arranged for a wake-up; parking with no
+// pending wake-up deadlocks the process (but not the kernel).
+func (p *Proc) park() {
+	p.k.yield <- struct{}{}
+	<-p.resume
+}
+
+// unpark resumes a parked process. It must be called from kernel
+// (event-loop) context, i.e. from inside a scheduled event callback.
+func (p *Proc) unpark() {
+	if p.dead {
+		panic(fmt.Sprintf("sim: unpark of finished proc %q", p.name))
+	}
+	p.step()
+}
+
+// wake schedules the process to be resumed after d. Safe to call from
+// either kernel or process context.
+func (p *Proc) wake(d Time) {
+	p.k.After(d, p.unpark)
+}
+
+// Kernel returns the kernel this process belongs to.
+func (p *Proc) Kernel() *Kernel { return p.k }
+
+// Name returns the process name given at Spawn.
+func (p *Proc) Name() string { return p.name }
+
+// ID returns a unique (per kernel) process identifier.
+func (p *Proc) ID() int64 { return p.id }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.k.Now() }
+
+// Sleep suspends the process for d of virtual time. Non-positive d
+// yields control for one scheduling round at the current instant.
+func (p *Proc) Sleep(d Time) {
+	p.wake(d)
+	p.park()
+}
+
+// Yield gives other ready events/processes at the current instant a
+// chance to run, then resumes.
+func (p *Proc) Yield() { p.Sleep(0) }
+
+// String implements fmt.Stringer.
+func (p *Proc) String() string { return fmt.Sprintf("proc#%d(%s)", p.id, p.name) }

@@ -1,0 +1,142 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// Property: events always fire in non-decreasing time order, FIFO
+// within an instant, for arbitrary scheduling sequences.
+func TestPropertyEventOrdering(t *testing.T) {
+	f := func(delays []uint16) bool {
+		if len(delays) == 0 {
+			return true
+		}
+		k := NewKernel(1)
+		type fired struct {
+			at  Time
+			seq int
+		}
+		var log []fired
+		for i, d := range delays {
+			i, at := i, time.Duration(d)*time.Millisecond
+			k.At(at, func() { log = append(log, fired{at: k.Now(), seq: i}) })
+		}
+		k.Run()
+		if len(log) != len(delays) {
+			return false
+		}
+		for i := 1; i < len(log); i++ {
+			if log[i].at < log[i-1].at {
+				return false
+			}
+			// FIFO within the same instant: scheduling order preserved.
+			if log[i].at == log[i-1].at && log[i].seq < log[i-1].seq {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a resource never exceeds its capacity and all acquirers
+// eventually run, for arbitrary hold times and arrival offsets.
+func TestPropertyResourceSafety(t *testing.T) {
+	f := func(holds []uint8, capRaw uint8) bool {
+		if len(holds) == 0 || len(holds) > 64 {
+			return true
+		}
+		capacity := int(capRaw%8) + 1
+		k := NewKernel(2)
+		r := NewResource(k, capacity)
+		inUse, maxUse, completed := 0, 0, 0
+		for i, h := range holds {
+			hold := time.Duration(h%50+1) * time.Millisecond
+			k.SpawnAfter(time.Duration(i%7)*time.Millisecond, "u", func(p *Proc) {
+				r.Acquire(p)
+				inUse++
+				if inUse > maxUse {
+					maxUse = inUse
+				}
+				p.Sleep(hold)
+				inUse--
+				r.Release()
+				completed++
+			})
+		}
+		k.Run()
+		return maxUse <= capacity && completed == len(holds)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the kernel's run is reproducible — the same schedule built
+// from the same inputs yields identical event timestamps.
+func TestPropertyKernelReproducible(t *testing.T) {
+	f := func(seed uint64, delays []uint16) bool {
+		run := func() []Time {
+			k := NewKernel(seed)
+			rng := k.Stream("jitter")
+			var log []Time
+			for _, d := range delays {
+				at := time.Duration(d)*time.Millisecond + time.Duration(rng.Intn(1000))*time.Microsecond
+				k.At(at, func() { log = append(log, k.Now()) })
+			}
+			k.Run()
+			return log
+		}
+		a, b := run(), run()
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Store preserves FIFO order for any put/get interleaving.
+func TestPropertyStoreFIFO(t *testing.T) {
+	f := func(vals []int16) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		k := NewKernel(3)
+		s := NewStore[int16](k)
+		var got []int16
+		k.Spawn("consumer", func(p *Proc) {
+			for range vals {
+				got = append(got, s.Get(p))
+			}
+		})
+		for i, v := range vals {
+			v := v
+			k.At(time.Duration(i)*time.Millisecond, func() { s.Put(v) })
+		}
+		k.Run()
+		if len(got) != len(vals) {
+			return false
+		}
+		for i := range vals {
+			if got[i] != vals[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

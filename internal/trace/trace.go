@@ -1,0 +1,167 @@
+// Package trace is the simulation's CloudWatch / Application Insights
+// analogue: an append-only collector of structured invocation records
+// that the paper's methodology reads results from ("we often relied on
+// AWS CloudWatch and Azure Application Insight to collect the
+// results"). Hosts emit a record per function execution; queries
+// filter by function, kind, and virtual-time window.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"statebench/internal/sim"
+)
+
+// Kind classifies a record.
+type Kind string
+
+// Record kinds.
+const (
+	KindInvocation Kind = "invocation"
+	KindColdStart  Kind = "coldstart"
+	KindError      Kind = "error"
+	KindCustom     Kind = "custom"
+)
+
+// Record is one structured log entry.
+type Record struct {
+	At       sim.Time
+	Kind     Kind
+	Function string
+	// Duration is the execution time for invocation records.
+	Duration time.Duration
+	// Detail is free-form context (error text, custom payloads).
+	Detail string
+}
+
+// String renders the record as a log line.
+func (r Record) String() string {
+	return fmt.Sprintf("%-12v %-10s %-24s %-10v %s", r.At, r.Kind, r.Function, r.Duration, r.Detail)
+}
+
+// Collector accumulates records in arrival order.
+type Collector struct {
+	name    string
+	records []Record
+	// Cap bounds retention (0 = unlimited); the oldest records are
+	// dropped first, like a log group retention policy.
+	Cap int
+}
+
+// NewCollector returns an empty collector named name.
+func NewCollector(name string) *Collector { return &Collector{name: name} }
+
+// Name returns the collector (log group) name.
+func (c *Collector) Name() string { return c.name }
+
+// Len returns the number of retained records.
+func (c *Collector) Len() int { return len(c.records) }
+
+// Emit appends a record, enforcing the retention cap.
+func (c *Collector) Emit(r Record) {
+	c.records = append(c.records, r)
+	if c.Cap > 0 && len(c.records) > c.Cap {
+		c.records = c.records[len(c.records)-c.Cap:]
+	}
+}
+
+// Invocation logs one execution.
+func (c *Collector) Invocation(at sim.Time, fn string, d time.Duration) {
+	c.Emit(Record{At: at, Kind: KindInvocation, Function: fn, Duration: d})
+}
+
+// ColdStart logs one cold start.
+func (c *Collector) ColdStart(at sim.Time, fn string, d time.Duration) {
+	c.Emit(Record{At: at, Kind: KindColdStart, Function: fn, Duration: d})
+}
+
+// Error logs a failed execution.
+func (c *Collector) Error(at sim.Time, fn, detail string) {
+	c.Emit(Record{At: at, Kind: KindError, Function: fn, Detail: detail})
+}
+
+// Query filters retained records. Zero-valued fields match everything;
+// Until <= 0 means no upper bound.
+type Query struct {
+	Kind     Kind
+	Function string
+	From     sim.Time
+	Until    sim.Time
+}
+
+// Select returns the records matching q, in arrival order.
+func (c *Collector) Select(q Query) []Record {
+	var out []Record
+	for _, r := range c.records {
+		if q.Kind != "" && r.Kind != q.Kind {
+			continue
+		}
+		if q.Function != "" && r.Function != q.Function {
+			continue
+		}
+		if r.At < q.From {
+			continue
+		}
+		if q.Until > 0 && r.At > q.Until {
+			continue
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// Durations extracts the Duration field of the matching records.
+func (c *Collector) Durations(q Query) []time.Duration {
+	recs := c.Select(q)
+	out := make([]time.Duration, len(recs))
+	for i, r := range recs {
+		out[i] = r.Duration
+	}
+	return out
+}
+
+// Summary aggregates matching invocation records per function:
+// count, total and max duration — the per-function view a CloudWatch
+// dashboard gives.
+type Summary struct {
+	Function string
+	Count    int
+	Total    time.Duration
+	Max      time.Duration
+}
+
+// Summarize groups matching records by function, sorted by name.
+func (c *Collector) Summarize(q Query) []Summary {
+	byFn := map[string]*Summary{}
+	for _, r := range c.Select(q) {
+		s := byFn[r.Function]
+		if s == nil {
+			s = &Summary{Function: r.Function}
+			byFn[r.Function] = s
+		}
+		s.Count++
+		s.Total += r.Duration
+		if r.Duration > s.Max {
+			s.Max = r.Duration
+		}
+	}
+	out := make([]Summary, 0, len(byFn))
+	for _, s := range byFn {
+		out = append(out, *s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Function < out[j].Function })
+	return out
+}
+
+// Dump renders the matching records as log text.
+func (c *Collector) Dump(q Query) string {
+	var sb strings.Builder
+	for _, r := range c.Select(q) {
+		sb.WriteString(r.String())
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

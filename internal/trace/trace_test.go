@@ -1,0 +1,84 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func seeded() *Collector {
+	c := NewCollector("app")
+	c.Invocation(1*time.Second, "prep", 100*time.Millisecond)
+	c.ColdStart(1*time.Second, "prep", 2*time.Second)
+	c.Invocation(5*time.Second, "train", 30*time.Second)
+	c.Invocation(40*time.Second, "prep", 120*time.Millisecond)
+	c.Error(41*time.Second, "train", "boom")
+	return c
+}
+
+func TestSelectByKindFunctionWindow(t *testing.T) {
+	c := seeded()
+	if got := len(c.Select(Query{})); got != 5 {
+		t.Fatalf("all = %d", got)
+	}
+	if got := len(c.Select(Query{Kind: KindInvocation})); got != 3 {
+		t.Fatalf("invocations = %d", got)
+	}
+	if got := len(c.Select(Query{Function: "prep"})); got != 3 {
+		t.Fatalf("prep records = %d", got)
+	}
+	if got := len(c.Select(Query{From: 2 * time.Second, Until: 41 * time.Second})); got != 3 {
+		t.Fatalf("windowed = %d", got)
+	}
+	if got := len(c.Select(Query{Kind: KindError, Function: "train"})); got != 1 {
+		t.Fatalf("errors = %d", got)
+	}
+}
+
+func TestDurations(t *testing.T) {
+	c := seeded()
+	ds := c.Durations(Query{Kind: KindInvocation, Function: "prep"})
+	if len(ds) != 2 || ds[0] != 100*time.Millisecond {
+		t.Fatalf("durations = %v", ds)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	c := seeded()
+	sums := c.Summarize(Query{Kind: KindInvocation})
+	if len(sums) != 2 {
+		t.Fatalf("summaries = %d", len(sums))
+	}
+	if sums[0].Function != "prep" || sums[0].Count != 2 || sums[0].Max != 120*time.Millisecond {
+		t.Fatalf("prep summary = %+v", sums[0])
+	}
+	if sums[1].Function != "train" || sums[1].Total != 30*time.Second {
+		t.Fatalf("train summary = %+v", sums[1])
+	}
+}
+
+func TestRetentionCap(t *testing.T) {
+	c := NewCollector("capped")
+	c.Cap = 3
+	for i := 0; i < 10; i++ {
+		c.Invocation(time.Duration(i)*time.Second, "f", time.Millisecond)
+	}
+	if c.Len() != 3 {
+		t.Fatalf("len = %d", c.Len())
+	}
+	recs := c.Select(Query{})
+	if recs[0].At != 7*time.Second {
+		t.Fatalf("oldest retained = %v, want 7s", recs[0].At)
+	}
+}
+
+func TestDump(t *testing.T) {
+	c := seeded()
+	out := c.Dump(Query{Function: "train"})
+	if !strings.Contains(out, "train") || !strings.Contains(out, "boom") {
+		t.Fatalf("dump:\n%s", out)
+	}
+	if strings.Contains(out, "prep") {
+		t.Fatal("dump leaked filtered records")
+	}
+}

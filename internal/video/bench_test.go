@@ -1,0 +1,51 @@
+package video
+
+import "testing"
+
+func benchClip(frames int) (*Video, [][]Rect) {
+	opt := DefaultGenerateOptions()
+	opt.NumFrames = frames
+	return Generate(opt)
+}
+
+func BenchmarkDetectFrame(b *testing.B) {
+	v, _ := benchClip(1)
+	m := DefaultModel(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.DetectFrame(v.Frames[0])
+	}
+}
+
+func BenchmarkEncode(b *testing.B) {
+	v, _ := benchClip(24)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Encode(v)
+	}
+}
+
+func BenchmarkDecode(b *testing.B) {
+	v, _ := benchClip(24)
+	data := Encode(v)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSplitMerge(b *testing.B) {
+	v, _ := benchClip(48)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		chunks, err := v.Split(8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := Merge(chunks); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,246 @@
+package video
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"sort"
+)
+
+// DetectorModel is the "pretrained model" of the paper's workload: the
+// detector's parameters plus a weight blob that pads the serialized
+// size to ~1 MB so fetching it from blob storage costs what the paper's
+// model fetch cost.
+type DetectorModel struct {
+	// WindowSizes are the face diameters scanned.
+	WindowSizes []int
+	// Contrast is the minimum center-minus-surround brightness gap.
+	Contrast float64
+	// MinBrightness gates the window's mean intensity.
+	MinBrightness float64
+	// Stride is the scan step in pixels.
+	Stride int
+	// NMSIoU suppresses overlapping detections above this overlap.
+	NMSIoU float64
+	// Weights pads the model to a realistic size (unused by the
+	// classic pipeline, standing in for CNN weights).
+	Weights []byte
+}
+
+// DefaultModel returns a detector tuned for Generate's faces, padded to
+// about targetBytes serialized size (0 keeps it minimal).
+func DefaultModel(targetBytes int) *DetectorModel {
+	m := &DetectorModel{
+		WindowSizes:   []int{14, 18, 22, 26},
+		Contrast:      50,
+		MinBrightness: 150,
+		Stride:        2,
+		NMSIoU:        0.12,
+	}
+	if targetBytes > 0 {
+		m.Weights = make([]byte, targetBytes)
+		for i := range m.Weights {
+			m.Weights[i] = byte(i * 131)
+		}
+	}
+	return m
+}
+
+// EncodeModel serializes the model (gob).
+func EncodeModel(m *DetectorModel) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(m); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeModel deserializes EncodeModel output.
+func DecodeModel(data []byte) (*DetectorModel, error) {
+	var m DetectorModel
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&m); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}
+
+// integralImage computes the summed-area table of a frame with an extra
+// zero row/column, so rectangle sums are O(1).
+type integralImage struct {
+	w, h int
+	sum  []int64
+}
+
+func newIntegral(f *Frame) *integralImage {
+	ii := &integralImage{w: f.W + 1, h: f.H + 1, sum: make([]int64, (f.W+1)*(f.H+1))}
+	for y := 1; y <= f.H; y++ {
+		var rowSum int64
+		for x := 1; x <= f.W; x++ {
+			rowSum += int64(f.Pix[(y-1)*f.W+(x-1)])
+			ii.sum[y*ii.w+x] = ii.sum[(y-1)*ii.w+x] + rowSum
+		}
+	}
+	return ii
+}
+
+// rectSum returns the pixel sum over [x, x+w) x [y, y+h).
+func (ii *integralImage) rectSum(x, y, w, h int) int64 {
+	x2, y2 := x+w, y+h
+	return ii.sum[y2*ii.w+x2] - ii.sum[y*ii.w+x2] - ii.sum[y2*ii.w+x] + ii.sum[y*ii.w+x]
+}
+
+// Detection is one scored face candidate.
+type Detection struct {
+	Box   Rect
+	Score float64
+}
+
+// DetectFrame scans one frame at every window size, scoring windows by
+// center brightness minus surround brightness, then applies greedy
+// non-maximum suppression.
+func (m *DetectorModel) DetectFrame(f *Frame) []Detection {
+	ii := newIntegral(f)
+	stride := m.Stride
+	if stride < 1 {
+		stride = 1
+	}
+	var cands []Detection
+	for _, win := range m.WindowSizes {
+		if win >= f.W || win >= f.H {
+			continue
+		}
+		border := win / 4
+		if border < 1 {
+			border = 1
+		}
+		outer := win + 2*border
+		for y := 0; y+outer < f.H; y += stride {
+			for x := 0; x+outer < f.W; x += stride {
+				inner := ii.rectSum(x+border, y+border, win, win)
+				total := ii.rectSum(x, y, outer, outer)
+				innerArea := float64(win * win)
+				outerArea := float64(outer*outer) - innerArea
+				innerMean := float64(inner) / innerArea
+				surroundMean := float64(total-inner) / outerArea
+				if innerMean < m.MinBrightness {
+					continue
+				}
+				gap := innerMean - surroundMean
+				if gap < m.Contrast {
+					continue
+				}
+				cands = append(cands, Detection{
+					Box:   Rect{X: x + border, Y: y + border, W: win, H: win},
+					Score: gap,
+				})
+			}
+		}
+	}
+	return nms(cands, m.NMSIoU)
+}
+
+// nms applies greedy non-maximum suppression by descending score.
+func nms(cands []Detection, iou float64) []Detection {
+	sort.Slice(cands, func(i, j int) bool { return cands[i].Score > cands[j].Score })
+	var kept []Detection
+	for _, c := range cands {
+		ok := true
+		for _, k := range kept {
+			if c.Box.IoU(k.Box) > iou {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			kept = append(kept, c)
+		}
+	}
+	return kept
+}
+
+// DetectVideo runs DetectFrame over every frame.
+func (m *DetectorModel) DetectVideo(v *Video) [][]Detection {
+	out := make([][]Detection, len(v.Frames))
+	for i, f := range v.Frames {
+		out[i] = m.DetectFrame(f)
+	}
+	return out
+}
+
+// Annotate draws detection boxes into a copy of the video (the merge
+// step's output in the paper returns processed chunks).
+func Annotate(v *Video, dets [][]Detection) (*Video, error) {
+	if len(dets) != len(v.Frames) {
+		return nil, fmt.Errorf("video: %d detection sets for %d frames", len(dets), len(v.Frames))
+	}
+	out := &Video{W: v.W, H: v.H, FPS: v.FPS}
+	for i, f := range v.Frames {
+		cp := f.Clone()
+		for _, d := range dets[i] {
+			drawBox(cp, d.Box)
+		}
+		out.Frames = append(out.Frames, cp)
+	}
+	return out, nil
+}
+
+func drawBox(f *Frame, r Rect) {
+	x2, y2 := r.X+r.W-1, r.Y+r.H-1
+	for x := max(r.X, 0); x <= min(x2, f.W-1); x++ {
+		if r.Y >= 0 && r.Y < f.H {
+			f.Set(x, r.Y, 255)
+		}
+		if y2 >= 0 && y2 < f.H {
+			f.Set(x, y2, 255)
+		}
+	}
+	for y := max(r.Y, 0); y <= min(y2, f.H-1); y++ {
+		if r.X >= 0 && r.X < f.W {
+			f.Set(r.X, y, 255)
+		}
+		if x2 >= 0 && x2 < f.W {
+			f.Set(x2, y, 255)
+		}
+	}
+}
+
+// Evaluate scores detections against ground truth: a detection matches
+// a truth box when IoU exceeds matchIoU; each truth box matches at most
+// one detection. Returns precision and recall over the whole video.
+func Evaluate(dets [][]Detection, truth [][]Rect, matchIoU float64) (precision, recall float64) {
+	var tp, fp, fn int
+	for i := range truth {
+		var frameDets []Detection
+		if i < len(dets) {
+			frameDets = dets[i]
+		}
+		used := make([]bool, len(frameDets))
+		for _, tr := range truth[i] {
+			matched := false
+			for j, d := range frameDets {
+				if !used[j] && d.Box.IoU(tr) >= matchIoU {
+					used[j] = true
+					matched = true
+					break
+				}
+			}
+			if matched {
+				tp++
+			} else {
+				fn++
+			}
+		}
+		for j := range frameDets {
+			if !used[j] {
+				fp++
+			}
+		}
+	}
+	if tp+fp > 0 {
+		precision = float64(tp) / float64(tp+fp)
+	}
+	if tp+fn > 0 {
+		recall = float64(tp) / float64(tp+fn)
+	}
+	return precision, recall
+}

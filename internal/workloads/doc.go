@@ -1,0 +1,13 @@
+// Package workloads groups the paper's two case studies (§III) as
+// cross-platform core.Workflow implementations:
+//
+//   - mltrain / mlinfer: the machine-learning training and inference
+//     pipelines (Fig 2–4), built on mlpipe's real artifacts and cost
+//     model, deployable in all six Table II styles.
+//   - videoproc: the parallel video-processing pipeline (Fig 5) with a
+//     configurable fan-out width.
+//
+// Each workload enforces the platforms' payload limits by routing
+// oversized intermediates through blob storage, exactly as the paper's
+// implementations had to.
+package workloads

@@ -1,0 +1,71 @@
+package mlinfer
+
+import (
+	"testing"
+
+	"statebench/internal/core"
+	"statebench/internal/workloads/mlpipe"
+)
+
+func measure(t *testing.T, impl core.Impl, iters int) *core.Series {
+	t.Helper()
+	wf := New(mlpipe.Large)
+	opt := core.DefaultMeasureOptions()
+	opt.Iters = iters
+	opt.Seed = 21
+	s, err := core.Measure(wf, impl, opt)
+	if err != nil {
+		t.Fatalf("measure %s: %v", impl, err)
+	}
+	if s.Errors != 0 {
+		t.Fatalf("%s had %d run errors", impl, s.Errors)
+	}
+	return s
+}
+
+func TestImplsList(t *testing.T) {
+	wf := New(mlpipe.Small)
+	if len(wf.Impls()) != 3 {
+		t.Fatalf("impls = %v", wf.Impls())
+	}
+	env := core.NewEnv(1)
+	if _, err := wf.Deploy(env, core.AzQueue); err == nil {
+		t.Fatal("unsupported impl deployed")
+	}
+}
+
+func TestInferenceRunsOnAllStyles(t *testing.T) {
+	for _, impl := range New(mlpipe.Large).Impls() {
+		s := measure(t, impl, 5)
+		if s.E2E.Median() <= 0 {
+			t.Fatalf("%s no latency", impl)
+		}
+	}
+}
+
+func TestAzureFasterThanAWSForInference(t *testing.T) {
+	// Paper Fig 9: Azure ≈ 2x faster than AWS-Step because the model
+	// comes from warm entities instead of S3 + deserialization.
+	aws := measure(t, core.AWSStep, 8)
+	dorch := measure(t, core.AzDorch, 8)
+	ratio := float64(aws.E2E.Median()) / float64(dorch.E2E.Median())
+	if ratio < 1.4 {
+		t.Fatalf("AWS/Azure inference ratio = %.2f (aws %v, dorch %v), want >= 1.4",
+			ratio, aws.E2E.Median(), dorch.E2E.Median())
+	}
+}
+
+func TestDentSlowerThanDorch(t *testing.T) {
+	// Paper Fig 9: Az-Dent ≈ 24% slower than Az-Dorch (ops inside
+	// serialized entities).
+	dorch := measure(t, core.AzDorch, 8)
+	dent := measure(t, core.AzDent, 8)
+	ratio := float64(dent.E2E.Median()) / float64(dorch.E2E.Median())
+	if ratio <= 1.05 {
+		t.Fatalf("Dent/Dorch ratio = %.2f (dent %v, dorch %v), want > 1.05",
+			ratio, dent.E2E.Median(), dorch.E2E.Median())
+	}
+	if ratio > 2.0 {
+		t.Fatalf("Dent/Dorch ratio = %.2f implausibly large", ratio)
+	}
+}

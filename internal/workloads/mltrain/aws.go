@@ -1,0 +1,236 @@
+package mltrain
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"statebench/internal/aws/lambda"
+	"statebench/internal/aws/sfn"
+	"statebench/internal/core"
+	"statebench/internal/sim"
+	"statebench/internal/workloads/mlpipe"
+)
+
+// deployAWSLambda installs the monolithic single-Lambda implementation
+// (Table II: 1 λ, 63.1 MB).
+func deployAWSLambda(env *core.Env, size mlpipe.DatasetSize, arts *mlpipe.Artifacts) (*core.Deployment, error) {
+	costs := mlpipe.NewCosts(env.K, "aws-mltrain-mono", mlpipe.AWSSpeed)
+	s3 := env.AWS.S3
+	s3.Preload(datasetKey(size), arts.DatasetCSV)
+
+	fnName := "ml-train-mono-" + string(size)
+	_, err := env.AWS.Lambda.Register(lambda.Config{
+		Name:          fnName,
+		MemoryMB:      1536,
+		ConsumedMemMB: mlpipe.MemMonolith,
+		CodeSizeMB:    63.1,
+		Handler: func(ctx *lambda.Context, payload []byte) ([]byte, error) {
+			p := ctx.Proc()
+			if _, err := s3.Get(p, datasetKey(size)); err != nil {
+				return nil, err
+			}
+			ctx.Busy(costs.MonolithTrain(size))
+			ctx.Busy(costs.Xfer(len(arts.EncoderBytes) + len(arts.ScalerBytes) + len(arts.PCABytes) + len(arts.ModelBytes[arts.BestName])))
+			s3.Put(p, "models/encoder", arts.EncoderBytes)
+			s3.Put(p, "models/scaler", arts.ScalerBytes)
+			s3.Put(p, "models/pca", arts.PCABytes)
+			s3.Put(p, bestModelKey, arts.ModelBytes[arts.BestName])
+			return mlpipe.EncodeResult(arts.BestName, arts.BestMSE), nil
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &core.Deployment{
+		Runner:     &lambdaRunner{env: env, fn: fnName},
+		FuncCount:  1,
+		CodeSizeMB: 63.1,
+	}, nil
+}
+
+// lambdaRunner invokes a single Lambda synchronously.
+type lambdaRunner struct {
+	env *core.Env
+	fn  string
+}
+
+// Invoke implements core.Runner.
+func (r *lambdaRunner) Invoke(p *sim.Proc, _ []byte) (core.RunStats, error) {
+	inv, err := r.env.AWS.Lambda.Invoke(p, r.fn, nil)
+	if err != nil {
+		return core.RunStats{}, err
+	}
+	return core.RunStats{
+		E2E:       inv.Total,
+		ColdStart: inv.ColdStartDelay,
+		ExecTime:  inv.ExecTime,
+		Output:    inv.Output,
+		Err:       inv.Err,
+	}, nil
+}
+
+// deployAWSStep installs the Step Functions implementation (Table II:
+// 4 λ, 271.2 MB): Prep → DimRed → Map(train per algorithm) → Select.
+func deployAWSStep(env *core.Env, size mlpipe.DatasetSize, arts *mlpipe.Artifacts) (*core.Deployment, error) {
+	costs := mlpipe.NewCosts(env.K, "aws-mltrain-step", mlpipe.AWSSpeed)
+	s3 := env.AWS.S3
+	s3.Preload(datasetKey(size), arts.DatasetCSV)
+	perFnCode := 271.2 / 4
+
+	reg := func(name string, memMB, consumed int, h lambda.Handler) error {
+		_, err := env.AWS.Lambda.Register(lambda.Config{
+			Name: name, MemoryMB: memMB, ConsumedMemMB: consumed, CodeSizeMB: perFnCode, Handler: h,
+		})
+		return err
+	}
+
+	sfx := "-" + string(size)
+	if err := reg("ml-prep"+sfx, 1536, mlpipe.MemPrep, func(ctx *lambda.Context, payload []byte) ([]byte, error) {
+		m, err := parseMsg(payload)
+		if err != nil {
+			return nil, err
+		}
+		p := ctx.Proc()
+		if _, err := s3.Get(p, datasetKey(size)); err != nil {
+			return nil, err
+		}
+		ctx.Busy(costs.Prep(size))
+		ctx.Busy(costs.Xfer(arts.EncodedBytes))
+		key := runKey(m.Run, "encoded")
+		s3.Put(p, key, make([]byte, arts.EncodedBytes))
+		return marshalMsg(stepMsg{Run: m.Run, Key: key}), nil
+	}); err != nil {
+		return nil, err
+	}
+
+	if err := reg("ml-dimred"+sfx, 1536, mlpipe.MemPrep, func(ctx *lambda.Context, payload []byte) ([]byte, error) {
+		m, err := parseMsg(payload)
+		if err != nil {
+			return nil, err
+		}
+		p := ctx.Proc()
+		if _, err := s3.Get(p, m.Key); err != nil {
+			return nil, err
+		}
+		ctx.Busy(costs.Xfer(arts.EncodedBytes))
+		ctx.Busy(costs.DimRed(size))
+		ctx.Busy(costs.Xfer(arts.ProjectedBytes))
+		key := runKey(m.Run, "projected")
+		s3.Put(p, key, make([]byte, arts.ProjectedBytes))
+		// Emit one Map item per algorithm.
+		items := make([]stepMsg, 0, len(mlpipe.Algorithms))
+		for _, algo := range mlpipe.Algorithms {
+			items = append(items, stepMsg{Run: m.Run, Key: key, Algo: algo})
+		}
+		out, err := json.Marshal(map[string]any{"run": m.Run, "algos": items})
+		return out, err
+	}); err != nil {
+		return nil, err
+	}
+
+	if err := reg("ml-trainmodel"+sfx, 1536, mlpipe.MemTrain, func(ctx *lambda.Context, payload []byte) ([]byte, error) {
+		m, err := parseMsg(payload)
+		if err != nil {
+			return nil, err
+		}
+		p := ctx.Proc()
+		if _, err := s3.Get(p, m.Key); err != nil {
+			return nil, err
+		}
+		ctx.Busy(costs.Xfer(arts.ProjectedBytes))
+		ctx.Busy(costs.TrainModel(m.Algo, size))
+		ctx.Busy(costs.Xfer(len(arts.ModelBytes[m.Algo])))
+		modelKey := runKey(m.Run, "model-"+m.Algo)
+		s3.Put(p, modelKey, arts.ModelBytes[m.Algo])
+		return marshalMsg(stepMsg{Run: m.Run, Algo: m.Algo, MSE: arts.ModelMSE[m.Algo], Model: modelKey}), nil
+	}); err != nil {
+		return nil, err
+	}
+
+	if err := reg("ml-select"+sfx, 512, mlpipe.MemSelect, func(ctx *lambda.Context, payload []byte) ([]byte, error) {
+		var in struct {
+			Results []stepMsg `json:"results"`
+		}
+		if err := json.Unmarshal(payload, &in); err != nil {
+			return nil, err
+		}
+		if len(in.Results) == 0 {
+			return nil, fmt.Errorf("mltrain: select got no results")
+		}
+		ctx.Busy(costs.SelectBest(size))
+		best := in.Results[0]
+		for _, r := range in.Results[1:] {
+			if r.MSE < best.MSE {
+				best = r
+			}
+		}
+		p := ctx.Proc()
+		src, err := s3.Get(p, best.Model)
+		if err != nil {
+			return nil, err
+		}
+		ctx.Busy(costs.Xfer(len(src)))
+		s3.Put(p, bestModelKey, src)
+		return mlpipe.EncodeResult(best.Algo, best.MSE), nil
+	}); err != nil {
+		return nil, err
+	}
+
+	machine := &sfn.StateMachine{
+		Comment: "ML training workflow (paper Fig 2-3)",
+		StartAt: "Prep",
+		States: map[string]*sfn.State{
+			"Prep":   {Type: sfn.TypeTask, Resource: "ml-prep" + sfx, Next: "DimRed"},
+			"DimRed": {Type: sfn.TypeTask, Resource: "ml-dimred" + sfx, Next: "TrainModels"},
+			"TrainModels": {
+				Type: sfn.TypeMap, ItemsPath: "$.algos", ResultPath: "$.results", Next: "Select",
+				Iterator: &sfn.StateMachine{
+					StartAt: "TrainOne",
+					States: map[string]*sfn.State{
+						"TrainOne": {Type: sfn.TypeTask, Resource: "ml-trainmodel" + sfx, End: true},
+					},
+				},
+			},
+			"Select": {Type: sfn.TypeTask, Resource: "ml-select" + sfx, End: true},
+		},
+	}
+	smName := "ml-training-" + string(size)
+	if err := env.AWS.SFN.CreateStateMachine(smName, machine); err != nil {
+		return nil, err
+	}
+	return &core.Deployment{
+		Runner:     &stepRunner{env: env, machine: smName},
+		FuncCount:  4,
+		CodeSizeMB: 271.2,
+	}, nil
+}
+
+// stepRunner executes a Step Functions state machine per run.
+type stepRunner struct {
+	env     *core.Env
+	machine string
+	nextRun int64
+}
+
+// Invoke implements core.Runner.
+func (r *stepRunner) Invoke(p *sim.Proc, _ []byte) (core.RunStats, error) {
+	r.nextRun++
+	exec, err := r.env.AWS.SFN.StartExecution(p, r.machine, map[string]any{"run": float64(r.nextRun)})
+	if err != nil {
+		return core.RunStats{}, err
+	}
+	var out []byte
+	if exec.Err == nil {
+		out, _ = json.Marshal(exec.Output)
+	}
+	cold := exec.FirstTaskDelay
+	if cold < 0 {
+		cold = 0
+	}
+	return core.RunStats{
+		E2E:       exec.Duration(),
+		ColdStart: cold,
+		Output:    out,
+		Err:       exec.Err,
+	}, nil
+}

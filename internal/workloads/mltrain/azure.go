@@ -1,0 +1,271 @@
+package mltrain
+
+import (
+	"fmt"
+	"time"
+
+	"statebench/internal/azure/functions"
+	"statebench/internal/cloud/queue"
+	"statebench/internal/core"
+	"statebench/internal/sim"
+	"statebench/internal/workloads/mlpipe"
+)
+
+// deployAzFunc installs the monolithic single-Azure-function
+// implementation (Table II: 1 λ, 304 MB).
+func deployAzFunc(env *core.Env, size mlpipe.DatasetSize, arts *mlpipe.Artifacts) (*core.Deployment, error) {
+	costs := mlpipe.NewCosts(env.K, "az-mltrain-mono", mlpipe.AzureSpeed)
+	blob := env.Azure.Blob
+	blob.Preload(datasetKey(size), arts.DatasetCSV)
+
+	fnName := "ml-train-mono-" + string(size)
+	_, err := env.Azure.Host.Register(functions.Config{
+		Name:          fnName,
+		ConsumedMemMB: mlpipe.MemMonolith,
+		Handler: func(ctx *functions.Context, payload []byte) ([]byte, error) {
+			p := ctx.Proc()
+			if _, err := blob.Get(p, datasetKey(size)); err != nil {
+				return nil, err
+			}
+			ctx.Busy(costs.MonolithTrain(size))
+			ctx.Busy(costs.Xfer(len(arts.EncoderBytes) + len(arts.ScalerBytes) + len(arts.PCABytes) + len(arts.ModelBytes[arts.BestName])))
+			blob.Put(p, "models/encoder", arts.EncoderBytes)
+			blob.Put(p, "models/scaler", arts.ScalerBytes)
+			blob.Put(p, "models/pca", arts.PCABytes)
+			blob.Put(p, bestModelKey, arts.ModelBytes[arts.BestName])
+			return mlpipe.EncodeResult(arts.BestName, arts.BestMSE), nil
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &core.Deployment{
+		Runner:     &azFuncRunner{env: env, fn: fnName},
+		FuncCount:  1,
+		CodeSizeMB: 304,
+	}, nil
+}
+
+// azFuncRunner drives one HTTP-triggered Azure function.
+type azFuncRunner struct {
+	env *core.Env
+	fn  string
+}
+
+// Invoke implements core.Runner.
+func (r *azFuncRunner) Invoke(p *sim.Proc, _ []byte) (core.RunStats, error) {
+	start := p.Now()
+	res, err := r.env.Azure.Host.InvokeHTTP(p, r.fn, nil)
+	if err != nil {
+		return core.RunStats{}, err
+	}
+	cold := time.Duration(0)
+	if res.Cold {
+		cold = res.SchedDelay
+	}
+	return core.RunStats{
+		E2E:       p.Now() - start,
+		ColdStart: cold,
+		ExecTime:  res.ExecTime,
+		Output:    res.Output,
+		Err:       res.Err,
+	}, nil
+}
+
+// deployAzQueue installs the manual queue-chained implementation
+// (Table II: 4 λ, 304 MB): an HTTP-triggered prep stage followed by
+// dimred → modelsel → select connected by storage queues with queue
+// triggers (the paper triggers the chain over HTTP and reports latency
+// until the last function finishes).
+func deployAzQueue(env *core.Env, size mlpipe.DatasetSize, arts *mlpipe.Artifacts) (*core.Deployment, error) {
+	costs := mlpipe.NewCosts(env.K, "az-mltrain-queue", mlpipe.AzureSpeed)
+	blob := env.Azure.Blob
+	blob.Preload(datasetKey(size), arts.DatasetCSV)
+
+	d := &azQueueDeploy{
+		env:   env,
+		size:  size,
+		arts:  arts,
+		costs: costs,
+		runs:  make(map[int64]*queueRun),
+	}
+	sfx := "-" + string(size)
+	d.prepFn = "mlq-prep" + sfx
+	d.q2 = env.Azure.NewQueue("ml-dimred-q" + sfx)
+	d.q3 = env.Azure.NewQueue("ml-modelsel-q" + sfx)
+	d.q4 = env.Azure.NewQueue("ml-select-q" + sfx)
+
+	host := env.Azure.Host
+	// Stage 1 is HTTP-triggered; stages 2-4 are queue-triggered.
+	if _, err := host.Register(functions.Config{Name: d.prepFn, ConsumedMemMB: mlpipe.MemPrep, Handler: d.prep}); err != nil {
+		return nil, err
+	}
+	type stage struct {
+		name string
+		mem  int
+		h    functions.Handler
+		q    *queue.Queue
+	}
+	stages := []stage{
+		{"mlq-dimred" + sfx, mlpipe.MemPrep, d.dimred, d.q2},
+		{"mlq-modelsel" + sfx, mlpipe.MemTrain, d.modelsel, d.q3},
+		{"mlq-select" + sfx, mlpipe.MemSelect, d.selectBest, d.q4},
+	}
+	for _, st := range stages {
+		if _, err := host.Register(functions.Config{Name: st.name, ConsumedMemMB: st.mem, Handler: st.h}); err != nil {
+			return nil, err
+		}
+		if err := host.QueueTrigger(st.q, st.name); err != nil {
+			return nil, err
+		}
+	}
+	return &core.Deployment{Runner: d, FuncCount: 4, CodeSizeMB: 304}, nil
+}
+
+// queueRun tracks one in-flight chained run.
+type queueRun struct {
+	start      sim.Time
+	enqueuedAt sim.Time // when stage 1 handed off to the first queue
+	firstExec  sim.Time // when the first queue-triggered stage began
+	haveFirst  bool
+	done       *sim.Future[[]byte]
+}
+
+// azQueueDeploy is the queue-chained deployment state.
+type azQueueDeploy struct {
+	env   *core.Env
+	size  mlpipe.DatasetSize
+	arts  *mlpipe.Artifacts
+	costs *mlpipe.Costs
+
+	prepFn     string
+	q2, q3, q4 *queue.Queue
+
+	nextRun int64
+	runs    map[int64]*queueRun
+}
+
+func (d *azQueueDeploy) track(run int64) *queueRun { return d.runs[run] }
+
+func (d *azQueueDeploy) noteFirst(run int64, now sim.Time) {
+	if t := d.runs[run]; t != nil && !t.haveFirst {
+		t.haveFirst = true
+		t.firstExec = now
+	}
+}
+
+// prep is stage 1 (HTTP-triggered): download dataset, feature
+// engineering, pass on through the first queue.
+func (d *azQueueDeploy) prep(ctx *functions.Context, payload []byte) ([]byte, error) {
+	m, err := parseMsg(payload)
+	if err != nil {
+		return nil, err
+	}
+	p := ctx.Proc()
+	if _, err := d.env.Azure.Blob.Get(p, datasetKey(d.size)); err != nil {
+		return nil, err
+	}
+	ctx.Busy(d.costs.Prep(d.size))
+	ctx.Busy(d.costs.Xfer(d.arts.EncodedBytes))
+	key := runKey(m.Run, "encoded")
+	d.env.Azure.Blob.Put(p, key, make([]byte, d.arts.EncodedBytes))
+	if t := d.track(m.Run); t != nil {
+		t.enqueuedAt = p.Now()
+	}
+	return nil, d.q2.Enqueue(p, marshalMsg(stepMsg{Run: m.Run, Key: key}))
+}
+
+// dimred is stage 2 (first queue-triggered stage): PCA. Its start
+// marks the paper's Az-Queue cold-start point ("queuing of requests on
+// a static pool of containers").
+func (d *azQueueDeploy) dimred(ctx *functions.Context, payload []byte) ([]byte, error) {
+	m, err := parseMsg(payload)
+	if err != nil {
+		return nil, err
+	}
+	p := ctx.Proc()
+	d.noteFirst(m.Run, p.Now())
+	if _, err := d.env.Azure.Blob.Get(p, m.Key); err != nil {
+		return nil, err
+	}
+	ctx.Busy(d.costs.Xfer(d.arts.EncodedBytes))
+	ctx.Busy(d.costs.DimRed(d.size))
+	ctx.Busy(d.costs.Xfer(d.arts.ProjectedBytes))
+	key := runKey(m.Run, "projected")
+	d.env.Azure.Blob.Put(p, key, make([]byte, d.arts.ProjectedBytes))
+	return nil, d.q3.Enqueue(p, marshalMsg(stepMsg{Run: m.Run, Key: key}))
+}
+
+// modelsel is stage 3: train all algorithms serially (a single
+// function, as in the paper's 4-function chain).
+func (d *azQueueDeploy) modelsel(ctx *functions.Context, payload []byte) ([]byte, error) {
+	m, err := parseMsg(payload)
+	if err != nil {
+		return nil, err
+	}
+	p := ctx.Proc()
+	if _, err := d.env.Azure.Blob.Get(p, m.Key); err != nil {
+		return nil, err
+	}
+	ctx.Busy(d.costs.Xfer(d.arts.ProjectedBytes))
+	// The three models train inside this one function, overlapped on
+	// the worker's cores like the monolith.
+	ctx.Busy(d.costs.TrainAllPartial(d.size))
+	best := stepMsg{Run: m.Run}
+	for i, algo := range mlpipe.Algorithms {
+		modelKey := runKey(m.Run, "model-"+algo)
+		ctx.Busy(d.costs.Xfer(len(d.arts.ModelBytes[algo])))
+		d.env.Azure.Blob.Put(p, modelKey, d.arts.ModelBytes[algo])
+		if i == 0 || d.arts.ModelMSE[algo] < best.MSE {
+			best = stepMsg{Run: m.Run, Algo: algo, MSE: d.arts.ModelMSE[algo], Model: modelKey}
+		}
+	}
+	return nil, d.q4.Enqueue(p, marshalMsg(best))
+}
+
+// selectBest is stage 4: publish the winner and complete the run.
+func (d *azQueueDeploy) selectBest(ctx *functions.Context, payload []byte) ([]byte, error) {
+	m, err := parseMsg(payload)
+	if err != nil {
+		return nil, err
+	}
+	p := ctx.Proc()
+	ctx.Busy(d.costs.SelectBest(d.size))
+	src, err := d.env.Azure.Blob.Get(p, m.Model)
+	if err != nil {
+		return nil, err
+	}
+	ctx.Busy(d.costs.Xfer(len(src)))
+	d.env.Azure.Blob.Put(p, bestModelKey, src)
+	if t := d.track(m.Run); t != nil {
+		t.done.Complete(mlpipe.EncodeResult(m.Algo, m.MSE), nil)
+	}
+	return nil, nil
+}
+
+// Invoke implements core.Runner: enqueue the first stage, await the
+// completion signalled by the last stage. The paper measures this style
+// from the trigger timestamp until the last function finishes.
+func (d *azQueueDeploy) Invoke(p *sim.Proc, _ []byte) (core.RunStats, error) {
+	d.nextRun++
+	run := d.nextRun
+	t := &queueRun{start: p.Now(), done: sim.NewFuture[[]byte](d.env.K)}
+	d.runs[run] = t
+	if _, err := d.env.Azure.Host.InvokeHTTPAsync(p, d.prepFn, marshalMsg(stepMsg{Run: run, Key: datasetKey(d.size)})); err != nil {
+		return core.RunStats{}, err
+	}
+	out, err := t.done.Await(p)
+	delete(d.runs, run)
+	if err != nil {
+		return core.RunStats{}, err
+	}
+	stats := core.RunStats{E2E: p.Now() - t.start, Output: out}
+	if !t.haveFirst {
+		return stats, fmt.Errorf("mltrain: queue chain never started")
+	}
+	// The paper's Az-Queue cold-start metric is the wait of the first
+	// queue-triggered stage ("queuing of requests on a static pool of
+	// containers"): time from handoff into the queue to execution.
+	stats.ColdStart = t.firstExec - t.enqueuedAt
+	return stats, nil
+}

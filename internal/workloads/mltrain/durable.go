@@ -1,0 +1,425 @@
+package mltrain
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"statebench/internal/azure/durable"
+	"statebench/internal/azure/functions"
+	"statebench/internal/core"
+	"statebench/internal/sim"
+	"statebench/internal/workloads/mlpipe"
+)
+
+// durableRunner starts one orchestration per run and reads the paper's
+// durable latency metrics off the handle (Pending→Running cold start,
+// Running→Completed end-to-end).
+type durableRunner struct {
+	env     *core.Env
+	orch    string
+	nextRun int64
+}
+
+// Invoke implements core.Runner.
+func (r *durableRunner) Invoke(p *sim.Proc, _ []byte) (core.RunStats, error) {
+	r.nextRun++
+	input := marshalMsg(stepMsg{Run: r.nextRun})
+	out, hd, err := r.env.Azure.Client.Run(p, r.orch, input)
+	stats := core.RunStats{Output: out, Err: err}
+	if hd != nil {
+		stats.E2E = hd.E2E()
+		stats.ColdStart = hd.ColdStart()
+	}
+	if hd == nil && err != nil {
+		return stats, err
+	}
+	return stats, nil
+}
+
+// deployAzDorch installs the durable-orchestrator implementation
+// (Table II: 6 λ, 304 MB): an orchestrator chaining prep and dimred
+// activities, fanning out one training activity per algorithm, and a
+// final select activity.
+func deployAzDorch(env *core.Env, size mlpipe.DatasetSize, arts *mlpipe.Artifacts) (*core.Deployment, error) {
+	costs := mlpipe.NewCosts(env.K, "az-mltrain-dorch", mlpipe.AzureSpeed)
+	blob := env.Azure.Blob
+	blob.Preload(datasetKey(size), arts.DatasetCSV)
+	hub := env.Azure.Hub
+	sfx := "-" + string(size)
+
+	if err := hub.RegisterActivity("dorch-prep"+sfx, mlpipe.MemPrep, func(ctx *functions.Context, payload []byte) ([]byte, error) {
+		m, err := parseMsg(payload)
+		if err != nil {
+			return nil, err
+		}
+		p := ctx.Proc()
+		if _, err := blob.Get(p, datasetKey(size)); err != nil {
+			return nil, err
+		}
+		ctx.Busy(costs.Prep(size))
+		ctx.Busy(costs.Xfer(arts.EncodedBytes))
+		key := runKey(m.Run, "encoded")
+		blob.Put(p, key, make([]byte, arts.EncodedBytes))
+		return marshalMsg(stepMsg{Run: m.Run, Key: key}), nil
+	}); err != nil {
+		return nil, err
+	}
+
+	if err := hub.RegisterActivity("dorch-dimred"+sfx, mlpipe.MemPrep, func(ctx *functions.Context, payload []byte) ([]byte, error) {
+		m, err := parseMsg(payload)
+		if err != nil {
+			return nil, err
+		}
+		p := ctx.Proc()
+		if _, err := blob.Get(p, m.Key); err != nil {
+			return nil, err
+		}
+		ctx.Busy(costs.Xfer(arts.EncodedBytes))
+		ctx.Busy(costs.DimRed(size))
+		ctx.Busy(costs.Xfer(arts.ProjectedBytes))
+		key := runKey(m.Run, "projected")
+		blob.Put(p, key, make([]byte, arts.ProjectedBytes))
+		return marshalMsg(stepMsg{Run: m.Run, Key: key}), nil
+	}); err != nil {
+		return nil, err
+	}
+
+	if err := hub.RegisterActivity("dorch-train"+sfx, mlpipe.MemTrain, func(ctx *functions.Context, payload []byte) ([]byte, error) {
+		m, err := parseMsg(payload)
+		if err != nil {
+			return nil, err
+		}
+		p := ctx.Proc()
+		if _, err := blob.Get(p, m.Key); err != nil {
+			return nil, err
+		}
+		ctx.Busy(costs.Xfer(arts.ProjectedBytes))
+		ctx.Busy(costs.TrainModel(m.Algo, size))
+		ctx.Busy(costs.Xfer(len(arts.ModelBytes[m.Algo])))
+		modelKey := runKey(m.Run, "model-"+m.Algo)
+		blob.Put(p, modelKey, arts.ModelBytes[m.Algo])
+		return marshalMsg(stepMsg{Run: m.Run, Algo: m.Algo, MSE: arts.ModelMSE[m.Algo], Model: modelKey}), nil
+	}); err != nil {
+		return nil, err
+	}
+
+	if err := hub.RegisterActivity("dorch-select"+sfx, mlpipe.MemSelect, func(ctx *functions.Context, payload []byte) ([]byte, error) {
+		var results []stepMsg
+		if err := json.Unmarshal(payload, &results); err != nil {
+			return nil, err
+		}
+		if len(results) == 0 {
+			return nil, fmt.Errorf("mltrain: select got no results")
+		}
+		ctx.Busy(costs.SelectBest(size))
+		best := results[0]
+		for _, r := range results[1:] {
+			if r.MSE < best.MSE {
+				best = r
+			}
+		}
+		p := ctx.Proc()
+		src, err := blob.Get(p, best.Model)
+		if err != nil {
+			return nil, err
+		}
+		ctx.Busy(costs.Xfer(len(src)))
+		blob.Put(p, bestModelKey, src)
+		return mlpipe.EncodeResult(best.Algo, best.MSE), nil
+	}); err != nil {
+		return nil, err
+	}
+
+	orchName := "ml-train-dorch" + sfx
+	if err := hub.RegisterOrchestrator(orchName, mlpipe.MemOrch, func(ctx *durable.OrchestrationContext, input []byte) ([]byte, error) {
+		encOut, err := ctx.CallActivity("dorch-prep"+sfx, input).Await()
+		if err != nil {
+			return nil, err
+		}
+		projOut, err := ctx.CallActivity("dorch-dimred"+sfx, encOut).Await()
+		if err != nil {
+			return nil, err
+		}
+		proj, err := parseMsg(projOut)
+		if err != nil {
+			return nil, err
+		}
+		var tasks []*durable.Task
+		for _, algo := range mlpipe.Algorithms {
+			tasks = append(tasks, ctx.CallActivity("dorch-train"+sfx,
+				marshalMsg(stepMsg{Run: proj.Run, Key: proj.Key, Algo: algo})))
+		}
+		outs, err := ctx.WaitAll(tasks...)
+		if err != nil {
+			return nil, err
+		}
+		results := make([]stepMsg, 0, len(outs))
+		for _, o := range outs {
+			m, err := parseMsg(o)
+			if err != nil {
+				return nil, err
+			}
+			results = append(results, m)
+		}
+		resultsJSON, err := json.Marshal(results)
+		if err != nil {
+			return nil, err
+		}
+		return ctx.CallActivity("dorch-select"+sfx, resultsJSON).Await()
+	}); err != nil {
+		return nil, err
+	}
+
+	return &core.Deployment{
+		Runner:     &durableRunner{env: env, orch: orchName},
+		FuncCount:  6,
+		CodeSizeMB: 304,
+	}, nil
+}
+
+// deployAzDent installs the durable-entities implementation (Table II:
+// 7 λ, 304 MB): feature-engineering entities (Encoding, Scalar,
+// DReduction), per-algorithm training via a sub-orchestrator (random
+// forest) and entities (kneighbors, lasso), and a ModelSelection
+// collector entity holding the best fit — the Fig 3/Fig 4 structure.
+func deployAzDent(env *core.Env, size mlpipe.DatasetSize, arts *mlpipe.Artifacts) (*core.Deployment, error) {
+	costs := mlpipe.NewCosts(env.K, "az-mltrain-dent", mlpipe.AzureSpeed)
+	blob := env.Azure.Blob
+	blob.Preload(datasetKey(size), arts.DatasetCSV)
+	hub := env.Azure.Hub
+	sfx := "-" + string(size)
+
+	// Encoding entity: fits/holds the one-hot encoder, emits the
+	// encoded dataframe to blob.
+	if err := hub.RegisterEntity("Encoding"+sfx, mlpipe.MemPrep, func(ctx *durable.EntityContext, op string, input []byte) ([]byte, error) {
+		switch op {
+		case "fit":
+			m, err := parseMsg(input)
+			if err != nil {
+				return nil, err
+			}
+			p := ctx.Proc()
+			if _, err := blob.Get(p, datasetKey(size)); err != nil {
+				return nil, err
+			}
+			ctx.Busy(costs.Prep(size) * 6 / 10) // encode share of prep
+			ctx.Busy(costs.Xfer(arts.EncodedBytes))
+			ctx.SetState(arts.EncoderBytes)
+			key := runKey(m.Run, "encoded")
+			blob.Put(p, key, make([]byte, arts.EncodedBytes))
+			return marshalMsg(stepMsg{Run: m.Run, Key: key}), nil
+		case "get":
+			return ctx.State(), nil
+		}
+		return nil, fmt.Errorf("mltrain: Encoding: unknown op %q", op)
+	}); err != nil {
+		return nil, err
+	}
+
+	// Scalar entity: fits/holds the scaler.
+	if err := hub.RegisterEntity("Scalar"+sfx, mlpipe.MemPrep, func(ctx *durable.EntityContext, op string, input []byte) ([]byte, error) {
+		switch op {
+		case "fit":
+			m, err := parseMsg(input)
+			if err != nil {
+				return nil, err
+			}
+			p := ctx.Proc()
+			if _, err := blob.Get(p, m.Key); err != nil {
+				return nil, err
+			}
+			ctx.Busy(costs.Xfer(arts.EncodedBytes))
+			ctx.Busy(costs.Prep(size) * 4 / 10) // scale share of prep
+			ctx.Busy(costs.Xfer(arts.EncodedBytes))
+			ctx.SetState(arts.ScalerBytes)
+			key := runKey(m.Run, "scaled")
+			blob.Put(p, key, make([]byte, arts.EncodedBytes))
+			return marshalMsg(stepMsg{Run: m.Run, Key: key}), nil
+		case "get":
+			return ctx.State(), nil
+		}
+		return nil, fmt.Errorf("mltrain: Scalar: unknown op %q", op)
+	}); err != nil {
+		return nil, err
+	}
+
+	// DReduction entity: fits/holds the PCA.
+	if err := hub.RegisterEntity("DReduction"+sfx, mlpipe.MemPrep, func(ctx *durable.EntityContext, op string, input []byte) ([]byte, error) {
+		switch op {
+		case "decompose":
+			m, err := parseMsg(input)
+			if err != nil {
+				return nil, err
+			}
+			p := ctx.Proc()
+			if _, err := blob.Get(p, m.Key); err != nil {
+				return nil, err
+			}
+			ctx.Busy(costs.Xfer(arts.EncodedBytes))
+			ctx.Busy(costs.DimRed(size))
+			ctx.Busy(costs.Xfer(arts.ProjectedBytes))
+			ctx.SetState(arts.PCABytes)
+			key := runKey(m.Run, "projected")
+			blob.Put(p, key, make([]byte, arts.ProjectedBytes))
+			return marshalMsg(stepMsg{Run: m.Run, Key: key}), nil
+		case "get":
+			return ctx.State(), nil
+		}
+		return nil, fmt.Errorf("mltrain: DReduction: unknown op %q", op)
+	}); err != nil {
+		return nil, err
+	}
+
+	// Small-model training entities (paper: "for smaller and faster
+	// models we used a stateful entity").
+	trainEntity := func(algo string) durable.EntityFn {
+		return func(ctx *durable.EntityContext, op string, input []byte) ([]byte, error) {
+			switch op {
+			case "train":
+				m, err := parseMsg(input)
+				if err != nil {
+					return nil, err
+				}
+				p := ctx.Proc()
+				if _, err := blob.Get(p, m.Key); err != nil {
+					return nil, err
+				}
+				ctx.Busy(costs.Xfer(arts.ProjectedBytes))
+				ctx.Busy(costs.TrainModel(algo, size))
+				ctx.Busy(costs.Xfer(len(arts.ModelBytes[algo])))
+				modelKey := runKey(m.Run, "model-"+algo)
+				blob.Put(p, modelKey, arts.ModelBytes[algo])
+				ctx.SetState([]byte(modelKey))
+				return marshalMsg(stepMsg{Run: m.Run, Algo: algo, MSE: arts.ModelMSE[algo], Model: modelKey}), nil
+			case "get":
+				return ctx.State(), nil
+			}
+			return nil, fmt.Errorf("mltrain: %s entity: unknown op %q", algo, op)
+		}
+	}
+	if err := hub.RegisterEntity("KNeighbors"+sfx, mlpipe.MemTrain, trainEntity("kneighbors")); err != nil {
+		return nil, err
+	}
+	if err := hub.RegisterEntity("Lasso"+sfx, mlpipe.MemTrain, trainEntity("lasso")); err != nil {
+		return nil, err
+	}
+
+	// ModelSelection collector entity: keeps the best model seen
+	// (paper Fig 3: "a collector entity collects the results and
+	// selects the best model").
+	if err := hub.RegisterEntity("ModelSelection"+sfx, mlpipe.MemSelect, func(ctx *durable.EntityContext, op string, input []byte) ([]byte, error) {
+		switch op {
+		case "report":
+			m, err := parseMsg(input)
+			if err != nil {
+				return nil, err
+			}
+			ctx.Busy(costs.SelectBest(size) / 3)
+			var cur stepMsg
+			if ctx.HasState() {
+				if err := json.Unmarshal(ctx.State(), &cur); err != nil {
+					return nil, err
+				}
+			}
+			if !ctx.HasState() || m.MSE < cur.MSE {
+				ctx.SetState(marshalMsg(m))
+				p := ctx.Proc()
+				src, err := blob.Get(p, m.Model)
+				if err != nil {
+					return nil, err
+				}
+				blob.Put(p, bestModelKey, src)
+			}
+			return nil, nil
+		case "get":
+			if !ctx.HasState() {
+				return nil, fmt.Errorf("mltrain: ModelSelection has no model yet")
+			}
+			return ctx.State(), nil
+		}
+		return nil, fmt.Errorf("mltrain: ModelSelection: unknown op %q", op)
+	}); err != nil {
+		return nil, err
+	}
+
+	// Random-forest training: sub-orchestrator wrapping an activity
+	// (paper: "for larger models we used a sub-orchestrator").
+	if err := hub.RegisterActivity("dent-rf-train"+sfx, mlpipe.MemTrain, func(ctx *functions.Context, payload []byte) ([]byte, error) {
+		m, err := parseMsg(payload)
+		if err != nil {
+			return nil, err
+		}
+		p := ctx.Proc()
+		if _, err := blob.Get(p, m.Key); err != nil {
+			return nil, err
+		}
+		ctx.Busy(costs.Xfer(arts.ProjectedBytes))
+		ctx.Busy(costs.TrainModel("randomforest", size))
+		ctx.Busy(costs.Xfer(len(arts.ModelBytes["randomforest"])))
+		modelKey := runKey(m.Run, "model-randomforest")
+		blob.Put(p, modelKey, arts.ModelBytes["randomforest"])
+		return marshalMsg(stepMsg{Run: m.Run, Algo: "randomforest", MSE: arts.ModelMSE["randomforest"], Model: modelKey}), nil
+	}); err != nil {
+		return nil, err
+	}
+	if err := hub.RegisterOrchestrator("dent-rf-sub"+sfx, mlpipe.MemOrch, func(ctx *durable.OrchestrationContext, input []byte) ([]byte, error) {
+		return ctx.CallActivity("dent-rf-train"+sfx, input).Await()
+	}); err != nil {
+		return nil, err
+	}
+
+	orchName := "ml-train-dent" + sfx
+	if err := hub.RegisterOrchestrator(orchName, mlpipe.MemOrch, func(ctx *durable.OrchestrationContext, input []byte) ([]byte, error) {
+		m, err := parseMsg(input)
+		if err != nil {
+			return nil, err
+		}
+		key := func(name string) durable.EntityID { return durable.EntityID{Name: name + sfx, Key: "shared"} }
+
+		encOut, err := ctx.CallEntity(key("Encoding"), "fit", input).Await()
+		if err != nil {
+			return nil, err
+		}
+		scaledOut, err := ctx.CallEntity(key("Scalar"), "fit", encOut).Await()
+		if err != nil {
+			return nil, err
+		}
+		projOut, err := ctx.CallEntity(key("DReduction"), "decompose", scaledOut).Await()
+		if err != nil {
+			return nil, err
+		}
+
+		rf := ctx.CallSubOrchestrator("dent-rf-sub"+sfx, projOut)
+		knn := ctx.CallEntity(key("KNeighbors"), "train", projOut)
+		lasso := ctx.CallEntity(key("Lasso"), "train", projOut)
+		outs, err := ctx.WaitAll(rf, knn, lasso)
+		if err != nil {
+			return nil, err
+		}
+		for _, o := range outs {
+			r, err := ctx.CallEntity(key("ModelSelection"), "report", o).Await()
+			_ = r
+			if err != nil {
+				return nil, err
+			}
+		}
+		bestRaw, err := ctx.CallEntity(key("ModelSelection"), "get", nil).Await()
+		if err != nil {
+			return nil, err
+		}
+		best, err := parseMsg(bestRaw)
+		if err != nil {
+			return nil, err
+		}
+		_ = m
+		return mlpipe.EncodeResult(best.Algo, best.MSE), nil
+	}); err != nil {
+		return nil, err
+	}
+
+	return &core.Deployment{
+		Runner:     &durableRunner{env: env, orch: orchName},
+		FuncCount:  7,
+		CodeSizeMB: 304,
+	}, nil
+}

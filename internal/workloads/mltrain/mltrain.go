@@ -1,0 +1,86 @@
+// Package mltrain implements the paper's machine-learning training
+// workflow (Fig 2–3: data preparation → dimension reduction → parallel
+// model selection → best-fit collection) in all six Table II styles.
+//
+// Real artifacts (datasets, fitted transformers, serialized models)
+// come from mlpipe's host-side pipeline; simulated execution times come
+// from mlpipe's calibrated cost model; every byte that crosses a
+// function boundary is a real payload routed through the platform's
+// queues, state machines, or blob storage with limits enforced.
+package mltrain
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"statebench/internal/core"
+	"statebench/internal/workloads/mlpipe"
+)
+
+// Workflow is the ML training workload for one dataset size.
+type Workflow struct {
+	Size mlpipe.DatasetSize
+}
+
+// New returns the workload for a dataset size.
+func New(size mlpipe.DatasetSize) *Workflow { return &Workflow{Size: size} }
+
+// Name implements core.Workflow.
+func (w *Workflow) Name() string { return "ml-training-" + string(w.Size) }
+
+// Impls implements core.Workflow: Table II lists all six styles for ML
+// training.
+func (w *Workflow) Impls() []core.Impl { return core.AllImpls() }
+
+// Deploy implements core.Workflow.
+func (w *Workflow) Deploy(env *core.Env, impl core.Impl) (*core.Deployment, error) {
+	arts, err := mlpipe.Train(w.Size)
+	if err != nil {
+		return nil, fmt.Errorf("mltrain: prepare artifacts: %w", err)
+	}
+	switch impl {
+	case core.AWSLambda:
+		return deployAWSLambda(env, w.Size, arts)
+	case core.AWSStep:
+		return deployAWSStep(env, w.Size, arts)
+	case core.AzFunc:
+		return deployAzFunc(env, w.Size, arts)
+	case core.AzQueue:
+		return deployAzQueue(env, w.Size, arts)
+	case core.AzDorch:
+		return deployAzDorch(env, w.Size, arts)
+	case core.AzDent:
+		return deployAzDent(env, w.Size, arts)
+	}
+	return nil, &core.UnsupportedImplError{Workflow: w.Name(), Impl: impl}
+}
+
+// datasetKey is where the training dataset is staged.
+func datasetKey(size mlpipe.DatasetSize) string { return "datasets/cars-" + string(size) + ".csv" }
+
+// stepMsg is the small JSON document passed between workflow steps;
+// anything larger than the payload limits travels by blob key.
+type stepMsg struct {
+	Run   int64   `json:"run"`
+	Key   string  `json:"key,omitempty"`
+	Algo  string  `json:"algo,omitempty"`
+	MSE   float64 `json:"mse,omitempty"`
+	Model string  `json:"model,omitempty"`
+}
+
+func marshalMsg(m stepMsg) []byte {
+	b, _ := json.Marshal(m)
+	return b
+}
+
+func parseMsg(data []byte) (stepMsg, error) {
+	var m stepMsg
+	err := json.Unmarshal(data, &m)
+	return m, err
+}
+
+// runKey namespaces a per-run intermediate blob object.
+func runKey(run int64, name string) string { return fmt.Sprintf("tmp/run%06d/%s", run, name) }
+
+// bestModelKey is where the winning model is published.
+const bestModelKey = "models/best"

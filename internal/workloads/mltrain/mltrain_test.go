@@ -1,0 +1,196 @@
+package mltrain
+
+import (
+	"testing"
+	"time"
+
+	"statebench/internal/core"
+	"statebench/internal/sim"
+	"statebench/internal/workloads/mlpipe"
+)
+
+// measure runs a short campaign on the small dataset (fast: small
+// artifacts, few iterations).
+func measure(t *testing.T, impl core.Impl, iters int) *core.Series {
+	t.Helper()
+	wf := New(mlpipe.Small)
+	opt := core.DefaultMeasureOptions()
+	opt.Iters = iters
+	opt.Seed = 11
+	s, err := core.Measure(wf, impl, opt)
+	if err != nil {
+		t.Fatalf("measure %s: %v", impl, err)
+	}
+	if s.Errors != 0 {
+		t.Fatalf("%s had %d run errors", impl, s.Errors)
+	}
+	return s
+}
+
+// invokeOnce deploys and runs one invocation, returning the stats.
+func invokeOnce(t *testing.T, impl core.Impl, size mlpipe.DatasetSize) core.RunStats {
+	t.Helper()
+	env := core.NewEnv(5)
+	dep, err := New(size).Deploy(env, impl)
+	if err != nil {
+		t.Fatalf("deploy %s: %v", impl, err)
+	}
+	var stats core.RunStats
+	var runErr error
+	env.K.Spawn("test", func(p *sim.Proc) {
+		defer env.Stop()
+		stats, runErr = dep.Runner.Invoke(p, nil)
+	})
+	env.K.Run()
+	if runErr != nil {
+		t.Fatalf("invoke %s: %v", impl, runErr)
+	}
+	if stats.Err != nil {
+		t.Fatalf("run error %s: %v", impl, stats.Err)
+	}
+	return stats
+}
+
+func TestAllImplsProduceTheCorrectBestFit(t *testing.T) {
+	arts, err := mlpipe.Train(mlpipe.Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, impl := range core.AllImpls() {
+		stats := invokeOnce(t, impl, mlpipe.Small)
+		res, err := mlpipe.ParseResult(stats.Output)
+		if err != nil {
+			t.Fatalf("%s output %q: %v", impl, stats.Output, err)
+		}
+		if res.Best != arts.BestName {
+			t.Fatalf("%s selected %q, pipeline best is %q", impl, res.Best, arts.BestName)
+		}
+		if stats.E2E <= 0 {
+			t.Fatalf("%s reported no latency", impl)
+		}
+	}
+}
+
+func TestDeployMetadataMatchesTableII(t *testing.T) {
+	want := map[core.Impl]struct {
+		funcs int
+		code  float64
+	}{
+		core.AWSLambda: {1, 63.1},
+		core.AWSStep:   {4, 271.2},
+		core.AzFunc:    {1, 304},
+		core.AzQueue:   {4, 304},
+		core.AzDorch:   {6, 304},
+		core.AzDent:    {7, 304},
+	}
+	for impl, w := range want {
+		env := core.NewEnv(1)
+		dep, err := New(mlpipe.Small).Deploy(env, impl)
+		if err != nil {
+			t.Fatalf("deploy %s: %v", impl, err)
+		}
+		if dep.FuncCount != w.funcs || dep.CodeSizeMB != w.code {
+			t.Fatalf("%s metadata = %d/%.1f, want %d/%.1f", impl, dep.FuncCount, dep.CodeSizeMB, w.funcs, w.code)
+		}
+	}
+}
+
+func TestQueueChainSlowerThanMonolith(t *testing.T) {
+	// Paper Fig 6a: Az-Queue adds ~30% latency over Az-Func on the
+	// small dataset (queue hop waiting).
+	mono := measure(t, core.AzFunc, 6)
+	chain := measure(t, core.AzQueue, 6)
+	if chain.E2E.Median() <= mono.E2E.Median() {
+		t.Fatalf("Az-Queue median %v not slower than Az-Func %v", chain.E2E.Median(), mono.E2E.Median())
+	}
+}
+
+func TestDurableBetweenMonolithAndQueue(t *testing.T) {
+	// Paper: durable orchestration overhead sits between the pure
+	// function and the manual queue chain.
+	mono := measure(t, core.AzFunc, 6)
+	dorch := measure(t, core.AzDorch, 6)
+	chain := measure(t, core.AzQueue, 6)
+	if dorch.E2E.Median() <= mono.E2E.Median() {
+		t.Fatalf("Az-Dorch %v not slower than Az-Func %v", dorch.E2E.Median(), mono.E2E.Median())
+	}
+	if dorch.E2E.Median() >= chain.E2E.Median() {
+		t.Fatalf("Az-Dorch %v not faster than Az-Queue %v", dorch.E2E.Median(), chain.E2E.Median())
+	}
+}
+
+func TestAWSStepAddsOverheadOverLambda(t *testing.T) {
+	mono := measure(t, core.AWSLambda, 6)
+	step := measure(t, core.AWSStep, 6)
+	if step.E2E.Median() <= mono.E2E.Median() {
+		t.Fatalf("AWS-Step %v not slower than AWS-Lambda %v", step.E2E.Median(), mono.E2E.Median())
+	}
+}
+
+func TestDurableGBsExceedMonolith(t *testing.T) {
+	// Paper Fig 11a: replay inflates durable GB-s over the stateless
+	// function.
+	mono := measure(t, core.AzFunc, 6)
+	dorch := measure(t, core.AzDorch, 6)
+	dent := measure(t, core.AzDent, 6)
+	if dorch.MeanGBs <= mono.MeanGBs {
+		t.Fatalf("Az-Dorch GB-s %.3f not above Az-Func %.3f", dorch.MeanGBs, mono.MeanGBs)
+	}
+	if dent.MeanGBs <= dorch.MeanGBs {
+		t.Fatalf("Az-Dent GB-s %.3f not above Az-Dorch %.3f", dent.MeanGBs, dorch.MeanGBs)
+	}
+}
+
+func TestAWSTransitionsCounted(t *testing.T) {
+	step := measure(t, core.AWSStep, 4)
+	// Prep + DimRed + Map + 3 iterations + Select = 7 transitions.
+	if step.MeanTxns != 7 {
+		t.Fatalf("mean transitions = %v, want 7", step.MeanTxns)
+	}
+	mono := measure(t, core.AWSLambda, 4)
+	if mono.MeanTxns != 0 {
+		t.Fatalf("lambda-only run has %v transitions", mono.MeanTxns)
+	}
+}
+
+func TestAzureChargesStorageTransactions(t *testing.T) {
+	dorch := measure(t, core.AzDorch, 4)
+	if dorch.MeanTxns <= 0 {
+		t.Fatal("durable run produced no storage transactions")
+	}
+	if dorch.MeanBill.Stateful <= 0 {
+		t.Fatal("durable stateful cost is zero")
+	}
+}
+
+func TestColdStartCampaignShape(t *testing.T) {
+	// Short campaign (6 hours): every request should land cold on
+	// every style, and Az-Queue's cold start must dwarf the durable
+	// ones (paper Fig 10).
+	dorchSamples, err := core.ColdStartCampaign(New(mlpipe.Small), core.AzDorch, 5, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queueSamples, err := core.ColdStartCampaign(New(mlpipe.Small), core.AzQueue, 5, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dorchSamples.Len() != 5 || queueSamples.Len() != 5 {
+		t.Fatalf("sample counts %d/%d", dorchSamples.Len(), queueSamples.Len())
+	}
+	if queueSamples.Median() < 5*time.Second {
+		t.Fatalf("Az-Queue cold start %v, want >= 5s (poll phase)", queueSamples.Median())
+	}
+	if dorchSamples.Median() >= queueSamples.Median() {
+		t.Fatalf("Az-Dorch cold %v not below Az-Queue %v", dorchSamples.Median(), queueSamples.Median())
+	}
+}
+
+func TestMeasureDeterministicAcrossRuns(t *testing.T) {
+	a := measure(t, core.AzDorch, 3)
+	b := measure(t, core.AzDorch, 3)
+	if a.E2E.Median() != b.E2E.Median() || a.MeanTxns != b.MeanTxns {
+		t.Fatalf("nondeterministic measurement: %v/%v vs %v/%v",
+			a.E2E.Median(), a.MeanTxns, b.E2E.Median(), b.MeanTxns)
+	}
+}

@@ -1,0 +1,372 @@
+package videoproc
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"statebench/internal/aws/lambda"
+	"statebench/internal/aws/sfn"
+	"statebench/internal/azure/durable"
+	"statebench/internal/azure/functions"
+	"statebench/internal/core"
+	"statebench/internal/sim"
+	"statebench/internal/workloads/mlpipe"
+)
+
+// deployAWSLambda installs the monolithic Lambda (Table II: 1 λ,
+// 70.8 MB): split, detect every frame, merge, all in one function.
+func (w *Workflow) deployAWSLambda(env *core.Env) (*core.Deployment, error) {
+	s3 := env.AWS.S3
+	s3.Preload(videoKey, make([]byte, w.Spec.TotalBytes))
+	s3.Preload(modelKey, make([]byte, w.Spec.ModelBytes))
+	fnName := "video-mono"
+	_, err := env.AWS.Lambda.Register(lambda.Config{
+		Name: fnName, MemoryMB: awsVideoMemoryMB, ConsumedMemMB: memMono, CodeSizeMB: 32,
+		Handler: func(ctx *lambda.Context, payload []byte) ([]byte, error) {
+			p := ctx.Proc()
+			if _, err := s3.Get(p, videoKey); err != nil {
+				return nil, err
+			}
+			if _, err := s3.Get(p, modelKey); err != nil {
+				return nil, err
+			}
+			ctx.Busy(w.Spec.splitCost(1) + w.Spec.DetectTotal() + w.Spec.mergeCost(1))
+			s3.Put(p, "videos/output", make([]byte, w.Spec.TotalBytes))
+			return []byte(`{"frames":` + fmt.Sprint(w.Spec.Frames) + `}`), nil
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &core.Deployment{Runner: &monoLambdaRunner{env: env, fn: fnName}, FuncCount: 1, CodeSizeMB: 70.8}, nil
+}
+
+type monoLambdaRunner struct {
+	env *core.Env
+	fn  string
+}
+
+// Invoke implements core.Runner.
+func (r *monoLambdaRunner) Invoke(p *sim.Proc, _ []byte) (core.RunStats, error) {
+	inv, err := r.env.AWS.Lambda.Invoke(p, r.fn, nil)
+	if err != nil {
+		return core.RunStats{}, err
+	}
+	return core.RunStats{E2E: inv.Total, ColdStart: inv.ColdStartDelay, ExecTime: inv.ExecTime, Output: inv.Output, Err: inv.Err}, nil
+}
+
+// deployAWSStep installs the Fig 5 state machine (Table II: 3 λ,
+// 214.8 MB): SplitVideo → Map(FaceDetect) → MergeVideo, with dynamic
+// parallelism via the Map state.
+func (w *Workflow) deployAWSStep(env *core.Env) (*core.Deployment, error) {
+	s3 := env.AWS.S3
+	s3.Preload(videoKey, make([]byte, w.Spec.TotalBytes))
+	s3.Preload(modelKey, make([]byte, w.Spec.ModelBytes))
+	n := w.Workers
+
+	if _, err := env.AWS.Lambda.Register(lambda.Config{
+		Name: "video-split", MemoryMB: awsVideoMemoryMB, ConsumedMemMB: memSplit, CodeSizeMB: 28,
+		Handler: func(ctx *lambda.Context, payload []byte) ([]byte, error) {
+			m, err := parseChunk(payload)
+			if err != nil {
+				return nil, err
+			}
+			p := ctx.Proc()
+			if _, err := s3.Get(p, videoKey); err != nil {
+				return nil, err
+			}
+			ctx.Busy(w.Spec.splitCost(1))
+			chunks := make([]chunkMsg, n)
+			for i := 0; i < n; i++ {
+				key := chunkKey(m.Run, i)
+				s3.Put(p, key, make([]byte, w.Spec.chunkBytes(i, n)))
+				chunks[i] = chunkMsg{Run: m.Run, Key: key, Index: i}
+			}
+			out, err := json.Marshal(map[string]any{"run": m.Run, "chunks": chunks})
+			return out, err
+		},
+	}); err != nil {
+		return nil, err
+	}
+
+	if _, err := env.AWS.Lambda.Register(lambda.Config{
+		Name: "video-detect", MemoryMB: awsVideoMemoryMB, ConsumedMemMB: memDetect, CodeSizeMB: 34,
+		Handler: func(ctx *lambda.Context, payload []byte) ([]byte, error) {
+			m, err := parseChunk(payload)
+			if err != nil {
+				return nil, err
+			}
+			p := ctx.Proc()
+			if _, err := s3.Get(p, m.Key); err != nil {
+				return nil, err
+			}
+			if _, err := s3.Get(p, modelKey); err != nil {
+				return nil, err
+			}
+			ctx.Busy(w.Spec.detectCost(m.Index, n, 1))
+			key := resultKey(m.Run, m.Index)
+			s3.Put(p, key, make([]byte, w.Spec.chunkBytes(m.Index, n)))
+			return marshalChunk(chunkMsg{Run: m.Run, Key: key, Index: m.Index}), nil
+		},
+	}); err != nil {
+		return nil, err
+	}
+
+	if _, err := env.AWS.Lambda.Register(lambda.Config{
+		Name: "video-merge", MemoryMB: awsVideoMemoryMB, ConsumedMemMB: memMerge, CodeSizeMB: 28,
+		Handler: func(ctx *lambda.Context, payload []byte) ([]byte, error) {
+			var in struct {
+				Results []chunkMsg `json:"results"`
+			}
+			if err := json.Unmarshal(payload, &in); err != nil {
+				return nil, err
+			}
+			p := ctx.Proc()
+			for _, c := range in.Results {
+				if _, err := s3.Get(p, c.Key); err != nil {
+					return nil, err
+				}
+			}
+			ctx.Busy(w.Spec.mergeCost(1))
+			s3.Put(p, "videos/output", make([]byte, w.Spec.TotalBytes))
+			return []byte(fmt.Sprintf(`{"chunks":%d}`, len(in.Results))), nil
+		},
+	}); err != nil {
+		return nil, err
+	}
+
+	machine := &sfn.StateMachine{
+		Comment: "Video processing with Map-state dynamic parallelism (paper Fig 5)",
+		StartAt: "SplitVideo",
+		States: map[string]*sfn.State{
+			"SplitVideo": {Type: sfn.TypeTask, Resource: "video-split", Next: "FaceDetect"},
+			"FaceDetect": {
+				Type: sfn.TypeMap, ItemsPath: "$.chunks", ResultPath: "$.results", Next: "MergeVideo",
+				MaxConcurrency: w.MapConcurrency,
+				Iterator: &sfn.StateMachine{StartAt: "DetectChunk", States: map[string]*sfn.State{
+					"DetectChunk": {Type: sfn.TypeTask, Resource: "video-detect", End: true},
+				}},
+			},
+			"MergeVideo": {Type: sfn.TypeTask, Resource: "video-merge", End: true},
+		},
+	}
+	smName := fmt.Sprintf("video-%dw", n)
+	if err := env.AWS.SFN.CreateStateMachine(smName, machine); err != nil {
+		return nil, err
+	}
+	return &core.Deployment{Runner: &stepRunner{env: env, machine: smName}, FuncCount: 3, CodeSizeMB: 214.8}, nil
+}
+
+type stepRunner struct {
+	env     *core.Env
+	machine string
+	nextRun int64
+}
+
+// Invoke implements core.Runner.
+func (r *stepRunner) Invoke(p *sim.Proc, _ []byte) (core.RunStats, error) {
+	r.nextRun++
+	exec, err := r.env.AWS.SFN.StartExecution(p, r.machine, map[string]any{"run": float64(r.nextRun)})
+	if err != nil {
+		return core.RunStats{}, err
+	}
+	cold := exec.FirstTaskDelay
+	if cold < 0 {
+		cold = 0
+	}
+	var out []byte
+	if exec.Err == nil {
+		out, _ = json.Marshal(exec.Output)
+	}
+	return core.RunStats{E2E: exec.Duration(), ColdStart: cold, Output: out, Err: exec.Err}, nil
+}
+
+// deployAzFunc installs the monolithic Azure function (Table II: 1 λ,
+// 204 MB).
+func (w *Workflow) deployAzFunc(env *core.Env) (*core.Deployment, error) {
+	blob := env.Azure.Blob
+	blob.Preload(videoKey, make([]byte, w.Spec.TotalBytes))
+	blob.Preload(modelKey, make([]byte, w.Spec.ModelBytes))
+	fnName := "video-mono"
+	speed := mlpipe.AzureSpeed
+	_, err := env.Azure.Host.Register(functions.Config{
+		Name: fnName, ConsumedMemMB: memMono,
+		Handler: func(ctx *functions.Context, payload []byte) ([]byte, error) {
+			p := ctx.Proc()
+			if _, err := blob.Get(p, videoKey); err != nil {
+				return nil, err
+			}
+			if _, err := blob.Get(p, modelKey); err != nil {
+				return nil, err
+			}
+			busy := time.Duration(float64(w.Spec.splitCost(1)+w.Spec.DetectTotal()+w.Spec.mergeCost(1)) / speed)
+			ctx.Busy(busy)
+			blob.Put(p, "videos/output", make([]byte, w.Spec.TotalBytes))
+			return []byte(fmt.Sprintf(`{"frames":%d}`, w.Spec.Frames)), nil
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &core.Deployment{Runner: &azFuncRunner{env: env, fn: fnName}, FuncCount: 1, CodeSizeMB: 204}, nil
+}
+
+type azFuncRunner struct {
+	env *core.Env
+	fn  string
+}
+
+// Invoke implements core.Runner.
+func (r *azFuncRunner) Invoke(p *sim.Proc, _ []byte) (core.RunStats, error) {
+	start := p.Now()
+	res, err := r.env.Azure.Host.InvokeHTTP(p, r.fn, nil)
+	if err != nil {
+		return core.RunStats{}, err
+	}
+	cold := time.Duration(0)
+	if res.Cold {
+		cold = res.SchedDelay
+	}
+	return core.RunStats{E2E: p.Now() - start, ColdStart: cold, ExecTime: res.ExecTime, Output: res.Output, Err: res.Err}, nil
+}
+
+// deployAzDorch installs the durable-orchestrator fan-out (Table II:
+// 3 λ, 219 MB): split activity, dynamically parallel detect activities
+// ("a single line of code" in the paper), merge activity.
+func (w *Workflow) deployAzDorch(env *core.Env) (*core.Deployment, error) {
+	blob := env.Azure.Blob
+	blob.Preload(videoKey, make([]byte, w.Spec.TotalBytes))
+	blob.Preload(modelKey, make([]byte, w.Spec.ModelBytes))
+	hub := env.Azure.Hub
+	n := w.Workers
+	speed := mlpipe.AzureSpeed
+	runner := &dorchRunner{env: env}
+	env.Scratch[finishScratchKey] = &runner.finishes
+
+	if err := hub.RegisterActivity("video-split", memSplit, func(ctx *functions.Context, payload []byte) ([]byte, error) {
+		m, err := parseChunk(payload)
+		if err != nil {
+			return nil, err
+		}
+		p := ctx.Proc()
+		if _, err := blob.Get(p, videoKey); err != nil {
+			return nil, err
+		}
+		ctx.Busy(time.Duration(float64(w.Spec.splitCost(1)) / speed))
+		for i := 0; i < n; i++ {
+			blob.Put(p, chunkKey(m.Run, i), make([]byte, w.Spec.chunkBytes(i, n)))
+		}
+		return marshalChunk(chunkMsg{Run: m.Run, Index: n}), nil
+	}); err != nil {
+		return nil, err
+	}
+
+	if err := hub.RegisterActivity("video-detect", memDetect, func(ctx *functions.Context, payload []byte) ([]byte, error) {
+		m, err := parseChunk(payload)
+		if err != nil {
+			return nil, err
+		}
+		p := ctx.Proc()
+		if _, err := blob.Get(p, chunkKey(m.Run, m.Index)); err != nil {
+			return nil, err
+		}
+		if _, err := blob.Get(p, modelKey); err != nil {
+			return nil, err
+		}
+		ctx.Busy(time.Duration(float64(w.Spec.detectCost(m.Index, n, 1)) / speed))
+		blob.Put(p, resultKey(m.Run, m.Index), make([]byte, w.Spec.chunkBytes(m.Index, n)))
+		// Record this worker's finish time relative to the run start
+		// (Table III's per-worker metric).
+		runner.finishes = append(runner.finishes, p.Now()-runner.curStart)
+		return marshalChunk(chunkMsg{Run: m.Run, Index: m.Index}), nil
+	}); err != nil {
+		return nil, err
+	}
+
+	if err := hub.RegisterActivity("video-merge", memMerge, func(ctx *functions.Context, payload []byte) ([]byte, error) {
+		m, err := parseChunk(payload)
+		if err != nil {
+			return nil, err
+		}
+		p := ctx.Proc()
+		for i := 0; i < n; i++ {
+			if _, err := blob.Get(p, resultKey(m.Run, i)); err != nil {
+				return nil, err
+			}
+		}
+		ctx.Busy(time.Duration(float64(w.Spec.mergeCost(1)) / speed))
+		blob.Put(p, "videos/output", make([]byte, w.Spec.TotalBytes))
+		return []byte(fmt.Sprintf(`{"chunks":%d}`, n)), nil
+	}); err != nil {
+		return nil, err
+	}
+
+	orch := fmt.Sprintf("video-dorch-%dw", n)
+	if err := hub.RegisterOrchestrator(orch, mlpipe.MemOrch, func(ctx *durable.OrchestrationContext, input []byte) ([]byte, error) {
+		if _, err := ctx.CallActivity("video-split", input).Await(); err != nil {
+			return nil, err
+		}
+		m, err := parseChunk(input)
+		if err != nil {
+			return nil, err
+		}
+		// Dynamic fan-out: the paper's "single line of code".
+		tasks := make([]*durable.Task, n)
+		for i := 0; i < n; i++ {
+			tasks[i] = ctx.CallActivity("video-detect", marshalChunk(chunkMsg{Run: m.Run, Index: i}))
+		}
+		if _, err := ctx.WaitAll(tasks...); err != nil {
+			return nil, err
+		}
+		return ctx.CallActivity("video-merge", marshalChunk(chunkMsg{Run: m.Run})).Await()
+	}); err != nil {
+		return nil, err
+	}
+	runner.orch = orch
+	return &core.Deployment{Runner: runner, FuncCount: 3, CodeSizeMB: 219}, nil
+}
+
+type dorchRunner struct {
+	env      *core.Env
+	orch     string
+	nextRun  int64
+	curStart sim.Time
+	finishes []time.Duration
+}
+
+// Invoke implements core.Runner.
+func (r *dorchRunner) Invoke(p *sim.Proc, _ []byte) (core.RunStats, error) {
+	r.nextRun++
+	r.curStart = p.Now()
+	out, hd, err := r.env.Azure.Client.Run(p, r.orch, marshalChunk(chunkMsg{Run: r.nextRun}))
+	stats := core.RunStats{Output: out, Err: err}
+	if hd != nil {
+		stats.E2E = hd.E2E()
+		stats.ColdStart = hd.ColdStart()
+	}
+	if hd == nil && err != nil {
+		return stats, err
+	}
+	return stats, nil
+}
+
+// WorkerSchedDelays exposes the Azure host's per-work-item scheduling
+// delays (Fig 14's metric) after a Dorch campaign.
+func WorkerSchedDelays(env *core.Env) []time.Duration {
+	return env.Azure.Host.Stats().SchedDelays
+}
+
+// finishScratchKey indexes the per-worker finish times in Env.Scratch.
+const finishScratchKey = "videoproc.finishes"
+
+// WorkerFinishTimes returns each detect worker's completion time
+// relative to its run's start (Table III's per-worker metric), for the
+// Az-Dorch deployment living in env.
+func WorkerFinishTimes(env *core.Env) []time.Duration {
+	v, ok := env.Scratch[finishScratchKey].(*[]time.Duration)
+	if !ok {
+		return nil
+	}
+	return append([]time.Duration(nil), (*v)...)
+}
