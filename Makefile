@@ -1,0 +1,25 @@
+# statebench build/test entry points.
+#
+# tier1    — the gate every change must keep green.
+# tier1.5  — adds static analysis and the race detector; the
+#            determinism test self-downscales under -race.
+# bench    — kernel micro-benchmarks plus the sequential-vs-parallel
+#            full-suite pair (the numbers behind BENCH_PR1.json).
+
+GO ?= go
+
+.PHONY: tier1 tier1.5 bench bench-kernel bench-all
+
+tier1:
+	$(GO) build ./... && $(GO) test ./...
+
+tier1.5:
+	$(GO) vet ./... && $(GO) test -race ./...
+
+bench-kernel:
+	$(GO) test -run - -bench 'Kernel|EventThroughput|ProcContextSwitch' -benchmem ./internal/sim/
+
+bench-all:
+	$(GO) test -run - -bench 'SequentialAll|ParallelAll' -benchtime 1x -benchmem .
+
+bench: bench-kernel bench-all

@@ -39,6 +39,27 @@ func runSingle(b *testing.B, fn func(experiments.Options) (*experiments.Report, 
 	}
 }
 
+// runAll runs the whole registry with the given worker count; the pair
+// below is the sequential-vs-parallel comparison committed to
+// BENCH_PR1.json (on a single-CPU machine the two are expected to tie).
+func runAll(b *testing.B, workers int) {
+	b.Helper()
+	o := benchOpts()
+	o.Workers = workers
+	for i := 0; i < b.N; i++ {
+		rs, err := experiments.All(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rs) == 0 {
+			b.Fatal("empty report set")
+		}
+	}
+}
+
+func BenchmarkSequentialAll(b *testing.B) { runAll(b, 1) }
+func BenchmarkParallelAll(b *testing.B)   { runAll(b, 0) }
+
 func BenchmarkTable1(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if r := experiments.Table1(); len(r.Table.Rows) == 0 {

@@ -11,11 +11,16 @@
 //
 // Flags:
 //
-//	-quick     use the fast smoke-scale campaign sizes
-//	-csv       emit CSV instead of text tables
-//	-iters N   override the per-style iteration count
-//	-seed N    simulation master seed
-//	-list      list experiment IDs and exit
+//	-quick       use the fast smoke-scale campaign sizes
+//	-csv         emit CSV instead of text tables
+//	-iters N     override the per-style iteration count
+//	-seed N      simulation master seed
+//	-parallel N  campaign worker pool size (0 = GOMAXPROCS, 1 = sequential)
+//	-list        list experiment IDs and exit
+//
+// Campaign seeds derive from -seed alone, so -parallel changes
+// wall-clock time only: the rendered output is byte-identical at any
+// worker count.
 package main
 
 import (
@@ -30,6 +35,7 @@ func main() {
 	quick := flag.Bool("quick", false, "use fast smoke-scale campaign sizes")
 	iters := flag.Int("iters", 0, "override per-style iteration count")
 	seed := flag.Uint64("seed", 42, "simulation master seed")
+	workers := flag.Int("parallel", 0, "campaign worker pool size (0 = GOMAXPROCS, 1 = sequential)")
 	list := flag.Bool("list", false, "list experiment IDs and exit")
 	csv := flag.Bool("csv", false, "emit CSV instead of text tables")
 	flag.Parse()
@@ -49,6 +55,7 @@ func main() {
 		opts.Iters = *iters
 	}
 	opts.Seed = *seed
+	opts.Workers = *workers
 
 	ids := flag.Args()
 	if len(ids) == 0 {
@@ -66,23 +73,27 @@ func main() {
 		}
 		return
 	}
+	// Resolve every requested ID first, then fan the selected
+	// experiments out across the pool like a full run.
+	runners := make([]experiments.Runner, 0, len(ids))
 	for _, id := range ids {
 		runner, err := experiments.Find(id)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "statebench:", err)
 			os.Exit(1)
 		}
-		reports, err := runner.Run(opts)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "statebench: %s: %v\n", id, err)
-			os.Exit(1)
-		}
-		for _, r := range reports {
-			if *csv {
-				fmt.Print(r.CSV())
-			} else {
-				fmt.Println(r)
-			}
+		runners = append(runners, runner)
+	}
+	reports, err := experiments.RunAll(runners, opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "statebench:", err)
+		os.Exit(1)
+	}
+	for _, r := range reports {
+		if *csv {
+			fmt.Print(r.CSV())
+		} else {
+			fmt.Println(r)
 		}
 	}
 }

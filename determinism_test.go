@@ -1,0 +1,60 @@
+package statebench_test
+
+import (
+	"strings"
+	"testing"
+
+	"statebench/internal/experiments"
+)
+
+// renderAll runs every experiment with the given worker count and
+// renders the reports to one byte string, the way cmd/statebench does.
+func renderAll(t *testing.T, o experiments.Options, workers int) string {
+	t.Helper()
+	o.Workers = workers
+	reports, err := experiments.All(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	for _, r := range reports {
+		sb.WriteString(r.String())
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// TestAllIsDeterministicAcrossWorkerCounts is the cross-run determinism
+// guarantee behind the parallel campaign scheduler: the full experiment
+// suite rendered twice sequentially and once through the worker pool
+// must produce byte-identical output, because every campaign seed
+// derives from Options.Seed alone, never from scheduling order.
+func TestAllIsDeterministicAcrossWorkerCounts(t *testing.T) {
+	o := experiments.QuickOptions()
+	if testing.Short() || raceEnabled {
+		// Same property, smoke scale: -short keeps local edit loops
+		// fast and the race detector's 10-20x slowdown would push the
+		// quick-scale triple run past the package timeout.
+		o = experiments.Options{Iters: 3, ColdHours: 3, VideoIters: 1, Fig14Target: 200, Seed: 42}
+	}
+
+	seq1 := renderAll(t, o, 1)
+	seq2 := renderAll(t, o, 1)
+	if seq1 != seq2 {
+		t.Fatal("two sequential runs differ: the suite itself is nondeterministic")
+	}
+	par := renderAll(t, o, 4)
+	if par != seq1 {
+		for i := 0; i < len(par) && i < len(seq1); i++ {
+			if par[i] != seq1[i] {
+				lo := i - 120
+				if lo < 0 {
+					lo = 0
+				}
+				t.Fatalf("parallel output diverges from sequential at byte %d:\nsequential: %q\nparallel:   %q",
+					i, seq1[lo:min(i+120, len(seq1))], par[lo:min(i+120, len(par))])
+			}
+		}
+		t.Fatalf("parallel output length %d != sequential %d", len(par), len(seq1))
+	}
+}

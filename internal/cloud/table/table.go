@@ -5,7 +5,8 @@
 package table
 
 import (
-	"sort"
+	"slices"
+	"strings"
 	"time"
 
 	"statebench/internal/sim"
@@ -166,7 +167,7 @@ func (t *Table) Query(p *sim.Proc, pk string) []Entity {
 			out = append(out, Entity{PK: k.pk, RK: k.rk, Data: cp})
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].RK < out[j].RK })
+	slices.SortFunc(out, func(a, b Entity) int { return strings.Compare(a.RK, b.RK) })
 	return out
 }
 

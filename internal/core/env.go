@@ -13,6 +13,14 @@ import (
 
 // Env is one fresh simulated deployment: a kernel plus both clouds,
 // ready for a Workflow to deploy into.
+//
+// Concurrency contract: an Env wraps a single sim.Kernel and inherits
+// its one-goroutine discipline — everything reachable from an Env
+// (clouds, task hubs, blobs, queues, Scratch) must be touched only by
+// the host goroutine that runs its kernel. Envs are never shared;
+// parallel campaigns (internal/parallel) each build their own Env from
+// their own seed, which is what makes fan-out deterministic and
+// lock-free.
 type Env struct {
 	K     *sim.Kernel
 	AWS   *aws.Cloud

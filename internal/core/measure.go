@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"statebench/internal/obs"
+	"statebench/internal/parallel"
 	"statebench/internal/pricing"
 	"statebench/internal/sim"
 )
@@ -30,7 +31,9 @@ type Series struct {
 	MeanTxns float64
 
 	// Env is the environment the series ran in (for experiment-specific
-	// drill-downs such as Fig 14's scheduling delays).
+	// drill-downs such as Fig 14's scheduling delays). It is populated
+	// only when MeasureOptions.KeepEnv is set; otherwise the whole
+	// simulated cloud is released as soon as the campaign ends.
 	Env *Env
 }
 
@@ -50,6 +53,16 @@ type MeasureOptions struct {
 	Seed uint64
 	// Input builds the per-iteration input (nil means nil input).
 	Input func(iter int) []byte
+	// Workers bounds how many campaigns MeasureAll runs concurrently
+	// (0 = GOMAXPROCS, 1 = strictly sequential). Each campaign gets its
+	// own Env, so the setting changes wall-clock only, never results.
+	Workers int
+	// KeepEnv retains the simulated environment on the returned Series
+	// for experiment-specific drill-downs (Fig 14's scheduling delays,
+	// Table III's finish times). Off by default: an Env pins the entire
+	// simulated cloud — task hubs, blobs, queues, history tables — and
+	// most callers only need the samples.
+	KeepEnv bool
 }
 
 // DefaultMeasureOptions returns the paper-like defaults.
@@ -72,7 +85,10 @@ func Measure(wf Workflow, impl Impl, opt MeasureOptions) (*Series, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: deploy %s/%s: %w", wf.Name(), impl, err)
 	}
-	s := &Series{Workflow: wf.Name(), Impl: impl, Iters: opt.Iters, Env: env}
+	s := &Series{Workflow: wf.Name(), Impl: impl, Iters: opt.Iters}
+	if opt.KeepEnv {
+		s.Env = env
+	}
 
 	var bill pricing.Bill
 	var gbs, txns float64
@@ -176,15 +192,20 @@ func ColdStartCampaign(wf Workflow, impl Impl, hours int, seed uint64, input fun
 }
 
 // MeasureAll runs Measure for every style the workflow supports and
-// returns the series keyed by style.
+// returns the series keyed by style. The per-style campaigns are fully
+// independent (each deploys into a fresh Env), so they fan out across
+// opt.Workers goroutines; results are identical at any worker count.
 func MeasureAll(wf Workflow, opt MeasureOptions) (map[Impl]*Series, error) {
-	out := make(map[Impl]*Series)
-	for _, impl := range wf.Impls() {
-		s, err := Measure(wf, impl, opt)
-		if err != nil {
-			return nil, err
-		}
-		out[impl] = s
+	impls := wf.Impls()
+	series, err := parallel.Map(opt.Workers, len(impls), func(i int) (*Series, error) {
+		return Measure(wf, impls[i], opt)
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[Impl]*Series, len(impls))
+	for i, impl := range impls {
+		out[impl] = series[i]
 	}
 	return out, nil
 }

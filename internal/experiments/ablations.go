@@ -7,6 +7,7 @@ import (
 	"statebench/internal/aws/lambda"
 	"statebench/internal/core"
 	"statebench/internal/obs"
+	"statebench/internal/parallel"
 	"statebench/internal/platform"
 	"statebench/internal/sim"
 	"statebench/internal/workloads/mlpipe"
@@ -29,7 +30,9 @@ func AblationMemory(o Options) (*Report, error) {
 	}
 	r := &Report{ID: "ablation-memory", Title: "AWS Lambda memory configuration sweep (ML training monolith)"}
 	r.Table.Header = []string{"memory", "median E2E", "GB-s/run", "compute cost/run"}
-	for _, memMB := range []int{512, 1024, 1536, 2048, 3072} {
+	memories := []int{512, 1024, 1536, 2048, 3072}
+	rows, err := parallel.Map(o.Workers, len(memories), func(idx int) ([]string, error) {
+		memMB := memories[idx]
 		env := core.NewEnv(o.Seed)
 		s3 := env.AWS.S3
 		s3.Preload("dataset", arts.DatasetCSV)
@@ -63,9 +66,13 @@ func AblationMemory(o Options) (*Report, error) {
 		env.K.Run()
 		m := env.AWS.Lambda.TotalMeter()
 		gbs := m.BilledGBs / float64(o.Iters)
-		r.Table.AddRow(fmt.Sprintf("%d MB", memMB), fmtDur(samples.Median()),
-			fmt.Sprintf("%.2f", gbs), fmtUSD(gbs*env.AWSPrices.LambdaGBs))
+		return []string{fmt.Sprintf("%d MB", memMB), fmtDur(samples.Median()),
+			fmt.Sprintf("%.2f", gbs), fmtUSD(gbs * env.AWSPrices.LambdaGBs)}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	r.Table.Rows = append(r.Table.Rows, rows...)
 	r.Notes = append(r.Notes, "CPU scales with configured memory, but so does the bill: past the workload's parallelism the extra GB-s buy nothing")
 	return r, nil
 }
@@ -77,7 +84,9 @@ func AblationKeepAlive(o Options) (*Report, error) {
 	r := &Report{ID: "ablation-keepalive", Title: "Cold-start rate vs container keep-alive (requests every 10 min)"}
 	r.Table.Header = []string{"keep-alive", "cold fraction", "median cold delay"}
 	wf := mltrain.New(mlpipe.Small)
-	for _, keep := range []time.Duration{2 * time.Minute, 8 * time.Minute, 15 * time.Minute, 30 * time.Minute} {
+	keeps := []time.Duration{2 * time.Minute, 8 * time.Minute, 15 * time.Minute, 30 * time.Minute}
+	rows, err := parallel.Map(o.Workers, len(keeps), func(idx int) ([]string, error) {
+		keep := keeps[idx]
 		ap := platform.DefaultAWS()
 		ap.KeepAlive = keep
 		env := core.NewEnvWithParams(o.Seed, ap, platform.DefaultAzure())
@@ -103,8 +112,12 @@ func AblationKeepAlive(o Options) (*Report, error) {
 			}
 		})
 		env.K.Run()
-		r.Table.AddRow(fmtDur(keep), fmtPct(float64(cold)/float64(n)), fmtDur(delays.Median()))
+		return []string{fmtDur(keep), fmtPct(float64(cold) / float64(n)), fmtDur(delays.Median())}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	r.Table.Rows = append(r.Table.Rows, rows...)
 	r.Notes = append(r.Notes, "keep-alive beyond the request interval eliminates cold starts entirely")
 	return r, nil
 }
@@ -116,7 +129,9 @@ func AblationKeepAlive(o Options) (*Report, error) {
 func AblationMapConcurrency(o Options) (*Report, error) {
 	r := &Report{ID: "ablation-mapconcurrency", Title: "AWS Map MaxConcurrency sweep (video, 40 chunks)"}
 	r.Table.Header = []string{"MaxConcurrency", "median E2E"}
-	for _, conc := range []int{1, 5, 10, 20, 0} {
+	concs := []int{1, 5, 10, 20, 0}
+	rows, err := parallel.Map(o.Workers, len(concs), func(idx int) ([]string, error) {
+		conc := concs[idx]
 		wf := &videoproc.Workflow{Workers: 40, Spec: videoproc.DefaultSpec(), MapConcurrency: conc}
 		opt := core.DefaultMeasureOptions()
 		opt.Iters = o.VideoIters
@@ -129,8 +144,12 @@ func AblationMapConcurrency(o Options) (*Report, error) {
 		if conc == 0 {
 			label = "unbounded"
 		}
-		r.Table.AddRow(label, fmtDur(s.E2E.Median()))
+		return []string{label, fmtDur(s.E2E.Median())}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	r.Table.Rows = append(r.Table.Rows, rows...)
 	r.Notes = append(r.Notes, "AWS fan-out latency is bounded by MaxConcurrency alone; there is no scale-controller penalty")
 	return r, nil
 }

@@ -1,6 +1,10 @@
 package experiments
 
-import "fmt"
+import (
+	"fmt"
+
+	"statebench/internal/parallel"
+)
 
 // Runner is a named experiment entry point.
 type Runner struct {
@@ -55,15 +59,29 @@ func Find(id string) (Runner, error) {
 	return Runner{}, fmt.Errorf("experiments: unknown experiment %q", id)
 }
 
-// All runs every experiment and returns the reports in paper order.
-func All(o Options) ([]*Report, error) {
-	var out []*Report
-	for _, r := range Registry() {
-		reports, err := r.Run(o)
+// RunAll executes the given runners, fanning the independent
+// experiments across o.Workers goroutines, and concatenates the
+// reports in runner order. Reports are slotted by runner index and
+// every campaign seed derives from o.Seed, so the output is
+// byte-identical to a sequential run at any worker count; on failure
+// the lowest-numbered runner's error is reported.
+func RunAll(runners []Runner, o Options) ([]*Report, error) {
+	results, err := parallel.Map(o.Workers, len(runners), func(i int) ([]*Report, error) {
+		reports, err := runners[i].Run(o)
 		if err != nil {
-			return nil, fmt.Errorf("experiments: %s: %w", r.ID, err)
+			return nil, fmt.Errorf("experiments: %s: %w", runners[i].ID, err)
 		}
+		return reports, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var out []*Report
+	for _, reports := range results {
 		out = append(out, reports...)
 	}
 	return out, nil
 }
+
+// All runs every experiment and returns the reports in paper order.
+func All(o Options) ([]*Report, error) { return RunAll(Registry(), o) }

@@ -71,6 +71,12 @@ type Options struct {
 	// collect (paper: 50,000).
 	Fig14Target int
 	Seed        uint64
+	// Workers bounds the campaign fan-out: how many independent
+	// campaigns (experiments, styles, sweep points) run concurrently.
+	// 0 = GOMAXPROCS, 1 = strictly sequential. Campaign seeds derive
+	// from Seed alone, so every worker count renders byte-identical
+	// reports.
+	Workers int
 }
 
 // DefaultOptions reproduces the paper's campaign sizes.
@@ -97,5 +103,6 @@ func measureOpts(o Options) core.MeasureOptions {
 	m := core.DefaultMeasureOptions()
 	m.Iters = o.Iters
 	m.Seed = o.Seed
+	m.Workers = o.Workers
 	return m
 }

@@ -5,6 +5,7 @@ import (
 
 	"statebench/internal/core"
 	"statebench/internal/obs"
+	"statebench/internal/parallel"
 	"statebench/internal/workloads/mlinfer"
 	"statebench/internal/workloads/mlpipe"
 	"statebench/internal/workloads/mltrain"
@@ -17,16 +18,19 @@ var (
 )
 
 // trainSeries runs the ML training campaign for every style and both
-// dataset sizes; the result feeds Fig 6, 7, 8, and 11.
+// dataset sizes; the result feeds Fig 6, 7, 8, and 11. The two sizes
+// fan out in parallel, and MeasureAll fans the styles under each.
 func trainSeries(o Options) (map[mlpipe.DatasetSize]map[core.Impl]*core.Series, error) {
-	out := make(map[mlpipe.DatasetSize]map[core.Impl]*core.Series)
-	for _, size := range []mlpipe.DatasetSize{mlpipe.Small, mlpipe.Large} {
-		wf := mltrain.New(size)
-		series, err := core.MeasureAll(wf, measureOpts(o))
-		if err != nil {
-			return nil, err
-		}
-		out[size] = series
+	sizes := []mlpipe.DatasetSize{mlpipe.Small, mlpipe.Large}
+	results, err := parallel.Map(o.Workers, len(sizes), func(i int) (map[core.Impl]*core.Series, error) {
+		return core.MeasureAll(mltrain.New(sizes[i]), measureOpts(o))
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[mlpipe.DatasetSize]map[core.Impl]*core.Series, len(sizes))
+	for i, size := range sizes {
+		out[size] = results[i]
 	}
 	return out, nil
 }
@@ -48,12 +52,20 @@ func Fig6(o Options) ([]*Report, error) {
 		}
 		return r
 	}
-	return []*Report{
-		mk("fig6a", "ML training median latency, Azure", azureImpls, 0.5),
-		mk("fig6b", "ML training median latency, AWS", awsImpls, 0.5),
-		mk("fig6c", "ML training 99ile latency, Azure", azureImpls, 0.99),
-		mk("fig6d", "ML training 99ile latency, AWS", awsImpls, 0.99),
-	}, nil
+	// Pre-sort the shared sample sets so the fanned-out sub-report
+	// builders perform pure reads (lazy quantile sorting would race).
+	for _, bySize := range series {
+		for _, s := range bySize {
+			s.E2E.Sort()
+		}
+	}
+	subs := []func() *Report{
+		func() *Report { return mk("fig6a", "ML training median latency, Azure", azureImpls, 0.5) },
+		func() *Report { return mk("fig6b", "ML training median latency, AWS", awsImpls, 0.5) },
+		func() *Report { return mk("fig6c", "ML training 99ile latency, Azure", azureImpls, 0.99) },
+		func() *Report { return mk("fig6d", "ML training 99ile latency, AWS", awsImpls, 0.99) },
+	}
+	return parallel.Map(o.Workers, len(subs), func(i int) (*Report, error) { return subs[i](), nil })
 }
 
 // Fig7 reproduces Fig 7: the CDF of end-to-end latency on the large
@@ -62,13 +74,20 @@ func Fig7(o Options) (*Report, error) {
 	wf := mltrain.New(mlpipe.Large)
 	r := &Report{ID: "fig7", Title: "CDF of end-to-end latency, ML training (large dataset)"}
 	r.Table.Header = []string{"fraction", string(core.AzDorch), string(core.AzDent), string(core.AWSStep)}
-	cdfs := map[core.Impl][]obs.CDFPoint{}
-	for _, impl := range []core.Impl{core.AzDorch, core.AzDent, core.AWSStep} {
-		s, err := core.Measure(wf, impl, measureOpts(o))
+	impls := []core.Impl{core.AzDorch, core.AzDent, core.AWSStep}
+	curves, err := parallel.Map(o.Workers, len(impls), func(i int) ([]obs.CDFPoint, error) {
+		s, err := core.Measure(wf, impls[i], measureOpts(o))
 		if err != nil {
 			return nil, err
 		}
-		cdfs[impl] = s.E2E.CDF(11)
+		return s.E2E.CDF(11), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	cdfs := map[core.Impl][]obs.CDFPoint{}
+	for i, impl := range impls {
+		cdfs[impl] = curves[i]
 	}
 	for i := 0; i < 11; i++ {
 		r.Table.AddRow(
@@ -87,12 +106,18 @@ func Fig8(o Options) (*Report, error) {
 	wf := mltrain.New(mlpipe.Large)
 	r := &Report{ID: "fig8", Title: "ML training 99ile latency breakdown (large dataset)"}
 	r.Table.Header = []string{"impl", "queue time", "exec time"}
-	for _, impl := range azureImpls {
-		s, err := core.Measure(wf, impl, measureOpts(o))
+	breakdowns, err := parallel.Map(o.Workers, len(azureImpls), func(i int) (obs.Breakdown, error) {
+		s, err := core.Measure(wf, azureImpls[i], measureOpts(o))
 		if err != nil {
-			return nil, err
+			return obs.Breakdown{}, err
 		}
-		b := s.Breakdowns.AtQuantile(0.99)
+		return s.Breakdowns.AtQuantile(0.99), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, impl := range azureImpls {
+		b := breakdowns[i]
 		// The paper's "Queue Time" is the total delay of queue polling
 		// and data transfer in the chain — trigger waits included.
 		r.Table.AddRow(string(impl), fmtDur(b.QueueTime+b.ColdStart), fmtDur(b.ExecTime))
@@ -108,12 +133,13 @@ func Fig9(o Options) (*Report, error) {
 	wf := mlinfer.New(mlpipe.Large)
 	r := &Report{ID: "fig9", Title: "ML inference end-to-end latency"}
 	r.Table.Header = []string{"impl", "median", "99ile"}
+	series, err := core.MeasureAll(wf, measureOpts(o))
+	if err != nil {
+		return nil, err
+	}
 	meds := map[core.Impl]float64{}
 	for _, impl := range wf.Impls() {
-		s, err := core.Measure(wf, impl, measureOpts(o))
-		if err != nil {
-			return nil, err
-		}
+		s := series[impl]
 		meds[impl] = float64(s.E2E.Median())
 		r.Table.AddRow(string(impl), fmtDur(s.E2E.Median()), fmtDur(s.E2E.P99()))
 	}
@@ -129,11 +155,17 @@ func Fig10(o Options) (*Report, error) {
 	wf := mltrain.New(mlpipe.Small)
 	r := &Report{ID: "fig10", Title: "ML training cold-start delay (1 req/hour campaign)"}
 	r.Table.Header = []string{"impl", "median", "p90", "max"}
-	for _, impl := range []core.Impl{core.AzQueue, core.AWSStep, core.AWSLambda, core.AzDorch, core.AzDent} {
-		samples, err := core.ColdStartCampaign(wf, impl, o.ColdHours, o.Seed, nil)
-		if err != nil {
-			return nil, err
-		}
+	impls := []core.Impl{core.AzQueue, core.AWSStep, core.AWSLambda, core.AzDorch, core.AzDent}
+	// The per-style cold-start sweeps are day-scale virtual campaigns;
+	// fan them out one style per worker.
+	perStyle, err := parallel.Map(o.Workers, len(impls), func(i int) (*obs.Samples, error) {
+		return core.ColdStartCampaign(wf, impls[i], o.ColdHours, o.Seed, nil)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, impl := range impls {
+		samples := perStyle[i]
 		r.Table.AddRow(string(impl), fmtDur(samples.Median()), fmtDur(samples.Quantile(0.9)), fmtDur(samples.Max()))
 	}
 	r.Notes = append(r.Notes,
@@ -173,11 +205,17 @@ func Fig11(o Options) ([]*Report, error) {
 	awsL := series[mlpipe.Large][core.AWSStep].MeanBill.Total()
 	azDorchL := series[mlpipe.Large][core.AzDorch].MeanBill.Total()
 	azDentL := series[mlpipe.Large][core.AzDent].MeanBill.Total()
-	reports := []*Report{
-		gbs("fig11a", "Azure computation cost (GB-s per run)", azureImpls),
-		gbs("fig11b", "AWS computation cost (GB-s per run)", awsImpls),
-		share("fig11c", "Azure stateful transaction cost", azureImpls),
-		share("fig11d", "AWS stateful transition cost", awsImpls),
+	// The sub-reports only read the series' mean cost fields (no lazy
+	// sample sorting), so they fan out without pre-sorting.
+	subs := []func() *Report{
+		func() *Report { return gbs("fig11a", "Azure computation cost (GB-s per run)", azureImpls) },
+		func() *Report { return gbs("fig11b", "AWS computation cost (GB-s per run)", awsImpls) },
+		func() *Report { return share("fig11c", "Azure stateful transaction cost", azureImpls) },
+		func() *Report { return share("fig11d", "AWS stateful transition cost", awsImpls) },
+	}
+	reports, err := parallel.Map(o.Workers, len(subs), func(i int) (*Report, error) { return subs[i](), nil })
+	if err != nil {
+		return nil, err
 	}
 	reports[3].Notes = append(reports[3].Notes,
 		fmt.Sprintf("AWS-Step total cost vs Az-Dorch: %.2fx, vs Az-Dent: %.2fx (paper headline: AWS ~1.89x Azure)",

@@ -2,9 +2,11 @@ package experiments
 
 import (
 	"fmt"
+	"time"
 
 	"statebench/internal/core"
 	"statebench/internal/obs"
+	"statebench/internal/parallel"
 	"statebench/internal/platform"
 	"statebench/internal/workloads/mlpipe"
 	"statebench/internal/workloads/mltrain"
@@ -78,23 +80,31 @@ func Table3(o Options) (*Report, error) {
 
 // videoFanoutFinishTimes runs cold Az-Dorch fan-outs and collects each
 // worker's finish time (relative to workflow start) and each run's
-// makespan.
+// makespan. Each fan-out is an isolated campaign with its own seed, so
+// the iterations run across the worker pool; shards are combined in
+// iteration order.
 func videoFanoutFinishTimes(o Options, workers, iters int) (perWorker, makespans *obs.Samples, err error) {
 	wf := videoproc.New(workers)
-	perWorker = &obs.Samples{}
-	makespans = &obs.Samples{}
-	for i := 0; i < iters; i++ {
+	shards, err := parallel.Map(o.Workers, iters, func(i int) ([]time.Duration, error) {
 		// Fresh environment per run: the paper's large fan-outs hit
 		// cold scale-out every time.
 		opt := core.DefaultMeasureOptions()
 		opt.Iters = 1
 		opt.Warmup = 0
 		opt.Seed = o.Seed + uint64(i)*1000
+		opt.KeepEnv = true // finish times live in the Env's scratch space
 		s, err := core.Measure(wf, core.AzDorch, opt)
 		if err != nil {
-			return nil, nil, err
+			return nil, err
 		}
-		finishes := videoproc.WorkerFinishTimes(s.Env)
+		return videoproc.WorkerFinishTimes(s.Env), nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	perWorker = &obs.Samples{}
+	makespans = &obs.Samples{}
+	for _, finishes := range shards {
 		perWorker.AddAll(finishes)
 		var max int64
 		for _, f := range finishes {

@@ -6,6 +6,7 @@ import (
 
 	"statebench/internal/core"
 	"statebench/internal/obs"
+	"statebench/internal/parallel"
 	"statebench/internal/pricing"
 	"statebench/internal/sim"
 	"statebench/internal/workloads/videoproc"
@@ -27,33 +28,39 @@ func videoMeasure(o Options, impl core.Impl, workers, iters int) (*core.Series, 
 }
 
 // Fig12 reproduces Fig 12: end-to-end video latency vs worker count.
+// The sweep is 2 monolith campaigns plus 2 styles × 4 worker counts,
+// all independent; every campaign fans out across the pool.
 func Fig12(o Options) (*Report, error) {
 	r := &Report{ID: "fig12", Title: "Video processing end-to-end latency vs workers"}
 	r.Table.Header = []string{"workers", string(core.AWSStep), string(core.AzDorch)}
-	awsMono, err := videoMeasure(o, core.AWSLambda, 1, o.VideoIters)
-	if err != nil {
-		return nil, err
+	type campaign struct {
+		impl    core.Impl
+		workers int
 	}
-	azMono, err := videoMeasure(o, core.AzFunc, 1, o.VideoIters)
-	if err != nil {
-		return nil, err
-	}
-	r.Table.AddRow("1 (monolith)", fmtDur(awsMono.E2E.Median()), fmtDur(azMono.E2E.Median()))
-	var aws80, awsMono50 float64
-	awsMono50 = float64(awsMono.E2E.Median())
+	campaigns := []campaign{{core.AWSLambda, 1}, {core.AzFunc, 1}}
 	for _, n := range videoWorkerCounts {
-		aws, err := videoMeasure(o, core.AWSStep, n, o.VideoIters)
+		campaigns = append(campaigns, campaign{core.AWSStep, n}, campaign{core.AzDorch, n})
+	}
+	medians, err := parallel.Map(o.Workers, len(campaigns), func(i int) (time.Duration, error) {
+		c := campaigns[i]
+		s, err := videoMeasure(o, c.impl, c.workers, o.VideoIters)
 		if err != nil {
-			return nil, err
+			return 0, err
 		}
-		az, err := videoMeasure(o, core.AzDorch, n, o.VideoIters)
-		if err != nil {
-			return nil, err
-		}
+		return s.E2E.Median(), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	r.Table.AddRow("1 (monolith)", fmtDur(medians[0]), fmtDur(medians[1]))
+	var aws80 float64
+	awsMono50 := float64(medians[0])
+	for i, n := range videoWorkerCounts {
+		awsMed, azMed := medians[2+2*i], medians[3+2*i]
 		if n == 80 {
-			aws80 = float64(aws.E2E.Median())
+			aws80 = float64(awsMed)
 		}
-		r.Table.AddRow(fmt.Sprintf("%d", n), fmtDur(aws.E2E.Median()), fmtDur(az.E2E.Median()))
+		r.Table.AddRow(fmt.Sprintf("%d", n), fmtDur(awsMed), fmtDur(azMed))
 	}
 	r.Notes = append(r.Notes, fmt.Sprintf(
 		"AWS 80-worker improvement over AWS-Lambda monolith: %.0f%% (paper: >80%%); Azure does not scale",
@@ -67,14 +74,19 @@ func Fig12(o Options) (*Report, error) {
 func Fig13(o Options) (*Report, error) {
 	r := &Report{ID: "fig13", Title: "Video processing latency breakdown (20 workers)"}
 	r.Table.Header = []string{"impl", "cold start (mean)", "cold start (max)", "queue+sched", "exec"}
-	for _, impl := range []core.Impl{core.AWSStep, core.AzDorch} {
-		s, err := videoMeasure(o, impl, 20, o.VideoIters)
+	impls := []core.Impl{core.AWSStep, core.AzDorch}
+	rows, err := parallel.Map(o.Workers, len(impls), func(i int) ([]string, error) {
+		s, err := videoMeasure(o, impls[i], 20, o.VideoIters)
 		if err != nil {
 			return nil, err
 		}
 		b := s.Breakdowns.AtQuantile(0.5)
-		r.Table.AddRow(string(impl), fmtDur(s.Cold.Mean()), fmtDur(s.Cold.Max()), fmtDur(b.QueueTime), fmtDur(b.ExecTime))
+		return []string{string(impls[i]), fmtDur(s.Cold.Mean()), fmtDur(s.Cold.Max()), fmtDur(b.QueueTime), fmtDur(b.ExecTime)}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	r.Table.Rows = append(r.Table.Rows, rows...)
 	r.Notes = append(r.Notes, "paper: AWS cold start 1-2s; Azure orchestrator start averages ~10s with a wide range")
 	return r, nil
 }
@@ -86,22 +98,36 @@ func Fig14(o Options) (*Report, error) {
 	var delays obs.Samples
 	iter := 0
 	for delays.Len() < o.Fig14Target {
-		for _, workers := range videoWorkerCounts {
-			wf := videoproc.New(workers)
+		// One round = one cold fan-out per width. The campaigns are
+		// independent (seed depends only on the campaign number), so a
+		// round runs in parallel; shards are merged in campaign order
+		// and consumption stops at the target, so the collected sample
+		// set matches the sequential loop byte for byte.
+		shards, err := parallel.Map(o.Workers, len(videoWorkerCounts), func(i int) (*obs.Samples, error) {
+			wf := videoproc.New(videoWorkerCounts[i])
 			opt := core.DefaultMeasureOptions()
 			opt.Iters = 1 // cold scale-out, as each of the paper's fan-outs was
 			opt.Warmup = 0
 			opt.Gap = 30 * time.Second
-			opt.Seed = o.Seed + uint64(iter)*977
+			opt.Seed = o.Seed + uint64(iter+i)*977
+			opt.KeepEnv = true // the drill-down below needs the Azure host stats
 			s, err := core.Measure(wf, core.AzDorch, opt)
 			if err != nil {
 				return nil, err
 			}
-			delays.AddAll(videoproc.WorkerSchedDelays(s.Env))
-			iter++
+			shard := &obs.Samples{}
+			shard.AddAll(videoproc.WorkerSchedDelays(s.Env))
+			return shard, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		for _, shard := range shards {
 			if delays.Len() >= o.Fig14Target {
 				break
 			}
+			delays.Merge(shard)
+			iter++
 		}
 	}
 	r := &Report{ID: "fig14", Title: fmt.Sprintf("Scheduling delay CDF (%d workers observed)", delays.Len())}
@@ -131,13 +157,16 @@ func Fig15(o Options) (*Report, error) {
 
 	r := &Report{ID: "fig15", Title: "Estimated monthly cost, video processing (20 workers)"}
 	r.Table.Header = []string{"impl", "compute", "stateful", "total", "stateful share"}
+	impls := []core.Impl{core.AWSLambda, core.AWSStep, core.AzFunc, core.AzDorch}
+	bills, err := parallel.Map(o.Workers, len(impls), func(i int) (pricing.Bill, error) {
+		return monthlyBill(o, impls[i], window, interval, runsInWindow)
+	})
+	if err != nil {
+		return nil, err
+	}
 	var azStateful, awsStateful float64
-	for _, impl := range []core.Impl{core.AWSLambda, core.AWSStep, core.AzFunc, core.AzDorch} {
-		bill, err := monthlyBill(o, impl, window, interval, runsInWindow)
-		if err != nil {
-			return nil, err
-		}
-		monthly := bill.Scale(scale)
+	for i, impl := range impls {
+		monthly := bills[i].Scale(scale)
 		switch impl {
 		case core.AzDorch:
 			azStateful = monthly.Stateful

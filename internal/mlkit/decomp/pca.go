@@ -5,9 +5,10 @@
 package decomp
 
 import (
+	"cmp"
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 )
 
 // PCA is a fitted principal-component projection.
@@ -78,7 +79,7 @@ func FitPCA(X [][]float64, nComponents int) (*PCA, error) {
 	for i := range idx {
 		idx[i] = i
 	}
-	sort.Slice(idx, func(i, j int) bool { return vals[idx[i]] > vals[idx[j]] })
+	slices.SortFunc(idx, func(a, b int) int { return cmp.Compare(vals[b], vals[a]) })
 
 	p := &PCA{Mean: mean}
 	for _, v := range vals {

@@ -5,9 +5,10 @@
 package ensemble
 
 import (
+	"cmp"
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 )
 
 // treeNode is one node of a regression tree, stored in a flat slice so
@@ -121,7 +122,7 @@ func (t *RegressionTree) bestSplit(X [][]float64, y []float64, idx []int) (int, 
 		for i, row := range idx {
 			vals[i] = pair{x: X[row][f], y: y[row]}
 		}
-		sort.Slice(vals, func(a, b int) bool { return vals[a].x < vals[b].x })
+		slices.SortFunc(vals, func(a, b pair) int { return cmp.Compare(a.x, b.x) })
 
 		// Prefix sums for O(n) split scan.
 		n := len(vals)

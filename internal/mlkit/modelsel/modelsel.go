@@ -6,8 +6,9 @@
 package modelsel
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 
 	"statebench/internal/mlkit/linmodel"
 	"statebench/internal/mlkit/metrics"
@@ -126,7 +127,7 @@ func GridSearch(cands []Candidate, X [][]float64, y []float64, k int, seed uint6
 		}
 		out = append(out, r)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].MSE < out[j].MSE })
+	slices.SortFunc(out, func(a, b Result) int { return cmp.Compare(a.MSE, b.MSE) })
 	return out, nil
 }
 

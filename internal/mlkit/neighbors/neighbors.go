@@ -5,9 +5,10 @@
 package neighbors
 
 import (
+	"cmp"
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 )
 
 // Weighting selects how neighbor targets are combined.
@@ -77,7 +78,7 @@ func (m *KNeighborsRegressor) Predict(X [][]float64) ([]float64, error) {
 			}
 			cands[i] = cand{dist: math.Sqrt(s), y: m.YTrain[i]}
 		}
-		sort.Slice(cands, func(a, b int) bool { return cands[a].dist < cands[b].dist })
+		slices.SortFunc(cands, func(a, b cand) int { return cmp.Compare(a.dist, b.dist) })
 		top := cands[:m.K]
 		switch m.Weights {
 		case Distance:

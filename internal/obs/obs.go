@@ -5,14 +5,19 @@
 package obs
 
 import (
+	"cmp"
 	"fmt"
 	"math"
+	"slices"
 	"sort"
 	"strings"
 	"time"
 )
 
-// Samples is a collection of duration observations.
+// Samples is a collection of duration observations. The zero value is
+// an empty, ready-to-use collection. Samples are not safe for
+// concurrent mutation; parallel campaigns collect into per-worker
+// shards and combine them with Merge.
 type Samples struct {
 	vals   []time.Duration
 	sorted bool
@@ -24,10 +29,63 @@ func (s *Samples) Add(d time.Duration) {
 	s.sorted = false
 }
 
-// AddAll appends many observations.
+// AddAll appends many observations. Fast path: when the collection is
+// already in sorted order and ds extends it non-decreasingly, the
+// sorted state is kept, so quantile reads after bulk loads of
+// pre-sorted shards skip the re-sort entirely.
 func (s *Samples) AddAll(ds []time.Duration) {
+	if len(ds) == 0 {
+		return
+	}
+	stillSorted := s.sorted || len(s.vals) == 0
+	if stillSorted {
+		prev := ds[0]
+		if len(s.vals) > 0 && s.vals[len(s.vals)-1] > prev {
+			stillSorted = false
+		}
+		for _, d := range ds[1:] {
+			if d < prev {
+				stillSorted = false
+				break
+			}
+			prev = d
+		}
+	}
 	s.vals = append(s.vals, ds...)
-	s.sorted = false
+	s.sorted = stillSorted
+}
+
+// Merge unions o's observations into s. Both sides are sorted once and
+// then combined in a single linear pass — cheaper than append plus a
+// full re-sort, which is what makes combining per-worker sample shards
+// cheap. o is left intact (sorted, same observations).
+func (s *Samples) Merge(o *Samples) {
+	if o == nil || len(o.vals) == 0 {
+		return
+	}
+	if len(s.vals) == 0 {
+		o.ensureSorted()
+		s.vals = append(s.vals, o.vals...)
+		s.sorted = true
+		return
+	}
+	s.ensureSorted()
+	o.ensureSorted()
+	merged := make([]time.Duration, 0, len(s.vals)+len(o.vals))
+	i, j := 0, 0
+	for i < len(s.vals) && j < len(o.vals) {
+		if s.vals[i] <= o.vals[j] {
+			merged = append(merged, s.vals[i])
+			i++
+		} else {
+			merged = append(merged, o.vals[j])
+			j++
+		}
+	}
+	merged = append(merged, s.vals[i:]...)
+	merged = append(merged, o.vals[j:]...)
+	s.vals = merged
+	s.sorted = true
 }
 
 // Len returns the number of observations.
@@ -42,10 +100,15 @@ func (s *Samples) Values() []time.Duration {
 
 func (s *Samples) ensureSorted() {
 	if !s.sorted {
-		sort.Slice(s.vals, func(i, j int) bool { return s.vals[i] < s.vals[j] })
+		slices.Sort(s.vals)
 		s.sorted = true
 	}
 }
+
+// Sort orders the observations now. Afterwards quantile reads are pure
+// (no lazy re-sort), which makes a Samples safe to share across
+// concurrent report builders that only read.
+func (s *Samples) Sort() { s.ensureSorted() }
 
 // Quantile returns the q-quantile (0..1) with linear interpolation.
 func (s *Samples) Quantile(q float64) time.Duration {
@@ -181,7 +244,7 @@ func (bs *BreakdownSet) AtQuantile(q float64) Breakdown {
 	}
 	sorted := make([]Breakdown, len(bs.runs))
 	copy(sorted, bs.runs)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Total() < sorted[j].Total() })
+	slices.SortFunc(sorted, func(a, b Breakdown) int { return cmp.Compare(a.Total(), b.Total()) })
 	idx := int(q * float64(len(sorted)-1))
 	if idx < 0 {
 		idx = 0

@@ -156,3 +156,79 @@ func TestPropertyQuantileMonotonic(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestAddAllKeepsSortedFastPath(t *testing.T) {
+	var s Samples
+	s.AddAll([]time.Duration{1, 2, 3})
+	if !s.sorted {
+		t.Fatal("sorted bulk load must keep the sorted flag")
+	}
+	s.AddAll([]time.Duration{3, 5, 9})
+	if !s.sorted {
+		t.Fatal("non-decreasing extension must keep the sorted flag")
+	}
+	s.AddAll([]time.Duration{4})
+	if s.sorted {
+		t.Fatal("out-of-order extension must clear the sorted flag")
+	}
+	if s.Min() != 1 || s.Max() != 9 || s.Len() != 7 {
+		t.Fatalf("min/max/len = %v/%v/%d", s.Min(), s.Max(), s.Len())
+	}
+}
+
+func TestMergeMatchesAddAll(t *testing.T) {
+	a := []time.Duration{5, 1, 9, 3, 3, 7}
+	b := []time.Duration{2, 8, 1, 6}
+
+	var merged, appended Samples
+	var shard Samples
+	merged.AddAll(a)
+	shard.AddAll(b)
+	merged.Merge(&shard)
+
+	appended.AddAll(a)
+	appended.AddAll(b)
+
+	if merged.Len() != appended.Len() {
+		t.Fatalf("len %d != %d", merged.Len(), appended.Len())
+	}
+	for q := 0.0; q <= 1.0; q += 0.05 {
+		if merged.Quantile(q) != appended.Quantile(q) {
+			t.Fatalf("quantile %.2f: merge %v, append %v", q, merged.Quantile(q), appended.Quantile(q))
+		}
+	}
+	if !merged.sorted {
+		t.Fatal("merge must leave the union sorted")
+	}
+	// The merged-in shard must be intact (sorted, same observations).
+	if shard.Len() != len(b) || shard.Min() != 1 || shard.Max() != 8 {
+		t.Fatalf("shard mutated: len %d min %v max %v", shard.Len(), shard.Min(), shard.Max())
+	}
+}
+
+func TestMergeIntoEmptyAndFromEmpty(t *testing.T) {
+	var empty, full Samples
+	full.AddAll([]time.Duration{4, 2, 6})
+	empty.Merge(&full)
+	if empty.Len() != 3 || empty.Median() != 4 {
+		t.Fatalf("merge into empty: len %d median %v", empty.Len(), empty.Median())
+	}
+	var none Samples
+	full.Merge(&none)
+	full.Merge(nil)
+	if full.Len() != 3 {
+		t.Fatalf("merging empty/nil changed len to %d", full.Len())
+	}
+}
+
+func TestSortMakesQuantilesPureReads(t *testing.T) {
+	var s Samples
+	s.AddAll([]time.Duration{9, 1, 5})
+	s.Sort()
+	if !s.sorted {
+		t.Fatal("Sort must leave the collection sorted")
+	}
+	if s.Median() != 5 {
+		t.Fatalf("median = %v", s.Median())
+	}
+}

@@ -1,0 +1,116 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkersResolution(t *testing.T) {
+	if Workers(3) != 3 {
+		t.Fatal("explicit count not respected")
+	}
+	if Workers(0) != runtime.GOMAXPROCS(0) {
+		t.Fatal("zero must mean GOMAXPROCS")
+	}
+	if Workers(-1) != runtime.GOMAXPROCS(0) {
+		t.Fatal("negative must mean GOMAXPROCS")
+	}
+}
+
+func TestForEachRunsEveryTask(t *testing.T) {
+	for _, workers := range []int{1, 2, 7, 64} {
+		var ran atomic.Int64
+		if err := ForEach(workers, 50, func(int) error {
+			ran.Add(1)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if ran.Load() != 50 {
+			t.Fatalf("workers=%d ran %d/50 tasks", workers, ran.Load())
+		}
+	}
+}
+
+func TestForEachEmpty(t *testing.T) {
+	if err := ForEach(4, 0, func(int) error { return errors.New("boom") }); err != nil {
+		t.Fatal("no tasks must mean no error")
+	}
+}
+
+func TestMapSlotsResultsByIndex(t *testing.T) {
+	for _, workers := range []int{1, 3, 16} {
+		got, err := Map(workers, 20, func(i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d slot %d = %d", workers, i, v)
+			}
+		}
+	}
+}
+
+func TestFirstErrorWinsRegardlessOfWorkers(t *testing.T) {
+	// Tasks 3 and 11 fail; the lowest index must be reported for every
+	// worker count, or parallel error paths diverge from sequential.
+	for _, workers := range []int{1, 2, 8} {
+		_, err := Map(workers, 16, func(i int) (int, error) {
+			if i == 3 || i == 11 {
+				return 0, fmt.Errorf("task %d failed", i)
+			}
+			return i, nil
+		})
+		if err == nil || err.Error() != "task 3 failed" {
+			t.Fatalf("workers=%d err = %v", workers, err)
+		}
+	}
+}
+
+func TestSequentialShortCircuits(t *testing.T) {
+	var ran atomic.Int64
+	err := ForEach(1, 10, func(i int) error {
+		ran.Add(1)
+		if i == 2 {
+			return errors.New("stop")
+		}
+		return nil
+	})
+	if err == nil || ran.Load() != 3 {
+		t.Fatalf("sequential mode must stop at first error (ran %d)", ran.Load())
+	}
+}
+
+func TestBoundedConcurrency(t *testing.T) {
+	const workers = 3
+	var cur, peak atomic.Int64
+	gate := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		done <- ForEach(workers, 12, func(int) error {
+			c := cur.Add(1)
+			for {
+				p := peak.Load()
+				if c <= p || peak.CompareAndSwap(p, c) {
+					break
+				}
+			}
+			<-gate
+			cur.Add(-1)
+			return nil
+		})
+	}()
+	for i := 0; i < 12; i++ {
+		gate <- struct{}{}
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > workers {
+		t.Fatalf("observed %d concurrent tasks, pool bound is %d", p, workers)
+	}
+}

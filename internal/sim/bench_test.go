@@ -29,6 +29,47 @@ func BenchmarkProcContextSwitch(b *testing.B) {
 	k.Run()
 }
 
+// BenchmarkKernelSchedule measures the full schedule/dispatch cycle of
+// the event queue under out-of-order insertion — the per-event cost
+// every campaign pays millions of times. Run with -benchmem: the alloc
+// count per event is the tracked regression metric.
+func BenchmarkKernelSchedule(b *testing.B) {
+	b.ReportAllocs()
+	k := NewKernel(1)
+	fn := func() {}
+	// Deterministic pseudo-random times keep the heap honest (pure
+	// ascending insertion never exercises sift-down). Scheduling is
+	// inside the timed region so allocs/op reflects the At cost.
+	state := uint64(0x9e3779b97f4a7c15)
+	for i := 0; i < b.N; i++ {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		k.At(time.Duration(state%1e9), fn)
+	}
+	k.Run()
+}
+
+// BenchmarkKernelScheduleInterleaved alternates At with dispatch, the
+// steady-state shape of a live simulation (queue stays small, slots are
+// recycled).
+func BenchmarkKernelScheduleInterleaved(b *testing.B) {
+	b.ReportAllocs()
+	k := NewKernel(1)
+	n := b.N
+	var step func()
+	i := 0
+	step = func() {
+		if i < n {
+			i++
+			k.After(time.Microsecond, step)
+		}
+	}
+	k.After(0, step)
+	b.ResetTimer()
+	k.Run()
+}
+
 // BenchmarkFutureFanIn measures fan-out/fan-in through futures.
 func BenchmarkFutureFanIn(b *testing.B) {
 	for i := 0; i < b.N; i++ {

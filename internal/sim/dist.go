@@ -3,7 +3,7 @@ package sim
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 	"time"
 )
 
@@ -181,7 +181,7 @@ func Quantile(samples []time.Duration, q float64) time.Duration {
 	}
 	cp := make([]time.Duration, len(samples))
 	copy(cp, samples)
-	sort.Slice(cp, func(i, j int) bool { return cp[i] < cp[j] })
+	slices.Sort(cp)
 	if q <= 0 {
 		return cp[0]
 	}

@@ -421,3 +421,72 @@ func TestStreamDeterminism(t *testing.T) {
 		t.Fatal("different names produced identical streams")
 	}
 }
+
+// TestHeapOrderingRandomized cross-checks the 4-ary event heap against
+// a reference sort under adversarial (pseudo-random, tie-heavy)
+// insertion order.
+func TestHeapOrderingRandomized(t *testing.T) {
+	k := NewKernel(1)
+	const n = 5000
+	var got []Time
+	state := uint64(12345)
+	for i := 0; i < n; i++ {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		// Few distinct times: exercises the seq tiebreak heavily.
+		at := time.Duration(state%97) * time.Millisecond
+		k.At(at, func() { got = append(got, k.Now()) })
+	}
+	k.Run()
+	if len(got) != n {
+		t.Fatalf("ran %d events, want %d", len(got), n)
+	}
+	for i := 1; i < n; i++ {
+		if got[i] < got[i-1] {
+			t.Fatalf("event %d at %v ran after %v", i, got[i], got[i-1])
+		}
+	}
+}
+
+// TestSameTimeFIFOUnderLoad asserts the (time, seq) tiebreak holds for
+// a large same-instant batch (a heap without the seq key would reorder).
+func TestSameTimeFIFOUnderLoad(t *testing.T) {
+	k := NewKernel(1)
+	const n = 2000
+	var got []int
+	for i := 0; i < n; i++ {
+		i := i
+		k.At(time.Second, func() { got = append(got, i) })
+	}
+	k.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("slot %d ran event %d: same-instant FIFO broken", i, v)
+		}
+	}
+}
+
+// TestRunReleasesEventStorage asserts the drained queue's backing array
+// is dropped so a retained Env does not pin campaign-sized event
+// storage (the core.Series memory-retention fix).
+func TestRunReleasesEventStorage(t *testing.T) {
+	k := NewKernel(1)
+	for i := 0; i < 4096; i++ {
+		k.After(time.Duration(i)*time.Millisecond, func() {})
+	}
+	if cap(k.pq) == 0 {
+		t.Fatal("queue unexpectedly empty before Run")
+	}
+	k.Run()
+	if k.pq != nil {
+		t.Fatalf("event storage retained after drain: cap %d", cap(k.pq))
+	}
+	// The kernel must stay usable after the release.
+	ran := false
+	k.After(0, func() { ran = true })
+	k.Run()
+	if !ran {
+		t.Fatal("kernel unusable after storage release")
+	}
+}

@@ -8,7 +8,7 @@ package trace
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"strings"
 	"time"
 
@@ -152,7 +152,7 @@ func (c *Collector) Summarize(q Query) []Summary {
 	for _, s := range byFn {
 		out = append(out, *s)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Function < out[j].Function })
+	slices.SortFunc(out, func(a, b Summary) int { return strings.Compare(a.Function, b.Function) })
 	return out
 }
 

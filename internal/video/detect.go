@@ -2,9 +2,10 @@ package video
 
 import (
 	"bytes"
+	"cmp"
 	"encoding/gob"
 	"fmt"
-	"sort"
+	"slices"
 )
 
 // DetectorModel is the "pretrained model" of the paper's workload: the
@@ -141,7 +142,7 @@ func (m *DetectorModel) DetectFrame(f *Frame) []Detection {
 
 // nms applies greedy non-maximum suppression by descending score.
 func nms(cands []Detection, iou float64) []Detection {
-	sort.Slice(cands, func(i, j int) bool { return cands[i].Score > cands[j].Score })
+	slices.SortFunc(cands, func(a, b Detection) int { return cmp.Compare(b.Score, a.Score) })
 	var kept []Detection
 	for _, c := range cands {
 		ok := true

@@ -91,6 +91,7 @@ func TestSchedulingDelaysRecorded(t *testing.T) {
 	opt.Iters = 1
 	opt.Warmup = 0
 	opt.Seed = 7
+	opt.KeepEnv = true // the scheduling-delay drill-down reads the Env
 	s, err := core.Measure(wf, core.AzDorch, opt)
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,7 @@
+//go:build race
+
+package statebench_test
+
+// raceEnabled reports whether the race detector is compiled in; the
+// determinism test downscales under it (10-20x execution overhead).
+const raceEnabled = true
