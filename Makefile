@@ -3,18 +3,27 @@
 # tier1    — the gate every change must keep green.
 # tier1.5  — adds static analysis and the race detector; the
 #            determinism test self-downscales under -race.
+# tier2    — tier1.5 plus the observability determinism gate: full
+#            campaigns with tracing + metrics on must render and export
+#            byte-identically at any worker count.
 # bench    — kernel micro-benchmarks plus the sequential-vs-parallel
-#            full-suite pair (the numbers behind BENCH_PR1.json).
+#            full-suite pair (the numbers behind BENCH_PR1.json and
+#            BENCH_PR2.json).
 
 GO ?= go
 
-.PHONY: tier1 tier1.5 bench bench-kernel bench-all
+.PHONY: tier1 tier1.5 tier2 bench bench-kernel bench-all
 
 tier1:
 	$(GO) build ./... && $(GO) test ./...
 
 tier1.5:
-	$(GO) vet ./... && $(GO) test -race ./...
+	$(GO) vet ./... && $(GO) test -race -timeout 20m ./...
+
+tier2:
+	$(GO) vet ./...
+	$(GO) test -race -timeout 20m ./...
+	$(GO) test -run 'TestTracingPreservesDeterminism|TestTracingDoesNotChangeResults' -count=1 . ./internal/core/
 
 bench-kernel:
 	$(GO) test -run - -bench 'Kernel|EventThroughput|ProcContextSwitch' -benchmem ./internal/sim/

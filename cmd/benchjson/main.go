@@ -17,6 +17,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
+	"runtime"
 	"strconv"
 	"strings"
 )
@@ -32,19 +34,34 @@ type Result struct {
 
 // Document is the full parsed run.
 type Document struct {
-	Label   string   `json:"label,omitempty"`
-	Goos    string   `json:"goos,omitempty"`
-	Goarch  string   `json:"goarch,omitempty"`
-	Pkg     string   `json:"pkg,omitempty"`
-	CPU     string   `json:"cpu,omitempty"`
-	Results []Result `json:"results"`
+	Label  string `json:"label,omitempty"`
+	Goos   string `json:"goos,omitempty"`
+	Goarch string `json:"goarch,omitempty"`
+	Pkg    string `json:"pkg,omitempty"`
+	CPU    string `json:"cpu,omitempty"`
+	// Commit is the abbreviated git commit the run was taken at
+	// (best-effort; empty outside a git checkout).
+	Commit string `json:"commit,omitempty"`
+	// GoMaxProcs records the scheduler width of the benchmarking
+	// process, since parallel-suite numbers depend on it.
+	GoMaxProcs int      `json:"gomaxprocs,omitempty"`
+	Results    []Result `json:"results"`
+}
+
+// gitCommit returns the short commit hash, or "" when unavailable.
+func gitCommit() string {
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
 }
 
 func main() {
 	label := flag.String("label", "", "optional label stored in the JSON document")
 	flag.Parse()
 
-	doc := Document{Label: *label}
+	doc := Document{Label: *label, Commit: gitCommit(), GoMaxProcs: runtime.GOMAXPROCS(0)}
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {

@@ -4,23 +4,30 @@
 // Usage:
 //
 //	statebench [flags] [experiment...]
+//	statebench trace -impl <style> -workflow <wf> [-runs N] [-o trace.json]
 //
 // With no arguments every experiment runs in paper order. Experiments:
 // table1, table2, fig6, fig7, fig8, fig9, fig10, fig11, fig12, fig13,
 // fig14, fig15, table3.
 //
+// The trace subcommand runs one workflow/style campaign with the span
+// tracer enabled and writes a Chrome trace-event file loadable in
+// chrome://tracing or Perfetto.
+//
 // Flags:
 //
-//	-quick       use the fast smoke-scale campaign sizes
-//	-csv         emit CSV instead of text tables
-//	-iters N     override the per-style iteration count
-//	-seed N      simulation master seed
-//	-parallel N  campaign worker pool size (0 = GOMAXPROCS, 1 = sequential)
-//	-list        list experiment IDs and exit
+//	-quick        use the fast smoke-scale campaign sizes
+//	-csv          emit CSV instead of text tables
+//	-iters N      override the per-style iteration count
+//	-seed N       simulation master seed
+//	-parallel N   campaign worker pool size (0 = GOMAXPROCS, 1 = sequential)
+//	-metrics FILE collect runtime metrics, write Prometheus text to FILE
+//	-list         list experiment IDs and exit
 //
 // Campaign seeds derive from -seed alone, so -parallel changes
 // wall-clock time only: the rendered output is byte-identical at any
-// worker count.
+// worker count — including the contents of -metrics FILE, whose
+// aggregation is commutative.
 package main
 
 import (
@@ -29,15 +36,22 @@ import (
 	"os"
 
 	"statebench/internal/experiments"
+	"statebench/internal/obs/metrics"
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "trace" {
+		runTrace(os.Args[2:])
+		return
+	}
+
 	quick := flag.Bool("quick", false, "use fast smoke-scale campaign sizes")
 	iters := flag.Int("iters", 0, "override per-style iteration count")
 	seed := flag.Uint64("seed", 42, "simulation master seed")
 	workers := flag.Int("parallel", 0, "campaign worker pool size (0 = GOMAXPROCS, 1 = sequential)")
 	list := flag.Bool("list", false, "list experiment IDs and exit")
 	csv := flag.Bool("csv", false, "emit CSV instead of text tables")
+	metricsOut := flag.String("metrics", "", "collect runtime metrics and write Prometheus text to this file")
 	flag.Parse()
 
 	if *list {
@@ -56,6 +70,20 @@ func main() {
 	}
 	opts.Seed = *seed
 	opts.Workers = *workers
+	var reg *metrics.Registry
+	if *metricsOut != "" {
+		reg = metrics.NewRegistry()
+		opts.Metrics = reg
+	}
+	flushMetrics := func() {
+		if reg == nil {
+			return
+		}
+		if err := writeMetricsFile(*metricsOut, reg); err != nil {
+			fmt.Fprintln(os.Stderr, "statebench:", err)
+			os.Exit(1)
+		}
+	}
 
 	ids := flag.Args()
 	if len(ids) == 0 {
@@ -71,6 +99,7 @@ func main() {
 				fmt.Println(r)
 			}
 		}
+		flushMetrics()
 		return
 	}
 	// Resolve every requested ID first, then fan the selected
@@ -96,4 +125,5 @@ func main() {
 			fmt.Println(r)
 		}
 	}
+	flushMetrics()
 }

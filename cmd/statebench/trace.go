@@ -1,0 +1,132 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"statebench/internal/core"
+	"statebench/internal/obs"
+	"statebench/internal/obs/metrics"
+	"statebench/internal/obs/span"
+	"statebench/internal/workloads/mlinfer"
+	"statebench/internal/workloads/mlpipe"
+	"statebench/internal/workloads/mltrain"
+	"statebench/internal/workloads/videoproc"
+)
+
+// traceWorkflows maps the -workflow flag values to constructors.
+var traceWorkflows = map[string]func() core.Workflow{
+	"ml-training-small": func() core.Workflow { return mltrain.New(mlpipe.Small) },
+	"ml-training-large": func() core.Workflow { return mltrain.New(mlpipe.Large) },
+	"ml-inference":      func() core.Workflow { return mlinfer.New(mlpipe.Small) },
+	"video":             func() core.Workflow { return videoproc.New(20) },
+}
+
+func traceWorkflowNames() string {
+	names := make([]string, 0, len(traceWorkflows))
+	for n := range traceWorkflows {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return strings.Join(names, "|")
+}
+
+// runTrace implements "statebench trace": run one workflow/style
+// campaign with the span tracer on and export the span tree as a
+// Chrome trace-event file (chrome://tracing, Perfetto).
+func runTrace(args []string) {
+	fs := flag.NewFlagSet("trace", flag.ExitOnError)
+	implFlag := fs.String("impl", string(core.AWSStep), "implementation style (AWS-Lambda|AWS-Step|Az-Func|Az-Queue|Az-Dorch|Az-Dent)")
+	wfFlag := fs.String("workflow", "ml-training-small", "workflow ("+traceWorkflowNames()+")")
+	runs := fs.Int("runs", 3, "measured runs to trace")
+	seed := fs.Uint64("seed", 42, "simulation seed")
+	out := fs.String("o", "trace.json", "output Chrome trace-event file")
+	metricsOut := fs.String("metrics", "", "also write Prometheus text metrics to this file")
+	_ = fs.Parse(args)
+
+	build, ok := traceWorkflows[*wfFlag]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "statebench trace: unknown workflow %q (want %s)\n", *wfFlag, traceWorkflowNames())
+		os.Exit(1)
+	}
+	wf := build()
+	impl := core.Impl(*implFlag)
+	if !core.SupportsImpl(wf, impl) {
+		fmt.Fprintf(os.Stderr, "statebench trace: workflow %s does not support style %q\n", wf.Name(), *implFlag)
+		os.Exit(1)
+	}
+
+	opt := core.DefaultMeasureOptions()
+	opt.Iters = *runs
+	opt.Seed = *seed
+	opt.Tracing = true
+	var reg *metrics.Registry
+	if *metricsOut != "" {
+		reg = metrics.NewRegistry()
+		opt.Metrics = reg
+	}
+
+	s, err := core.Measure(wf, impl, opt)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "statebench trace:", err)
+		os.Exit(1)
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "statebench trace:", err)
+		os.Exit(1)
+	}
+	if err := span.WriteChromeTrace(f, s.Trace.Spans()); err == nil {
+		err = f.Close()
+	} else {
+		f.Close()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "statebench trace:", err)
+		os.Exit(1)
+	}
+	if reg != nil {
+		if err := writeMetricsFile(*metricsOut, reg); err != nil {
+			fmt.Fprintln(os.Stderr, "statebench trace:", err)
+			os.Exit(1)
+		}
+	}
+
+	fmt.Printf("%s / %s: %d runs, %d spans -> %s\n", wf.Name(), impl, *runs, s.Trace.Len(), *out)
+	fmt.Printf("  median E2E %v\n", obs.FormatDuration(s.E2E.Median()))
+	printBreakdown("  snapshot breakdown", s.Breakdowns.Mean())
+	printBreakdown("  span breakdown    ", s.SpanBreakdowns.Mean())
+	kinds := span.TotalByKind(s.Trace.Spans(), 0)
+	names := make([]string, 0, len(kinds))
+	for k := range kinds {
+		names = append(names, string(k))
+	}
+	sort.Strings(names)
+	fmt.Println("  span time by kind (entire campaign, incl. warmup):")
+	for _, n := range names {
+		fmt.Printf("    %-14s %v\n", n, obs.FormatDuration(kinds[span.Kind(n)]))
+	}
+}
+
+func printBreakdown(label string, b obs.Breakdown) {
+	fmt.Printf("%s: cold %v, queue %v, exec %v, other %v\n", label,
+		obs.FormatDuration(b.ColdStart), obs.FormatDuration(b.QueueTime),
+		obs.FormatDuration(b.ExecTime), obs.FormatDuration(b.Other))
+}
+
+// writeMetricsFile renders a registry as Prometheus text exposition.
+func writeMetricsFile(path string, reg *metrics.Registry) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := reg.WritePrometheus(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"statebench/internal/experiments"
+	"statebench/internal/obs/metrics"
 )
 
 // renderAll runs every experiment with the given worker count and
@@ -56,5 +57,54 @@ func TestAllIsDeterministicAcrossWorkerCounts(t *testing.T) {
 			}
 		}
 		t.Fatalf("parallel output length %d != sequential %d", len(par), len(seq1))
+	}
+}
+
+// TestTracingPreservesDeterminism is the observability contract: with
+// the span tracer and a shared metrics registry enabled, (a) every
+// report stays byte-identical to the untraced run, at any worker count,
+// and (b) the metrics registry's Prometheus export is itself
+// byte-identical across worker counts (all writes are commutative).
+func TestTracingPreservesDeterminism(t *testing.T) {
+	o := experiments.Options{Iters: 3, ColdHours: 3, VideoIters: 1, Fig14Target: 200, Seed: 42}
+	if raceEnabled {
+		// The race detector makes each full-suite render ~10x slower;
+		// shrink the campaigns so the remaining two renders fit the
+		// package timeout while still exercising every experiment.
+		o = experiments.Options{Iters: 2, ColdHours: 2, VideoIters: 1, Fig14Target: 100, Seed: 42}
+	}
+
+	renderTraced := func(workers int) (string, string) {
+		reg := metrics.NewRegistry()
+		traced := o
+		traced.Metrics = reg
+		out := renderAll(t, traced, workers)
+		var buf strings.Builder
+		if err := reg.WritePrometheus(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return out, buf.String()
+	}
+
+	out1, prom1 := renderTraced(1)
+	out4, prom4 := renderTraced(4)
+	if out4 != out1 {
+		t.Fatal("traced report output differs across worker counts")
+	}
+	if prom1 != prom4 {
+		t.Fatal("metrics export differs across worker counts")
+	}
+	if !strings.Contains(prom1, "statebench_spans_total") {
+		t.Fatalf("metrics export missing span counters:\n%.400s", prom1)
+	}
+
+	if !raceEnabled {
+		// Tracing must also not change the results themselves. Under
+		// -race this third render is skipped for time; the same property
+		// is covered at Measure granularity by internal/core's
+		// TestTracingDoesNotChangeResults.
+		if baseline := renderAll(t, o, 1); out1 != baseline {
+			t.Fatal("tracing+metrics changed report output")
+		}
 	}
 }

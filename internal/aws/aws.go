@@ -7,6 +7,7 @@ import (
 	"statebench/internal/aws/lambda"
 	"statebench/internal/aws/sfn"
 	"statebench/internal/cloud/blob"
+	"statebench/internal/obs/span"
 	"statebench/internal/platform"
 	"statebench/internal/sim"
 )
@@ -28,6 +29,12 @@ func New(k *sim.Kernel, params platform.AWSParams) *Cloud {
 		SFN:    sfn.New(k, params, lsvc),
 		S3:     blob.New(k, "s3", blob.DefaultParams()),
 	}
+}
+
+// SetTracer enables span emission on Lambda and Step Functions.
+func (c *Cloud) SetTracer(tr *span.Tracer) {
+	c.Lambda.Tracer = tr
+	c.SFN.Tracer = tr
 }
 
 // ResetMeters zeroes billing meters and storage stats across services,

@@ -6,8 +6,10 @@ package lambda
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
+	"statebench/internal/obs/span"
 	"statebench/internal/platform"
 	"statebench/internal/sim"
 	"statebench/internal/trace"
@@ -113,6 +115,9 @@ type Service struct {
 	// Logs, when non-nil, receives a CloudWatch-style record per
 	// invocation, cold start, and error.
 	Logs *trace.Collector
+	// Tracer, when non-nil, emits X-Ray-style spans per invocation:
+	// an invoke span wrapping queue/coldstart/exec child spans.
+	Tracer *span.Tracer
 }
 
 // New creates a Lambda service with the given calibration parameters.
@@ -198,12 +203,18 @@ func (s *Service) Invoke(p *sim.Proc, name string, payload []byte) (*Invocation,
 		return nil, &PayloadTooLargeError{Function: name, Size: len(payload), Limit: s.params.PayloadLimit}
 	}
 	start := p.Now()
+	caller := p.TraceCtx
+	invSpan := s.Tracer.Start(start, span.KindInvoke, "lambda/"+name, caller)
+	invCtx := invSpan.Context()
 	p.Sleep(s.params.InvokeRTT.Sample(s.rng))
 
 	// Burst-concurrency admission.
 	qStart := p.Now()
 	f.slots.Acquire(p)
 	queueDelay := p.Now() - qStart
+	if queueDelay > 0 {
+		s.Tracer.Emit(span.KindQueue, "lambda/admission/"+name, qStart, p.Now(), invCtx)
+	}
 
 	inv := &Invocation{QueueDelay: queueDelay}
 	f.stats.Invokes++
@@ -221,17 +232,25 @@ func (s *Service) Invoke(p *sim.Proc, name string, payload []byte) (*Invocation,
 		}
 		inv.ColdStartDelay = delay
 		f.stats.ColdDelays = append(f.stats.ColdDelays, delay)
+		coldStart := p.Now()
 		p.Sleep(delay)
+		s.Tracer.Emit(span.KindCold, "lambda/cold/"+name, coldStart, p.Now(), invCtx)
 	}
 
 	execStart := p.Now()
+	execSpan := s.Tracer.Start(execStart, span.KindExec, "lambda/exec/"+name, invCtx)
+	p.TraceCtx = execSpan.Context()
 	out, err := f.cfg.Handler(&Context{p: p, fn: f}, payload)
+	p.TraceCtx = caller
 	exec := p.Now() - execStart
 	if exec > f.cfg.Timeout {
 		exec = f.cfg.Timeout
 		err = &TimeoutError{Function: name, Limit: f.cfg.Timeout}
 		out = nil
 	}
+	// The exec span ends at the *billed* duration so span-derived
+	// breakdowns agree with the meter (timeouts clamp both the same way).
+	execSpan.End(execStart + exec)
 	f.Meter.RecordAWS(exec, f.cfg.MemoryMB, f.cfg.ConsumedMemMB)
 
 	// Return the container to the warm pool.
@@ -245,6 +264,13 @@ func (s *Service) Invoke(p *sim.Proc, name string, payload []byte) (*Invocation,
 	}
 	inv.ExecTime = exec
 	inv.Total = p.Now() - start
+	if invSpan.Live() {
+		attrs := []span.Attr{span.A("cold", boolStr(inv.Cold))}
+		if err != nil {
+			attrs = append(attrs, span.A("error", err.Error()))
+		}
+		invSpan.End(p.Now(), attrs...)
+	}
 	if s.Logs != nil {
 		s.Logs.Invocation(p.Now(), name, exec)
 		if inv.Cold {
@@ -255,6 +281,13 @@ func (s *Service) Invoke(p *sim.Proc, name string, payload []byte) (*Invocation,
 		}
 	}
 	return inv, nil
+}
+
+func boolStr(b bool) string {
+	if b {
+		return "true"
+	}
+	return "false"
 }
 
 // takeWarm pops one unexpired warm container, discarding expired ones.
@@ -276,9 +309,17 @@ func (f *Function) takeWarm(now sim.Time) (sim.Time, bool) {
 
 // TotalMeter sums billing meters across all functions.
 func (s *Service) TotalMeter() platform.Meter {
+	// Sum in sorted name order: float accumulation must not depend on
+	// map iteration order, or two identical campaigns can disagree in
+	// the last ULP of the billed GB-s.
+	names := make([]string, 0, len(s.fns))
+	for name := range s.fns {
+		names = append(names, name)
+	}
+	sort.Strings(names)
 	var m platform.Meter
-	for _, f := range s.fns {
-		m.Add(f.Meter)
+	for _, name := range names {
+		m.Add(s.fns[name].Meter)
 	}
 	return m
 }

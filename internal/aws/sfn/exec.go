@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"statebench/internal/aws/lambda"
+	"statebench/internal/obs/span"
 	"statebench/internal/platform"
 	"statebench/internal/sim"
 )
@@ -22,6 +23,9 @@ type Service struct {
 	// TotalTransitions aggregates billable transitions across all
 	// executions since the last reset.
 	TotalTransitions int64
+	// Tracer, when non-nil, emits an orchestration span per execution
+	// and a transition span per billable state transition.
+	Tracer *span.Tracer
 }
 
 // New creates a Step Functions service bound to a Lambda service.
@@ -101,7 +105,11 @@ func (s *Service) StartExecution(p *sim.Proc, name string, input any) (*Executio
 		return nil, fmt.Errorf("sfn: no such state machine %q", name)
 	}
 	exec := &Execution{Machine: name, StartedAt: p.Now(), FirstTaskDelay: -1, svc: s}
+	caller := p.TraceCtx
+	execSpan := s.Tracer.Start(p.Now(), span.KindOrchestration, "sfn/"+name, caller)
+	p.TraceCtx = execSpan.Context()
 	out, err := s.runMachine(p, exec, sm, input)
+	p.TraceCtx = caller
 	exec.EndedAt = p.Now()
 	exec.Output = out
 	exec.Err = err
@@ -112,6 +120,9 @@ func (s *Service) StartExecution(p *sim.Proc, name string, input any) (*Executio
 	}
 	if exec.sawFirstTask {
 		exec.FirstTaskDelay = exec.firstTaskAt - exec.StartedAt
+	}
+	if execSpan.Live() {
+		execSpan.End(p.Now(), span.A("transitions", fmt.Sprintf("%d", exec.Transitions)))
 	}
 	return exec, nil
 }
@@ -125,7 +136,9 @@ func (e *Execution) record(p *sim.Proc, typ, state string) {
 func (e *Execution) transition(p *sim.Proc, state string) {
 	e.Transitions++
 	e.svc.TotalTransitions++
+	tStart := p.Now()
 	p.Sleep(e.svc.params.StepTransition.Sample(e.svc.rng))
+	e.svc.Tracer.Emit(span.KindTransition, "sfn/state/"+state, tStart, p.Now(), p.TraceCtx)
 	e.record(p, "StateEntered", state)
 }
 
@@ -368,7 +381,9 @@ func (s *Service) runTask(p *sim.Proc, exec *Execution, st *State, effIn any) (a
 			Cause:     fmt.Sprintf("payload %d bytes exceeds %d", len(payload), s.params.PayloadLimit),
 		}
 	}
+	dStart := p.Now()
 	p.Sleep(s.params.StepTaskDispatch.Sample(s.rng))
+	s.Tracer.Emit(span.KindTransition, "sfn/dispatch/"+st.Resource, dStart, p.Now(), p.TraceCtx)
 	inv, err := s.lambda.Invoke(p, st.Resource, payload)
 	if err != nil {
 		return nil, err
@@ -424,12 +439,14 @@ func (s *Service) fanOut(p *sim.Proc, exec *Execution, n, maxConc int, pick func
 		sem = sim.NewResource(k, maxConc)
 	}
 	futures := make([]*sim.Future[any], n)
+	branchCtx := p.TraceCtx
 	for i := 0; i < n; i++ {
 		i := i
 		machine, input := pick(i)
 		f := sim.NewFuture[any](k)
 		futures[i] = f
 		k.Spawn(fmt.Sprintf("sfn-branch-%d", i), func(bp *sim.Proc) {
+			bp.TraceCtx = branchCtx
 			if sem != nil {
 				sem.Acquire(bp)
 				defer sem.Release()

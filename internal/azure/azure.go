@@ -9,6 +9,7 @@ import (
 	"statebench/internal/azure/functions"
 	"statebench/internal/cloud/blob"
 	"statebench/internal/cloud/queue"
+	"statebench/internal/obs/span"
 	"statebench/internal/platform"
 	"statebench/internal/sim"
 )
@@ -25,6 +26,7 @@ type Cloud struct {
 	// ManualQueues tracks queues created with NewQueue so their
 	// transactions can be summed into the stateful bill.
 	ManualQueues []*queue.Queue
+	tracer       *span.Tracer
 }
 
 // New builds a Cloud with the given calibration parameters.
@@ -41,12 +43,24 @@ func New(k *sim.Kernel, params platform.AzureParams) *Cloud {
 	}
 }
 
+// SetTracer enables span emission across the host, the task hub, and
+// every manual queue (existing and future).
+func (c *Cloud) SetTracer(tr *span.Tracer) {
+	c.tracer = tr
+	c.Host.Tracer = tr
+	c.Hub.SetTracer(tr)
+	for _, q := range c.ManualQueues {
+		q.Tracer = tr
+	}
+}
+
 // NewQueue creates a manually managed storage queue (Az-Queue style)
 // whose transactions are tracked for billing.
 func (c *Cloud) NewQueue(name string) *queue.Queue {
 	qp := queue.DefaultParams()
 	qp.MaxPayload = c.Params.QueuePayloadLimit
 	q := queue.New(c.k, name, qp)
+	q.Tracer = c.tracer
 	c.ManualQueues = append(c.ManualQueues, q)
 	return q
 }

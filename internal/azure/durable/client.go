@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"statebench/internal/azure/functions"
+	"statebench/internal/obs/span"
 	"statebench/internal/sim"
 )
 
@@ -130,9 +131,11 @@ func (c *Client) StartOrchestration(p *sim.Proc, name string, input []byte) (*Ha
 	}
 	id := h.newInstanceID(name)
 	st := &orchState{id: id, name: name, handle: newHandle(h, id, p.Now())}
+	st.orchSpan = h.Tracer.Start(p.Now(), span.KindOrchestration, "durable/"+name, p.TraceCtx)
+	st.tctx = st.orchSpan.Context()
 	h.orchs[id] = st
 
-	body, err := json.Marshal(message{Kind: kindExecutionStarted, Instance: id, Input: input})
+	body, err := json.Marshal(stamped(message{Kind: kindExecutionStarted, Instance: id, Input: input}, st.tctx))
 	if err != nil {
 		return nil, err
 	}

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"statebench/internal/azure/functions"
+	"statebench/internal/obs/span"
 	"statebench/internal/sim"
 )
 
@@ -84,13 +85,18 @@ func (h *Hub) handleEntityMessage(m message) {
 	h.activateEntity(est)
 }
 
-// activateEntity queues an executor batch if none is in flight.
+// activateEntity queues an executor batch if none is in flight. The
+// batch's spans parent to the first queued operation's context.
 func (h *Hub) activateEntity(est *entityState) {
 	if est.active {
 		return
 	}
 	est.active = true
-	if _, err := h.host.Submit("entity:"+est.name, []byte(est.id)); err != nil {
+	var ctx sim.TraceContext
+	if len(est.inbox) > 0 {
+		ctx = est.inbox[0].traceCtx()
+	}
+	if _, err := h.host.SubmitCtx("entity:"+est.name, []byte(est.id), ctx); err != nil {
 		est.active = false
 	}
 }
@@ -123,8 +129,10 @@ func (h *Hub) entityEpisodeHandler(name string) functions.Handler {
 		for _, m := range ops {
 			// Entity operations carry serialization/rehydration overhead
 			// compared to plain activities (paper: entity ops ~8% slower).
+			opStart := p.Now()
 			p.Sleep(h.params.EntityOpOverhead.Sample(h.rng))
 			out, err := fn(ectx, m.Op, m.Input)
+			h.Tracer.Emit(span.KindEntityOp, "entity/"+est.name+"."+m.Op, opStart, p.Now(), m.traceCtx())
 			if m.Signal {
 				continue
 			}
@@ -136,9 +144,9 @@ func (h *Hub) entityEpisodeHandler(name string) functions.Handler {
 				errStr = (&PayloadTooLargeError{What: "entity " + id + " op " + m.Op + " result", Size: len(out), Limit: limit}).Error()
 				out = nil
 			}
-			if sendErr := h.sendFromProc(p, message{
+			if sendErr := h.sendFromProc(p, stamped(message{
 				Kind: kindEntityResponse, Instance: m.Caller, TaskID: m.CallerTask, Result: out, Error: errStr,
-			}); sendErr != nil {
+			}, m.traceCtx())); sendErr != nil {
 				return nil, sendErr
 			}
 		}
@@ -149,7 +157,7 @@ func (h *Hub) entityEpisodeHandler(name string) functions.Handler {
 		}
 
 		if len(est.inbox) > 0 {
-			if _, err := h.host.Submit("entity:"+est.name, []byte(est.id)); err != nil {
+			if _, err := h.host.SubmitCtx("entity:"+est.name, []byte(est.id), est.inbox[0].traceCtx()); err != nil {
 				est.active = false
 			}
 			return nil, nil

@@ -3,10 +3,12 @@ package durable
 import (
 	"encoding/json"
 	"fmt"
+	"strconv"
 	"time"
 
 	"statebench/internal/azure/functions"
 	"statebench/internal/cloud/table"
+	"statebench/internal/obs/span"
 	"statebench/internal/sim"
 )
 
@@ -22,7 +24,7 @@ func (h *Hub) activateOrch(st *orchState) {
 		return
 	}
 	st.active = true
-	if _, err := h.host.Submit(st.name, []byte(st.id)); err != nil {
+	if _, err := h.host.SubmitCtx(st.name, []byte(st.id), st.tctx); err != nil {
 		st.active = false
 	}
 }
@@ -51,23 +53,24 @@ func (h *Hub) handleWorkItem(p *sim.Proc, m message) {
 			Error: fmt.Sprintf("unknown activity %q", m.Name)})
 		return
 	}
-	fut, err := h.host.Submit(fnName, m.Input)
+	mctx := m.traceCtx()
+	fut, err := h.host.SubmitCtx(fnName, m.Input, mctx)
 	if err != nil {
-		_ = h.send(message{Kind: kindTaskFailed, Instance: m.Instance, TaskID: m.TaskID, Name: m.Name, Error: err.Error()})
+		_ = h.send(stamped(message{Kind: kindTaskFailed, Instance: m.Instance, TaskID: m.TaskID, Name: m.Name, Error: err.Error()}, mctx))
 		return
 	}
 	inst, taskID, name := m.Instance, m.TaskID, m.Name
 	fut.OnComplete(func(res functions.Result, _ error) {
 		if res.Err != nil {
-			_ = h.send(message{Kind: kindTaskFailed, Instance: inst, TaskID: taskID, Name: name, Error: res.Err.Error()})
+			_ = h.send(stamped(message{Kind: kindTaskFailed, Instance: inst, TaskID: taskID, Name: name, Error: res.Err.Error()}, mctx))
 			return
 		}
 		if limit := h.params.DurablePayloadLimit; limit > 0 && len(res.Output) > limit {
-			_ = h.send(message{Kind: kindTaskFailed, Instance: inst, TaskID: taskID, Name: name,
-				Error: (&PayloadTooLargeError{What: "activity " + name + " result", Size: len(res.Output), Limit: limit}).Error()})
+			_ = h.send(stamped(message{Kind: kindTaskFailed, Instance: inst, TaskID: taskID, Name: name,
+				Error: (&PayloadTooLargeError{What: "activity " + name + " result", Size: len(res.Output), Limit: limit}).Error()}, mctx))
 			return
 		}
-		_ = h.send(message{Kind: kindTaskCompleted, Instance: inst, TaskID: taskID, Name: name, Result: res.Output})
+		_ = h.send(stamped(message{Kind: kindTaskCompleted, Instance: inst, TaskID: taskID, Name: name, Result: res.Output}, mctx))
 	})
 }
 
@@ -92,6 +95,17 @@ func (h *Hub) episodeHandler(name string) functions.Handler {
 		}
 		h.EpisodeCount++
 
+		// The episode span (replay + user code) closes on every exit
+		// path; replayed is set once the history has been loaded.
+		epStart := p.Now()
+		replayed := 0
+		defer func() {
+			if h.Tracer != nil {
+				h.Tracer.Emit(span.KindEpisode, "durable/episode/"+name, epStart, p.Now(), st.tctx,
+					span.A("replayEvents", strconv.Itoa(replayed)))
+			}
+		}()
+
 		// 1. Load persisted history (a billed table query every episode).
 		rows := h.history.Query(p, instance)
 		events := make([]histEvent, 0, len(rows)+len(msgs))
@@ -102,6 +116,7 @@ func (h *Hub) episodeHandler(name string) functions.Handler {
 			}
 		}
 		h.ReplayEvents += int64(len(events))
+		replayed = len(events)
 
 		// 2. Fold arrived messages into new history events.
 		var newEvents []histEvent
@@ -166,8 +181,8 @@ func (h *Hub) episodeHandler(name string) functions.Handler {
 		// ContinueAsNew: purge history, restart with fresh input.
 		if restarted {
 			h.history.DeletePartition(p, instance)
-			st.inbox = append([]message{{Kind: kindExecutionStarted, Instance: instance, Input: restartInput}}, st.inbox...)
-			if _, err := h.host.Submit(st.name, []byte(st.id)); err != nil {
+			st.inbox = append([]message{stamped(message{Kind: kindExecutionStarted, Instance: instance, Input: restartInput}, st.tctx)}, st.inbox...)
+			if _, err := h.host.SubmitCtx(st.name, []byte(st.id), st.tctx); err != nil {
 				st.active = false
 			}
 			return nil, nil
@@ -217,18 +232,30 @@ func (h *Hub) episodeHandler(name string) functions.Handler {
 			st.done = true
 			st.active = false
 			st.handle.complete(p.Now(), out, runErr)
+			if st.orchSpan.Live() {
+				attrs := []span.Attr{}
+				if runErr != nil {
+					attrs = append(attrs, span.A("error", runErr.Error()))
+				}
+				st.orchSpan.End(p.Now(), attrs...)
+			}
 			if st.parent != "" {
 				kind, errStr := kindSubOrchCompleted, ""
 				if runErr != nil {
 					kind, errStr = kindSubOrchFailed, runErr.Error()
 				}
-				_ = h.send(message{Kind: kind, Instance: st.parent, TaskID: st.parentTask, Name: name, Result: out, Error: errStr})
+				// Completion hops route back under the parent's span.
+				pctx := sim.TraceContext{}
+				if pst, ok := h.orchs[st.parent]; ok {
+					pctx = pst.tctx
+				}
+				_ = h.send(stamped(message{Kind: kind, Instance: st.parent, TaskID: st.parentTask, Name: name, Result: out, Error: errStr}, pctx))
 			}
 			return nil, nil
 		}
 		if len(st.inbox) > 0 {
 			// New messages arrived during the episode: run again.
-			if _, err := h.host.Submit(st.name, []byte(st.id)); err != nil {
+			if _, err := h.host.SubmitCtx(st.name, []byte(st.id), st.tctx); err != nil {
 				st.active = false
 			}
 			return nil, nil
@@ -239,28 +266,35 @@ func (h *Hub) episodeHandler(name string) functions.Handler {
 }
 
 // dispatchAction performs one scheduled side effect after an episode.
+// Outbound messages carry the orchestration's trace context.
 func (h *Hub) dispatchAction(instance string, act action) {
+	var octx sim.TraceContext
+	if st, ok := h.orchs[instance]; ok {
+		octx = st.tctx
+	}
 	switch act.kind {
 	case actActivity:
-		_ = h.sendWorkItem(message{Kind: "Activity", Instance: instance, TaskID: act.taskID, Name: act.name, Input: act.input})
+		_ = h.sendWorkItem(stamped(message{Kind: "Activity", Instance: instance, TaskID: act.taskID, Name: act.name, Input: act.input}, octx))
 	case actTimer:
 		taskID := act.taskID
 		h.k.After(act.delay, func() {
-			_ = h.send(message{Kind: kindTimerFired, Instance: instance, TaskID: taskID})
+			_ = h.send(stamped(message{Kind: kindTimerFired, Instance: instance, TaskID: taskID}, octx))
 		})
 	case actEntity:
-		_ = h.send(message{
+		_ = h.send(stamped(message{
 			Kind: kindEntityOp, Instance: act.entity.instanceID(), Op: act.op, Input: act.input,
 			Caller: instance, CallerTask: act.taskID, Signal: act.signal,
-		})
+		}, octx))
 	case actEventWait:
 		// Waiting is passive: the event arrives via Client.RaiseEvent.
 	case actSubOrch:
 		child := h.newInstanceID(act.name)
 		st := &orchState{id: child, name: act.name, parent: instance, parentTask: act.taskID,
 			handle: newHandle(h, child, h.k.Now())}
+		st.orchSpan = h.Tracer.Start(h.k.Now(), span.KindOrchestration, "durable/"+act.name, octx)
+		st.tctx = st.orchSpan.Context()
 		h.orchs[child] = st
-		_ = h.send(message{Kind: kindExecutionStarted, Instance: child, Input: act.input})
+		_ = h.send(stamped(message{Kind: kindExecutionStarted, Instance: child, Input: act.input}, st.tctx))
 	}
 }
 

@@ -21,6 +21,7 @@ import (
 	"statebench/internal/azure/functions"
 	"statebench/internal/cloud/queue"
 	"statebench/internal/cloud/table"
+	"statebench/internal/obs/span"
 	"statebench/internal/platform"
 	"statebench/internal/sim"
 )
@@ -52,6 +53,24 @@ type message struct {
 	CallerTask int    `json:"callerTask,omitempty"`
 	// Signal marks one-way entity messages (no response).
 	Signal bool `json:"signal,omitempty"`
+	// TraceID/SpanID propagate span causality across queue hops, the
+	// way X-Ray trace headers ride real messages. Zero (omitted) when
+	// tracing is disabled, so payload sizes are unchanged then.
+	TraceID uint64 `json:"traceId,omitempty"`
+	SpanID  uint64 `json:"spanId,omitempty"`
+}
+
+// traceCtx extracts the message's propagated span context.
+func (m message) traceCtx() sim.TraceContext {
+	return sim.TraceContext{TraceID: m.TraceID, SpanID: m.SpanID}
+}
+
+// stamped returns m carrying ctx, unless m already has a context.
+func stamped(m message, ctx sim.TraceContext) message {
+	if m.TraceID == 0 {
+		m.TraceID, m.SpanID = ctx.TraceID, ctx.SpanID
+	}
+	return m
 }
 
 // Message kinds.
@@ -90,6 +109,12 @@ type orchState struct {
 	handle     *Handle
 	parent     string // parent instance for sub-orchestrations
 	parentTask int
+
+	// orchSpan covers the whole orchestration (created at start, ended
+	// at completion); tctx is its context, the parent of every episode,
+	// activity, timer, and entity op the orchestration causes.
+	orchSpan span.Active
+	tctx     sim.TraceContext
 }
 
 // entityState is the runtime record of one entity (its durable state
@@ -129,6 +154,10 @@ type Hub struct {
 	// Stats.
 	EpisodeCount int64
 	ReplayEvents int64
+
+	// Tracer, when non-nil, emits orchestration/episode/entity-op spans
+	// (queue hops are emitted by the queues themselves).
+	Tracer *span.Tracer
 }
 
 // NewHub creates a task hub on host, wiring its control and work-item
@@ -163,6 +192,16 @@ func durableQueueParams(p platform.AzureParams) queue.Params {
 	qp := queue.DefaultParams()
 	qp.MaxPayload = p.QueuePayloadLimit
 	return qp
+}
+
+// SetTracer enables span emission on the hub and its queues. Call
+// before running workloads (core.Env.EnableTracing does).
+func (h *Hub) SetTracer(tr *span.Tracer) {
+	h.Tracer = tr
+	h.workItems.Tracer = tr
+	for _, q := range h.control {
+		q.Tracer = tr
+	}
 }
 
 // Host returns the function app this hub runs on.
@@ -268,14 +307,15 @@ func (h *Hub) partitionOf(instance string) int {
 }
 
 // send enqueues a control message (from kernel or callback context) and
-// kicks the partition's listener.
+// kicks the partition's listener. The hop span parents to the context
+// stamped on the message.
 func (h *Hub) send(m message) error {
 	body, err := json.Marshal(m)
 	if err != nil {
 		return err
 	}
 	p := h.partitionOf(m.Instance)
-	if err := h.control[p].EnqueueFromKernel(body); err != nil {
+	if err := h.control[p].EnqueueFromKernelCtx(body, m.traceCtx()); err != nil {
 		return err
 	}
 	h.kickers[p].Kick()
@@ -283,7 +323,9 @@ func (h *Hub) send(m message) error {
 }
 
 // sendFromProc enqueues a control message, charging queue latency to p.
+// Unstamped messages pick up p's ambient trace context.
 func (h *Hub) sendFromProc(p *sim.Proc, m message) error {
+	m = stamped(m, p.TraceCtx)
 	body, err := json.Marshal(m)
 	if err != nil {
 		return err
@@ -302,7 +344,7 @@ func (h *Hub) sendWorkItem(m message) error {
 	if err != nil {
 		return err
 	}
-	if err := h.workItems.EnqueueFromKernel(body); err != nil {
+	if err := h.workItems.EnqueueFromKernelCtx(body, m.traceCtx()); err != nil {
 		return err
 	}
 	h.wiKick.Kick()

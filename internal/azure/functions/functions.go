@@ -8,9 +8,11 @@ package functions
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"statebench/internal/cloud/queue"
+	"statebench/internal/obs/span"
 	"statebench/internal/platform"
 	"statebench/internal/sim"
 	"statebench/internal/trace"
@@ -72,13 +74,15 @@ type Result struct {
 	ExecTime time.Duration
 }
 
-// workItem is one queued execution request.
+// workItem is one queued execution request. ctx is the submitter's
+// trace context; the scheduling-delay and exec spans parent to it.
 type workItem struct {
 	fn        string
 	payload   []byte
 	submitted sim.Time
 	cold      bool
 	done      *sim.Future[Result]
+	ctx       sim.TraceContext
 }
 
 // instance is one worker VM/container.
@@ -125,6 +129,10 @@ type Host struct {
 	// Logs, when non-nil, receives an Application-Insights-style
 	// record per execution, cold start, and error.
 	Logs *trace.Collector
+
+	// Tracer, when non-nil, emits spans per execution: scheduling
+	// delay (queue or coldstart) plus handler exec.
+	Tracer *span.Tracer
 
 	// scaledFromZeroAt records when the app last left the
 	// scaled-to-zero state; queue listeners activating shortly after
@@ -220,10 +228,18 @@ func (h *Host) OnActivity(fn func()) { h.onActivity = append(h.onActivity, fn) }
 // to an idle app triggers immediate scale-out of one instance (the
 // HTTP-style activation path); further growth is up to the controller.
 func (h *Host) Submit(fn string, payload []byte) (*sim.Future[Result], error) {
+	return h.SubmitCtx(fn, payload, sim.TraceContext{})
+}
+
+// SubmitCtx is Submit with an explicit trace context for the execution's
+// spans, for callers that have one to propagate (HTTP triggers, queue
+// listeners, the durable task hub). Submit may be called from kernel
+// context, where there is no process to read the context from.
+func (h *Host) SubmitCtx(fn string, payload []byte, ctx sim.TraceContext) (*sim.Future[Result], error) {
 	if _, ok := h.fns[fn]; !ok {
 		return nil, fmt.Errorf("functions: no such function %q", fn)
 	}
-	wi := &workItem{fn: fn, payload: payload, submitted: h.k.Now(), done: sim.NewFuture[Result](h.k)}
+	wi := &workItem{fn: fn, payload: payload, submitted: h.k.Now(), done: sim.NewFuture[Result](h.k), ctx: ctx}
 	h.stats.Submitted++
 	for _, cb := range h.onActivity {
 		cb()
@@ -256,7 +272,7 @@ func (h *Host) InvokeHTTPAsync(p *sim.Proc, fn string, payload []byte) (*sim.Fut
 	for _, cb := range h.onHTTPActivity {
 		cb()
 	}
-	return h.Submit(fn, payload)
+	return h.SubmitCtx(fn, payload, p.TraceCtx)
 }
 
 // dispatch pairs pending work with idle instances.
@@ -277,16 +293,30 @@ func (h *Host) run(inst *instance, wi *workItem) {
 	h.k.Spawn(fmt.Sprintf("%s/%s", h.name, wi.fn), func(p *sim.Proc) {
 		sched := p.Now() - wi.submitted
 		h.stats.SchedDelays = append(h.stats.SchedDelays, sched)
+		if sched > 0 {
+			// Emitted in hindsight: cold if a fresh instance was
+			// provisioned for this item, plain scheduling wait otherwise.
+			k, n := span.KindQueue, "func/sched/"+wi.fn
+			if wi.cold {
+				k, n = span.KindCold, "func/cold/"+wi.fn
+			}
+			h.Tracer.Emit(k, n, wi.submitted, p.Now(), wi.ctx)
+		}
 		p.Sleep(h.params.Dispatch.Sample(h.rng))
 
 		execStart := p.Now()
+		execSpan := h.Tracer.Start(execStart, span.KindExec, "func/exec/"+wi.fn, wi.ctx)
+		p.TraceCtx = execSpan.Context()
 		out, err := f.cfg.Handler(&Context{p: p, host: h, fn: f}, wi.payload)
+		p.TraceCtx = wi.ctx
 		exec := p.Now() - execStart
 		if exec > h.params.TimeLimit {
 			exec = h.params.TimeLimit
 			err = fmt.Errorf("functions: %s exceeded %v time limit", wi.fn, h.params.TimeLimit)
 			out = nil
 		}
+		// Span end matches the billed (clamped) duration, like the meter.
+		execSpan.End(execStart + exec)
 		f.Meter.RecordAzure(exec, f.cfg.ConsumedMemMB)
 		f.Execs++
 		if err != nil {
@@ -419,9 +449,17 @@ func (h *Host) StopSignal() *sim.Future[struct{}] { return h.stop }
 
 // TotalMeter sums billing across all functions in the app.
 func (h *Host) TotalMeter() platform.Meter {
+	// Sum in sorted name order: float accumulation must not depend on
+	// map iteration order, or two identical campaigns can disagree in
+	// the last ULP of the billed GB-s.
+	names := make([]string, 0, len(h.fns))
+	for name := range h.fns {
+		names = append(names, name)
+	}
+	sort.Strings(names)
 	var m platform.Meter
-	for _, f := range h.fns {
-		m.Add(f.Meter)
+	for _, name := range names {
+		m.Add(h.fns[name].Meter)
 	}
 	return m
 }
@@ -469,9 +507,11 @@ func (h *Host) QueueTrigger(q *queue.Queue, fn string) error {
 				if coldApp {
 					// Scale-from-zero listener activation (the
 					// Az-Queue cold-start mechanism, Fig 10).
+					actStart := p.Now()
 					p.Sleep(h.params.ColdPollPhase.Sample(h.rng))
+					h.Tracer.Emit(span.KindCold, "func/activation/"+fn, actStart, p.Now(), m.Ctx)
 				}
-				if _, err := h.Submit(fn, m.Body); err != nil {
+				if _, err := h.SubmitCtx(fn, m.Body, m.Ctx); err != nil {
 					continue
 				}
 				continue

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"time"
 
+	"statebench/internal/obs/span"
 	"statebench/internal/sim"
 )
 
@@ -51,12 +52,16 @@ func (e *PayloadTooLargeError) Error() string {
 	return fmt.Sprintf("queue %s: payload %d bytes exceeds limit %d", e.Queue, e.Size, e.Limit)
 }
 
-// Message is a queued message.
+// Message is a queued message. Ctx carries the sender's trace context
+// across the hop (the in-memory analogue of an SQS/Storage Queue trace
+// header); it is never serialized, so enabling tracing cannot change
+// payload sizes or billing.
 type Message struct {
 	ID         int64
 	Body       []byte
 	EnqueuedAt sim.Time
 	Dequeues   int
+	Ctx        sim.TraceContext
 }
 
 // Stats counts queue operations. EmptyPolls are polls that found no
@@ -84,6 +89,10 @@ type Queue struct {
 	msgs   []*Message
 	nextID int64
 	stats  Stats
+
+	// Tracer, when non-nil, receives one KindHop span per delivered
+	// message (enqueue→dequeue), parented to the sender's context.
+	Tracer *span.Tracer
 }
 
 // New creates an empty queue named name.
@@ -116,13 +125,20 @@ func (q *Queue) Enqueue(p *sim.Proc, body []byte) error {
 	q.stats.Bytes += int64(len(body))
 	p.Sleep(q.params.OpLatency.Sample(q.rng))
 	q.nextID++
-	q.msgs = append(q.msgs, &Message{ID: q.nextID, Body: body, EnqueuedAt: p.Now()})
+	q.msgs = append(q.msgs, &Message{ID: q.nextID, Body: body, EnqueuedAt: p.Now(), Ctx: p.TraceCtx})
 	return nil
 }
 
 // EnqueueFromKernel appends body from event-loop context (no process to
 // sleep); the message becomes visible after one mean op latency.
 func (q *Queue) EnqueueFromKernel(body []byte) error {
+	return q.EnqueueFromKernelCtx(body, sim.TraceContext{})
+}
+
+// EnqueueFromKernelCtx is EnqueueFromKernel with an explicit trace
+// context for the hop span, for senders that have no process (e.g. the
+// Durable hub completing a task from event-loop context).
+func (q *Queue) EnqueueFromKernelCtx(body []byte, ctx sim.TraceContext) error {
 	if q.params.MaxPayload > 0 && len(body) > q.params.MaxPayload {
 		return &PayloadTooLargeError{Queue: q.name, Size: len(body), Limit: q.params.MaxPayload}
 	}
@@ -131,7 +147,7 @@ func (q *Queue) EnqueueFromKernel(body []byte) error {
 	d := q.params.OpLatency.Sample(q.rng)
 	q.k.After(d, func() {
 		q.nextID++
-		q.msgs = append(q.msgs, &Message{ID: q.nextID, Body: body, EnqueuedAt: q.k.Now()})
+		q.msgs = append(q.msgs, &Message{ID: q.nextID, Body: body, EnqueuedAt: q.k.Now(), Ctx: ctx})
 	})
 	return nil
 }
@@ -148,6 +164,9 @@ func (q *Queue) TryDequeue(p *sim.Proc) (*Message, bool) {
 	m := q.msgs[0]
 	q.msgs = q.msgs[1:]
 	m.Dequeues++
+	// The hop span is emitted retroactively at delivery: only now is the
+	// in-flight window (enqueue → dequeue) known.
+	q.Tracer.Emit(span.KindHop, "queue/"+q.name, m.EnqueuedAt, p.Now(), m.Ctx)
 	return m, true
 }
 

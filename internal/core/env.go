@@ -6,6 +6,7 @@ import (
 	"statebench/internal/aws"
 	"statebench/internal/azure"
 	"statebench/internal/obs"
+	"statebench/internal/obs/span"
 	"statebench/internal/platform"
 	"statebench/internal/pricing"
 	"statebench/internal/sim"
@@ -33,6 +34,10 @@ type Env struct {
 	// Scratch lets workloads expose experiment-specific measurements
 	// (e.g. per-worker finish times) to the experiment drivers.
 	Scratch map[string]any
+
+	// Trace is non-nil once EnableTracing has been called; all platform
+	// services of this Env then emit spans into it.
+	Trace *span.Tracer
 }
 
 // NewEnv builds an environment with default calibration parameters.
@@ -57,6 +62,27 @@ func NewEnvWithParams(seed uint64, ap platform.AWSParams, zp platform.AzureParam
 
 // Stop terminates long-running platform listeners so the kernel drains.
 func (e *Env) Stop() { e.Azure.Stop() }
+
+// EnableTracing wires a span tracer through every platform service of
+// this Env (idempotent). Call before deploying workloads so queues
+// created during deployment are covered too. Tracing is pure
+// bookkeeping — no sleeps, no RNG draws — so enabling it does not
+// change any simulated result.
+func (e *Env) EnableTracing() *span.Tracer {
+	if e.Trace == nil {
+		e.Trace = span.New()
+		e.AWS.SetTracer(e.Trace)
+		e.Azure.SetTracer(e.Trace)
+	}
+	return e.Trace
+}
+
+// Stage opens an application-level stage span (ML pipeline step, video
+// split/detect/merge) under p's current context. Returns a no-op handle
+// when tracing is disabled, so workload code can call it unconditionally.
+func (e *Env) Stage(p *sim.Proc, name string) span.Active {
+	return e.Trace.Start(p.Now(), span.KindStage, name, p.TraceCtx)
+}
 
 // RunStats is the outcome of one workflow invocation.
 type RunStats struct {

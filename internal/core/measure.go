@@ -5,6 +5,8 @@ import (
 	"time"
 
 	"statebench/internal/obs"
+	"statebench/internal/obs/metrics"
+	"statebench/internal/obs/span"
 	"statebench/internal/parallel"
 	"statebench/internal/pricing"
 	"statebench/internal/sim"
@@ -35,6 +37,16 @@ type Series struct {
 	// only when MeasureOptions.KeepEnv is set; otherwise the whole
 	// simulated cloud is released as soon as the campaign ends.
 	Env *Env
+
+	// SpanBreakdowns holds per-run decompositions derived from the span
+	// tree instead of meter snapshots — the cross-check for Breakdowns.
+	// Populated only when MeasureOptions.Tracing is set.
+	SpanBreakdowns obs.BreakdownSet
+	// Trace is the campaign's tracer (Chrome-trace export material).
+	// Populated only when MeasureOptions.Tracing is set.
+	Trace *span.Tracer
+	// RunTraceIDs maps measured iteration -> its root trace ID in Trace.
+	RunTraceIDs []uint64
 }
 
 // MeasureOptions tunes a measurement campaign.
@@ -63,6 +75,16 @@ type MeasureOptions struct {
 	// simulated cloud — task hubs, blobs, queues, history tables — and
 	// most callers only need the samples.
 	KeepEnv bool
+	// Tracing enables the span tracer on the campaign's Env: each
+	// measured iteration runs under a root span, and the Series carries
+	// the tracer plus span-derived breakdowns. Results (latency, cost,
+	// report output) are byte-identical with tracing on or off.
+	Tracing bool
+	// Metrics, when non-nil, receives counter/histogram series from the
+	// campaign's instrumentation points (implies Tracing's wiring). The
+	// registry may be shared across concurrent campaigns; all writes are
+	// commutative, so contents are deterministic at any worker count.
+	Metrics *metrics.Registry
 }
 
 // DefaultMeasureOptions returns the paper-like defaults.
@@ -81,6 +103,11 @@ func Measure(wf Workflow, impl Impl, opt MeasureOptions) (*Series, error) {
 		opt.Iters = 1
 	}
 	env := NewEnv(opt.Seed)
+	var tr *span.Tracer
+	if opt.Tracing || opt.Metrics != nil {
+		tr = env.EnableTracing()
+		tr.Metrics = opt.Metrics
+	}
 	dep, err := wf.Deploy(env, impl)
 	if err != nil {
 		return nil, fmt.Errorf("core: deploy %s/%s: %w", wf.Name(), impl, err)
@@ -88,6 +115,9 @@ func Measure(wf Workflow, impl Impl, opt MeasureOptions) (*Series, error) {
 	s := &Series{Workflow: wf.Name(), Impl: impl, Iters: opt.Iters}
 	if opt.KeepEnv {
 		s.Env = env
+	}
+	if opt.Tracing {
+		s.Trace = tr
 	}
 
 	var bill pricing.Bill
@@ -112,6 +142,13 @@ func Measure(wf Workflow, impl Impl, opt MeasureOptions) (*Series, error) {
 			if opt.Input != nil {
 				input = opt.Input(i)
 			}
+			// Root span per measured run: every platform span of this
+			// iteration hangs off it via p.TraceCtx propagation. The name
+			// stays iteration-free to bound metric cardinality; the
+			// iteration rides in an attribute.
+			mark := tr.Len()
+			runSpan := tr.StartTrace(p.Now(), span.KindRun, wf.Name()+"/"+string(impl))
+			p.TraceCtx = runSpan.Context()
 			before := snapshot(env)
 			stats, err := dep.Runner.Invoke(p, input)
 			if err != nil {
@@ -119,6 +156,10 @@ func Measure(wf Workflow, impl Impl, opt MeasureOptions) (*Series, error) {
 				return
 			}
 			after := snapshot(env)
+			if runSpan.Live() {
+				runSpan.End(p.Now(), span.A("iter", fmt.Sprintf("%d", i)))
+				p.TraceCtx = sim.TraceContext{}
+			}
 
 			if stats.Err != nil {
 				s.Errors++
@@ -129,6 +170,11 @@ func Measure(wf Workflow, impl Impl, opt MeasureOptions) (*Series, error) {
 				stats.ExecTime = execDelta(impl, before, after)
 			}
 			s.Breakdowns.Add(stats.Breakdown())
+			if opt.Tracing {
+				id := runSpan.Context().TraceID
+				s.RunTraceIDs = append(s.RunTraceIDs, id)
+				s.SpanBreakdowns.Add(span.BreakdownOf(tr.Since(mark), id))
+			}
 
 			b := billDelta(env, impl, before, after)
 			bill = bill.Add(b)

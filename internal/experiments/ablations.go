@@ -136,6 +136,7 @@ func AblationMapConcurrency(o Options) (*Report, error) {
 		opt := core.DefaultMeasureOptions()
 		opt.Iters = o.VideoIters
 		opt.Seed = o.Seed
+		applyObs(o, &opt)
 		s, err := core.Measure(wf, core.AWSStep, opt)
 		if err != nil {
 			return nil, err

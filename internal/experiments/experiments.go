@@ -11,6 +11,7 @@ import (
 
 	"statebench/internal/core"
 	"statebench/internal/obs"
+	"statebench/internal/obs/metrics"
 )
 
 // Report is one regenerated table or figure.
@@ -77,6 +78,12 @@ type Options struct {
 	// from Seed alone, so every worker count renders byte-identical
 	// reports.
 	Workers int
+	// Metrics, when non-nil, turns on span tracing inside every
+	// measurement campaign and aggregates counters/histograms into the
+	// shared registry. Writes are commutative, so the registry contents
+	// are deterministic at any Workers setting. Report output is
+	// byte-identical with or without it.
+	Metrics *metrics.Registry
 }
 
 // DefaultOptions reproduces the paper's campaign sizes.
@@ -104,5 +111,15 @@ func measureOpts(o Options) core.MeasureOptions {
 	m.Iters = o.Iters
 	m.Seed = o.Seed
 	m.Workers = o.Workers
+	applyObs(o, &m)
 	return m
+}
+
+// applyObs layers the shared observability settings onto campaign
+// options built outside measureOpts (video sweeps, ablations, tables).
+func applyObs(o Options, m *core.MeasureOptions) {
+	if o.Metrics != nil {
+		m.Metrics = o.Metrics
+		m.Tracing = true
+	}
 }

@@ -93,6 +93,7 @@ func videoFanoutFinishTimes(o Options, workers, iters int) (perWorker, makespans
 		opt.Warmup = 0
 		opt.Seed = o.Seed + uint64(i)*1000
 		opt.KeepEnv = true // finish times live in the Env's scratch space
+		applyObs(o, &opt)
 		s, err := core.Measure(wf, core.AzDorch, opt)
 		if err != nil {
 			return nil, err

@@ -24,6 +24,7 @@ func videoMeasure(o Options, impl core.Impl, workers, iters int) (*core.Series, 
 	opt.Seed = o.Seed
 	opt.Warmup = 0
 	opt.Gap = 20 * time.Minute // beyond the idle timeouts: cold pools
+	applyObs(o, &opt)
 	return core.Measure(wf, impl, opt)
 }
 
@@ -111,6 +112,7 @@ func Fig14(o Options) (*Report, error) {
 			opt.Gap = 30 * time.Second
 			opt.Seed = o.Seed + uint64(iter+i)*977
 			opt.KeepEnv = true // the drill-down below needs the Azure host stats
+			applyObs(o, &opt)
 			s, err := core.Measure(wf, core.AzDorch, opt)
 			if err != nil {
 				return nil, err

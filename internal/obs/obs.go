@@ -236,6 +236,24 @@ func (bs *BreakdownSet) Add(b Breakdown) { bs.runs = append(bs.runs, b) }
 // Len returns the number of runs.
 func (bs *BreakdownSet) Len() int { return len(bs.runs) }
 
+// Mean returns the component-wise mean across runs.
+func (bs *BreakdownSet) Mean() Breakdown {
+	if len(bs.runs) == 0 {
+		return Breakdown{}
+	}
+	var sum Breakdown
+	for _, b := range bs.runs {
+		sum = sum.Add(b)
+	}
+	n := time.Duration(len(bs.runs))
+	return Breakdown{
+		ColdStart: sum.ColdStart / n,
+		QueueTime: sum.QueueTime / n,
+		ExecTime:  sum.ExecTime / n,
+		Other:     sum.Other / n,
+	}
+}
+
 // AtQuantile returns the breakdown of the run whose total latency sits
 // at quantile q.
 func (bs *BreakdownSet) AtQuantile(q float64) Breakdown {

@@ -1,0 +1,97 @@
+package span
+
+import (
+	"time"
+
+	"statebench/internal/obs"
+)
+
+// BreakdownOf derives a latency breakdown for one trace by summing its
+// leaf spans per kind:
+//
+//	ColdStart  = Σ KindCold
+//	QueueTime  = Σ KindQueue + Σ KindHop
+//	ExecTime   = Σ KindExec
+//	Other      = Σ KindTransition
+//
+// Container spans (run, invoke, orchestration, episode, entityop,
+// stage) are not summed — they overlap the leaves. Like the
+// snapshot-delta path in core (RunStats.Breakdown with execDelta), the
+// sums count parallel branches cumulatively, so for fan-out workflows
+// ExecTime can exceed wall-clock E2E; the two paths stay comparable
+// because they over-count identically.
+func BreakdownOf(spans []Span, traceID uint64) obs.Breakdown {
+	var b obs.Breakdown
+	for _, s := range spans {
+		if s.TraceID != traceID {
+			continue
+		}
+		d := s.Duration()
+		switch s.Kind {
+		case KindCold:
+			b.ColdStart += d
+		case KindQueue, KindHop:
+			b.QueueTime += d
+		case KindExec:
+			b.ExecTime += d
+		case KindTransition:
+			b.Other += d
+		}
+	}
+	return b
+}
+
+// CriticalPath returns the straggler chain of a trace: starting at the
+// root span, repeatedly descend into the child whose End is latest.
+// For fan-out workflows this follows the slowest branch — the chain
+// that determines end-to-end latency.
+func CriticalPath(spans []Span, traceID uint64) []Span {
+	var root Span
+	found := false
+	children := make(map[uint64][]Span)
+	for _, s := range spans {
+		if s.TraceID != traceID {
+			continue
+		}
+		if s.Parent == 0 && s.SpanID == s.TraceID {
+			root = s
+			found = true
+		} else {
+			children[s.Parent] = append(children[s.Parent], s)
+		}
+	}
+	if !found {
+		return nil
+	}
+	path := []Span{root}
+	cur := root
+	for {
+		kids := children[cur.SpanID]
+		if len(kids) == 0 {
+			return path
+		}
+		// Ties keep the earlier-emitted child; emit order is itself
+		// deterministic, so the path is too.
+		last := kids[0]
+		for _, k := range kids[1:] {
+			if k.End > last.End {
+				last = k
+			}
+		}
+		path = append(path, last)
+		cur = last
+	}
+}
+
+// TotalByKind sums span durations per kind over one trace — the raw
+// material for summaries and tests. traceID 0 sums across all traces.
+func TotalByKind(spans []Span, traceID uint64) map[Kind]time.Duration {
+	out := make(map[Kind]time.Duration)
+	for _, s := range spans {
+		if traceID != 0 && s.TraceID != traceID {
+			continue
+		}
+		out[s.Kind] += s.Duration()
+	}
+	return out
+}

@@ -1,0 +1,60 @@
+package span
+
+import (
+	"encoding/json"
+	"io"
+	"strconv"
+)
+
+// chromeEvent is one entry in the Chrome trace-event JSON array format
+// (the "X" complete-event flavor), loadable in chrome://tracing and
+// https://ui.perfetto.dev. Timestamps and durations are microseconds.
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat"`
+	Ph   string            `json:"ph"`
+	Ts   float64           `json:"ts"`
+	Dur  float64           `json:"dur"`
+	Pid  uint64            `json:"pid"`
+	Tid  uint64            `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// chromeDoc is the object form of the trace file, which lets viewers
+// show a display unit and tolerates trailing metadata.
+type chromeDoc struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace renders spans as Chrome trace-event JSON. Each trace
+// ID becomes one pid lane, so every run of a campaign gets its own
+// group; within a lane, tid 0 carries the span tree in emit order.
+// Span IDs, parents, kinds, and attrs are preserved in args. Output is
+// deterministic: spans render in the order given and args keys are
+// sorted by the JSON encoder.
+func WriteChromeTrace(w io.Writer, spans []Span) error {
+	doc := chromeDoc{TraceEvents: make([]chromeEvent, 0, len(spans)), DisplayTimeUnit: "ms"}
+	for _, s := range spans {
+		args := map[string]string{
+			"span":   strconv.FormatUint(s.SpanID, 10),
+			"parent": strconv.FormatUint(s.Parent, 10),
+		}
+		for _, a := range s.Attrs {
+			args["attr."+a.Key] = a.Value
+		}
+		doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+			Name: s.Name,
+			Cat:  string(s.Kind),
+			Ph:   "X",
+			Ts:   float64(s.Start.Microseconds()),
+			Dur:  float64(s.Duration().Microseconds()),
+			Pid:  s.TraceID,
+			Tid:  0,
+			Args: args,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(doc)
+}

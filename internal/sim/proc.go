@@ -2,6 +2,18 @@ package sim
 
 import "fmt"
 
+// TraceContext identifies the span a process is currently executing
+// under, for observability instrumentation layered on top of the
+// kernel (see internal/obs/span). The zero value means "untraced".
+//
+// It lives in package sim — rather than the span package — so that a
+// Proc can carry it without the kernel depending on any observability
+// code: the kernel never reads it.
+type TraceContext struct {
+	TraceID uint64
+	SpanID  uint64
+}
+
 // Proc is a simulation process: a goroutine that runs in lockstep with
 // the kernel's event loop. At most one process runs at a time; a process
 // gives up control by calling a blocking operation (Sleep, Await, a
@@ -12,6 +24,12 @@ type Proc struct {
 	k    *Kernel
 	id   int64
 	name string
+
+	// TraceCtx is the ambient span context for instrumentation.
+	// Services set it around handler invocations so nested operations
+	// (queue hops, sub-spans) attach to the right parent; the kernel
+	// itself ignores it. Zero when tracing is disabled.
+	TraceCtx TraceContext
 
 	resume chan struct{}
 	dead   bool

@@ -49,6 +49,14 @@ type Collector struct {
 	// Cap bounds retention (0 = unlimited); the oldest records are
 	// dropped first, like a log group retention policy.
 	Cap int
+
+	// maxAt/unsorted track whether records arrived in nondecreasing
+	// time order. Simulation hosts emit in kernel execution order, so
+	// the common case stays sorted and window queries can binary-search;
+	// an out-of-order Emit flips unsorted and queries fall back to a
+	// full scan.
+	maxAt    sim.Time
+	unsorted bool
 }
 
 // NewCollector returns an empty collector named name.
@@ -62,6 +70,11 @@ func (c *Collector) Len() int { return len(c.records) }
 
 // Emit appends a record, enforcing the retention cap.
 func (c *Collector) Emit(r Record) {
+	if r.At < c.maxAt {
+		c.unsorted = true
+	} else {
+		c.maxAt = r.At
+	}
 	c.records = append(c.records, r)
 	if c.Cap > 0 && len(c.records) > c.Cap {
 		c.records = c.records[len(c.records)-c.Cap:]
@@ -83,43 +96,99 @@ func (c *Collector) Error(at sim.Time, fn, detail string) {
 	c.Emit(Record{At: at, Kind: KindError, Function: fn, Detail: detail})
 }
 
-// Query filters retained records. Zero-valued fields match everything;
-// Until <= 0 means no upper bound.
+// Query filters retained records. Zero-valued fields match everything.
+//
+// The time window is [From, Until]. Historically Until == 0 meant "no
+// upper bound", which made the legitimate window [0, 0] inexpressible
+// — a query for records at virtual time zero silently matched the whole
+// log. Set Bounded to make Until an inclusive upper bound even when it
+// is zero; with Bounded unset the legacy convention (Until <= 0 means
+// unbounded) still applies.
 type Query struct {
 	Kind     Kind
 	Function string
 	From     sim.Time
 	Until    sim.Time
+	// Bounded forces Until to act as an upper bound regardless of its
+	// value (fixing the Until: 0 ambiguity).
+	Bounded bool
+}
+
+// bounded reports whether q has an upper bound, and returns it.
+func (q Query) bounded() (sim.Time, bool) {
+	if q.Bounded {
+		return q.Until, true
+	}
+	if q.Until > 0 {
+		return q.Until, true
+	}
+	return 0, false
+}
+
+// match reports whether r passes q's kind/function filters (the time
+// window is handled by forEach's scan bounds).
+func (q Query) match(r Record) bool {
+	if q.Kind != "" && r.Kind != q.Kind {
+		return false
+	}
+	if q.Function != "" && r.Function != q.Function {
+		return false
+	}
+	return true
+}
+
+// forEach visits the records matching q in arrival order without
+// materializing a slice. When records arrived in time order, the
+// window's start index is found by binary search and the scan stops at
+// the first record past the upper bound; otherwise it degrades to a
+// filtered full scan.
+func (c *Collector) forEach(q Query, fn func(r Record)) {
+	until, hasUntil := q.bounded()
+	recs := c.records
+	if !c.unsorted && q.From > 0 {
+		i, _ := slices.BinarySearchFunc(recs, q.From, func(r Record, t sim.Time) int {
+			if r.At < t {
+				return -1
+			}
+			return 1 // never report equality: lands on the first At >= t
+		})
+		recs = recs[i:]
+	}
+	for _, r := range recs {
+		if r.At < q.From {
+			continue // only reachable on the unsorted path
+		}
+		if hasUntil && r.At > until {
+			if c.unsorted {
+				continue
+			}
+			break // sorted: nothing later can re-enter the window
+		}
+		if q.match(r) {
+			fn(r)
+		}
+	}
 }
 
 // Select returns the records matching q, in arrival order.
 func (c *Collector) Select(q Query) []Record {
 	var out []Record
-	for _, r := range c.records {
-		if q.Kind != "" && r.Kind != q.Kind {
-			continue
-		}
-		if q.Function != "" && r.Function != q.Function {
-			continue
-		}
-		if r.At < q.From {
-			continue
-		}
-		if q.Until > 0 && r.At > q.Until {
-			continue
-		}
-		out = append(out, r)
-	}
+	c.forEach(q, func(r Record) { out = append(out, r) })
 	return out
+}
+
+// Count returns the number of records matching q without materializing
+// them.
+func (c *Collector) Count(q Query) int {
+	n := 0
+	c.forEach(q, func(Record) { n++ })
+	return n
 }
 
 // Durations extracts the Duration field of the matching records.
 func (c *Collector) Durations(q Query) []time.Duration {
-	recs := c.Select(q)
-	out := make([]time.Duration, len(recs))
-	for i, r := range recs {
-		out[i] = r.Duration
-	}
+	out := make([]time.Duration, 0, c.Count(q))
+	c.forEach(q, func(r Record) { out = append(out, r.Duration) })
 	return out
 }
 
@@ -133,10 +202,12 @@ type Summary struct {
 	Max      time.Duration
 }
 
-// Summarize groups matching records by function, sorted by name.
+// Summarize groups matching records by function, sorted by name. It
+// aggregates through forEach, so no intermediate record slice is built
+// even over large windows.
 func (c *Collector) Summarize(q Query) []Summary {
 	byFn := map[string]*Summary{}
-	for _, r := range c.Select(q) {
+	c.forEach(q, func(r Record) {
 		s := byFn[r.Function]
 		if s == nil {
 			s = &Summary{Function: r.Function}
@@ -147,7 +218,7 @@ func (c *Collector) Summarize(q Query) []Summary {
 		if r.Duration > s.Max {
 			s.Max = r.Duration
 		}
-	}
+	})
 	out := make([]Summary, 0, len(byFn))
 	for _, s := range byFn {
 		out = append(out, *s)
@@ -159,9 +230,9 @@ func (c *Collector) Summarize(q Query) []Summary {
 // Dump renders the matching records as log text.
 func (c *Collector) Dump(q Query) string {
 	var sb strings.Builder
-	for _, r := range c.Select(q) {
+	c.forEach(q, func(r Record) {
 		sb.WriteString(r.String())
 		sb.WriteByte('\n')
-	}
+	})
 	return sb.String()
 }

@@ -4,6 +4,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"statebench/internal/sim"
 )
 
 func seeded() *Collector {
@@ -80,5 +82,91 @@ func TestDump(t *testing.T) {
 	}
 	if strings.Contains(out, "prep") {
 		t.Fatal("dump leaked filtered records")
+	}
+}
+
+func TestBoundedUntilZero(t *testing.T) {
+	c := NewCollector("zero")
+	c.Invocation(0, "boot", time.Millisecond)
+	c.Invocation(time.Second, "boot", time.Millisecond)
+
+	// Legacy convention: Until 0 means unbounded.
+	if got := len(c.Select(Query{Until: 0})); got != 2 {
+		t.Fatalf("legacy Until:0 = %d, want 2 (unbounded)", got)
+	}
+	// Bounded makes the [0, 0] window expressible.
+	if got := len(c.Select(Query{Until: 0, Bounded: true})); got != 1 {
+		t.Fatalf("bounded [0,0] = %d, want 1", got)
+	}
+	if got := c.Count(Query{Until: 0, Bounded: true}); got != 1 {
+		t.Fatalf("Count bounded [0,0] = %d, want 1", got)
+	}
+	// Bounded with a positive Until behaves like before.
+	if got := len(c.Select(Query{Until: time.Second, Bounded: true})); got != 2 {
+		t.Fatalf("bounded [0,1s] = %d, want 2", got)
+	}
+}
+
+func TestCountMatchesSelect(t *testing.T) {
+	c := seeded()
+	queries := []Query{
+		{},
+		{Kind: KindInvocation},
+		{Function: "prep"},
+		{From: 2 * time.Second, Until: 41 * time.Second},
+		{Kind: KindError, Function: "train"},
+		{From: 100 * time.Second},
+		{Until: 0, Bounded: true},
+	}
+	for _, q := range queries {
+		if got, want := c.Count(q), len(c.Select(q)); got != want {
+			t.Fatalf("Count(%+v) = %d, Select len = %d", q, got, want)
+		}
+	}
+}
+
+// TestWindowScanBounds drives the binary-search fast path across every
+// window alignment and cross-checks it against a naive filter.
+func TestWindowScanBounds(t *testing.T) {
+	c := NewCollector("sorted")
+	for i := 0; i < 50; i++ {
+		c.Invocation(time.Duration(i)*time.Second, "f", time.Millisecond)
+	}
+	naive := func(from, until sim.Time) int {
+		n := 0
+		for i := 0; i < 50; i++ {
+			at := time.Duration(i) * time.Second
+			if at >= from && at <= until {
+				n++
+			}
+		}
+		return n
+	}
+	for from := time.Duration(0); from <= 52*time.Second; from += 7 * time.Second / 2 {
+		for until := from; until <= 52*time.Second; until += 5 * time.Second / 2 {
+			q := Query{From: from, Until: until, Bounded: true}
+			if got, want := c.Count(q), naive(from, until); got != want {
+				t.Fatalf("window [%v,%v]: got %d want %d", from, until, got, want)
+			}
+		}
+	}
+}
+
+// TestUnsortedFallback checks that out-of-order emission is detected
+// and window queries stay correct via the full-scan path.
+func TestUnsortedFallback(t *testing.T) {
+	c := NewCollector("unsorted")
+	c.Invocation(10*time.Second, "f", time.Millisecond)
+	c.Invocation(2*time.Second, "f", time.Millisecond) // out of order
+	c.Invocation(20*time.Second, "f", time.Millisecond)
+	if got := c.Count(Query{From: time.Second, Until: 5 * time.Second}); got != 1 {
+		t.Fatalf("unsorted window count = %d, want 1", got)
+	}
+	if got := c.Count(Query{From: 5 * time.Second}); got != 2 {
+		t.Fatalf("unsorted From-only count = %d, want 2", got)
+	}
+	recs := c.Select(Query{From: time.Second, Until: 30 * time.Second})
+	if len(recs) != 3 || recs[0].At != 10*time.Second {
+		t.Fatalf("unsorted select preserved order? %v", recs)
 	}
 }

@@ -26,15 +26,21 @@ func deployAWSLambda(env *core.Env, size mlpipe.DatasetSize, arts *mlpipe.Artifa
 		CodeSizeMB:    63.1,
 		Handler: func(ctx *lambda.Context, payload []byte) ([]byte, error) {
 			p := ctx.Proc()
+			load := env.Stage(p, "mono/load")
 			if _, err := s3.Get(p, datasetKey(size)); err != nil {
 				return nil, err
 			}
+			load.End(p.Now())
+			train := env.Stage(p, "mono/train")
 			ctx.Busy(costs.MonolithTrain(size))
+			train.End(p.Now())
+			publish := env.Stage(p, "mono/publish")
 			ctx.Busy(costs.Xfer(len(arts.EncoderBytes) + len(arts.ScalerBytes) + len(arts.PCABytes) + len(arts.ModelBytes[arts.BestName])))
 			s3.Put(p, "models/encoder", arts.EncoderBytes)
 			s3.Put(p, "models/scaler", arts.ScalerBytes)
 			s3.Put(p, "models/pca", arts.PCABytes)
 			s3.Put(p, bestModelKey, arts.ModelBytes[arts.BestName])
+			publish.End(p.Now())
 			return mlpipe.EncodeResult(arts.BestName, arts.BestMSE), nil
 		},
 	})

@@ -24,15 +24,21 @@ func deployAzFunc(env *core.Env, size mlpipe.DatasetSize, arts *mlpipe.Artifacts
 		ConsumedMemMB: mlpipe.MemMonolith,
 		Handler: func(ctx *functions.Context, payload []byte) ([]byte, error) {
 			p := ctx.Proc()
+			load := env.Stage(p, "mono/load")
 			if _, err := blob.Get(p, datasetKey(size)); err != nil {
 				return nil, err
 			}
+			load.End(p.Now())
+			train := env.Stage(p, "mono/train")
 			ctx.Busy(costs.MonolithTrain(size))
+			train.End(p.Now())
+			publish := env.Stage(p, "mono/publish")
 			ctx.Busy(costs.Xfer(len(arts.EncoderBytes) + len(arts.ScalerBytes) + len(arts.PCABytes) + len(arts.ModelBytes[arts.BestName])))
 			blob.Put(p, "models/encoder", arts.EncoderBytes)
 			blob.Put(p, "models/scaler", arts.ScalerBytes)
 			blob.Put(p, "models/pca", arts.PCABytes)
 			blob.Put(p, bestModelKey, arts.ModelBytes[arts.BestName])
+			publish.End(p.Now())
 			return mlpipe.EncodeResult(arts.BestName, arts.BestMSE), nil
 		},
 	})

@@ -25,14 +25,24 @@ func (w *Workflow) deployAWSLambda(env *core.Env) (*core.Deployment, error) {
 		Name: fnName, MemoryMB: awsVideoMemoryMB, ConsumedMemMB: memMono, CodeSizeMB: 32,
 		Handler: func(ctx *lambda.Context, payload []byte) ([]byte, error) {
 			p := ctx.Proc()
+			load := env.Stage(p, "video/load")
 			if _, err := s3.Get(p, videoKey); err != nil {
 				return nil, err
 			}
 			if _, err := s3.Get(p, modelKey); err != nil {
 				return nil, err
 			}
-			ctx.Busy(w.Spec.splitCost(1) + w.Spec.DetectTotal() + w.Spec.mergeCost(1))
+			load.End(p.Now())
+			split := env.Stage(p, "video/split")
+			ctx.Busy(w.Spec.splitCost(1))
+			split.End(p.Now())
+			detect := env.Stage(p, "video/detect")
+			ctx.Busy(w.Spec.DetectTotal())
+			detect.End(p.Now())
+			merge := env.Stage(p, "video/merge")
+			ctx.Busy(w.Spec.mergeCost(1))
 			s3.Put(p, "videos/output", make([]byte, w.Spec.TotalBytes))
+			merge.End(p.Now())
 			return []byte(`{"frames":` + fmt.Sprint(w.Spec.Frames) + `}`), nil
 		},
 	})
@@ -194,15 +204,21 @@ func (w *Workflow) deployAzFunc(env *core.Env) (*core.Deployment, error) {
 		Name: fnName, ConsumedMemMB: memMono,
 		Handler: func(ctx *functions.Context, payload []byte) ([]byte, error) {
 			p := ctx.Proc()
+			load := env.Stage(p, "video/load")
 			if _, err := blob.Get(p, videoKey); err != nil {
 				return nil, err
 			}
 			if _, err := blob.Get(p, modelKey); err != nil {
 				return nil, err
 			}
+			load.End(p.Now())
+			// One combined busy phase: splitting the scaled sum would
+			// change its rounding, so the stage span covers all three.
+			process := env.Stage(p, "video/process")
 			busy := time.Duration(float64(w.Spec.splitCost(1)+w.Spec.DetectTotal()+w.Spec.mergeCost(1)) / speed)
 			ctx.Busy(busy)
 			blob.Put(p, "videos/output", make([]byte, w.Spec.TotalBytes))
+			process.End(p.Now())
 			return []byte(fmt.Sprintf(`{"frames":%d}`, w.Spec.Frames)), nil
 		},
 	})
