@@ -3,16 +3,24 @@
 # tier1    — the gate every change must keep green.
 # tier1.5  — adds static analysis and the race detector; the
 #            determinism test self-downscales under -race.
-# tier2    — tier1.5 plus the observability determinism gate: full
-#            campaigns with tracing + metrics on must render and export
-#            byte-identically at any worker count.
+# tier2    — tier1.5 plus the observability/chaos determinism gates,
+#            the coverage floor, and short fuzz smoke runs: full
+#            campaigns with tracing + metrics + fault injection on must
+#            render and export byte-identically at any worker count.
+# cover    — library-package coverage with a checked-in floor.
+# fuzz     — short native-fuzzing smoke runs for the SFN JSONPath and
+#            Choice evaluators.
 # bench    — kernel micro-benchmarks plus the sequential-vs-parallel
 #            full-suite pair (the numbers behind BENCH_PR1.json and
 #            BENCH_PR2.json).
 
 GO ?= go
 
-.PHONY: tier1 tier1.5 tier2 bench bench-kernel bench-all
+# Minimum total statement coverage (percent) across ./internal/...;
+# `make cover` fails below this.
+COVER_FLOOR ?= 75
+
+.PHONY: tier1 tier1.5 tier2 cover fuzz bench bench-kernel bench-all
 
 tier1:
 	$(GO) build ./... && $(GO) test ./...
@@ -23,7 +31,20 @@ tier1.5:
 tier2:
 	$(GO) vet ./...
 	$(GO) test -race -timeout 20m ./...
-	$(GO) test -run 'TestTracingPreservesDeterminism|TestTracingDoesNotChangeResults' -count=1 . ./internal/core/
+	$(GO) test -run 'TestTracingPreservesDeterminism|TestTracingDoesNotChangeResults|TestChaosPreservesDeterminism' -count=1 . ./internal/core/
+	$(MAKE) fuzz
+	$(MAKE) cover
+
+cover:
+	$(GO) test -count=1 -coverprofile=cover.out ./internal/...
+	@total=$$($(GO) tool cover -func=cover.out | awk '/^total:/ {gsub(/%/, "", $$3); print $$3}'); \
+	echo "total coverage: $$total% (floor $(COVER_FLOOR)%)"; \
+	awk -v t="$$total" -v f="$(COVER_FLOOR)" 'BEGIN { exit (t+0 < f+0) ? 1 : 0 }' || \
+	{ echo "FAIL: coverage $$total% is below the $(COVER_FLOOR)% floor"; exit 1; }
+
+fuzz:
+	$(GO) test -run - -fuzz FuzzJSONPath -fuzztime 10s ./internal/aws/sfn/
+	$(GO) test -run - -fuzz FuzzChoiceEval -fuzztime 10s ./internal/aws/sfn/
 
 bench-kernel:
 	$(GO) test -run - -bench 'Kernel|EventThroughput|ProcContextSwitch' -benchmem ./internal/sim/

@@ -5,6 +5,7 @@
 //
 //	statebench [flags] [experiment...]
 //	statebench trace -impl <style> -workflow <wf> [-runs N] [-o trace.json]
+//	statebench chaos -impl <style>|all -workflow <wf> [-seed N] [-faultrate R]
 //
 // With no arguments every experiment runs in paper order. Experiments:
 // table1, table2, fig6, fig7, fig8, fig9, fig10, fig11, fig12, fig13,
@@ -13,6 +14,10 @@
 // The trace subcommand runs one workflow/style campaign with the span
 // tracer enabled and writes a Chrome trace-event file loadable in
 // chrome://tracing or Perfetto.
+//
+// The chaos subcommand runs one workflow under a deterministic injected
+// fault schedule and prints the reliability table (success rate,
+// retries, redeliveries, dead letters, tail/cost inflation).
 //
 // Flags:
 //
@@ -42,6 +47,10 @@ import (
 func main() {
 	if len(os.Args) > 1 && os.Args[1] == "trace" {
 		runTrace(os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "chaos" {
+		runChaos(os.Args[2:])
 		return
 	}
 

@@ -1,11 +1,18 @@
 package statebench_test
 
 import (
+	"bytes"
+	"fmt"
 	"strings"
 	"testing"
 
+	"statebench/internal/chaos"
+	"statebench/internal/core"
 	"statebench/internal/experiments"
 	"statebench/internal/obs/metrics"
+	"statebench/internal/obs/span"
+	"statebench/internal/workloads/mlpipe"
+	"statebench/internal/workloads/mltrain"
 )
 
 // renderAll runs every experiment with the given worker count and
@@ -106,5 +113,67 @@ func TestTracingPreservesDeterminism(t *testing.T) {
 		if baseline := renderAll(t, o, 1); out1 != baseline {
 			t.Fatal("tracing+metrics changed report output")
 		}
+	}
+}
+
+// TestChaosPreservesDeterminism is the chaos golden guarantee: one
+// seed plus one fault plan fixes the entire campaign — measured series,
+// fault statistics, Chrome trace JSON, and Prometheus export are all
+// byte-identical across repeated runs and across worker counts. Fault
+// schedules are stateless hashes of (seed, site, invocation index), so
+// scheduling order can never shift them.
+func TestChaosPreservesDeterminism(t *testing.T) {
+	iters := 5
+	if testing.Short() || raceEnabled {
+		iters = 3
+	}
+	wf := mltrain.New(mlpipe.Small)
+
+	render := func(workers int) string {
+		reg := metrics.NewRegistry()
+		opt := core.DefaultMeasureOptions()
+		opt.Iters = iters
+		opt.Seed = 7
+		opt.Workers = workers
+		opt.Tracing = true
+		opt.Metrics = reg
+		opt.Chaos = chaos.DefaultPlan(0.2)
+		series, err := core.MeasureAll(wf, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sb strings.Builder
+		var injected int64
+		for _, impl := range wf.Impls() {
+			s := series[impl]
+			injected += s.Faults.Injected
+			fmt.Fprintf(&sb, "%s ok=%.4f err=%d faults=%+v p50=%v p99=%v bill=%.9f txns=%.3f\n",
+				impl, s.SuccessRate, s.Errors, s.Faults, s.E2E.Median(), s.E2E.P99(),
+				s.MeanBill.Total(), s.MeanTxns)
+			var buf bytes.Buffer
+			if err := span.WriteChromeTrace(&buf, s.Trace.Spans()); err != nil {
+				t.Fatal(err)
+			}
+			sb.Write(buf.Bytes())
+			sb.WriteByte('\n')
+		}
+		if injected == 0 {
+			t.Fatal("rate-0.2 plan injected no faults; the campaign exercised nothing")
+		}
+		if err := reg.WritePrometheus(&sb); err != nil {
+			t.Fatal(err)
+		}
+		return sb.String()
+	}
+
+	seq := render(1)
+	if !strings.Contains(seq, "statebench_chaos_faults_total") {
+		t.Fatal("metrics export missing chaos fault counters")
+	}
+	if render(1) != seq {
+		t.Fatal("two sequential chaos runs differ: the fault schedule is nondeterministic")
+	}
+	if render(8) != seq {
+		t.Fatal("chaos output differs across worker counts")
 	}
 }

@@ -6,6 +6,7 @@ package aws
 import (
 	"statebench/internal/aws/lambda"
 	"statebench/internal/aws/sfn"
+	"statebench/internal/chaos"
 	"statebench/internal/cloud/blob"
 	"statebench/internal/obs/span"
 	"statebench/internal/platform"
@@ -35,6 +36,12 @@ func New(k *sim.Kernel, params platform.AWSParams) *Cloud {
 func (c *Cloud) SetTracer(tr *span.Tracer) {
 	c.Lambda.Tracer = tr
 	c.SFN.Tracer = tr
+}
+
+// SetChaos enables fault injection on Lambda and Step Functions.
+func (c *Cloud) SetChaos(inj *chaos.Injector) {
+	c.Lambda.Chaos = inj
+	c.SFN.Chaos = inj
 }
 
 // ResetMeters zeroes billing meters and storage stats across services,

@@ -9,6 +9,7 @@ import (
 	"sort"
 	"time"
 
+	"statebench/internal/chaos"
 	"statebench/internal/obs/span"
 	"statebench/internal/platform"
 	"statebench/internal/sim"
@@ -118,6 +119,10 @@ type Service struct {
 	// Tracer, when non-nil, emits X-Ray-style spans per invocation:
 	// an invoke span wrapping queue/coldstart/exec child spans.
 	Tracer *span.Tracer
+	// Chaos, when non-nil, can fail invocations with transient errors,
+	// kill the executing container mid-invoke (the warm container is
+	// lost), or stretch execution past the configured timeout.
+	Chaos *chaos.Injector
 }
 
 // New creates a Lambda service with the given calibration parameters.
@@ -237,11 +242,33 @@ func (s *Service) Invoke(p *sim.Proc, name string, payload []byte) (*Invocation,
 		s.Tracer.Emit(span.KindCold, "lambda/cold/"+name, coldStart, p.Now(), invCtx)
 	}
 
+	var fault chaos.Fault
+	faulted := false
+	if s.Chaos != nil {
+		fault, faulted = s.Chaos.Next(invCtx, "lambda", name)
+	}
+
 	execStart := p.Now()
 	execSpan := s.Tracer.Start(execStart, span.KindExec, "lambda/exec/"+name, invCtx)
-	p.TraceCtx = execSpan.Context()
-	out, err := f.cfg.Handler(&Context{p: p, fn: f}, payload)
-	p.TraceCtx = caller
+	crashed := false
+	var out []byte
+	var err error
+	if faulted && (fault.Kind == chaos.TransientError || fault.Kind == chaos.Crash) {
+		// The handler runs partially, then the error (or the container
+		// death) cuts it short. Partial execution is still billed.
+		p.Sleep(fault.Delay)
+		err = &chaos.FaultError{Kind: fault.Kind, Component: "lambda", Name: name}
+		crashed = fault.Kind == chaos.Crash
+	} else {
+		if faulted && fault.Kind == chaos.TimeoutSpike {
+			// Runtime stall inside the execution window; may push the
+			// invocation over its configured timeout below.
+			p.Sleep(fault.Delay)
+		}
+		p.TraceCtx = execSpan.Context()
+		out, err = f.cfg.Handler(&Context{p: p, fn: f}, payload)
+		p.TraceCtx = caller
+	}
 	exec := p.Now() - execStart
 	if exec > f.cfg.Timeout {
 		exec = f.cfg.Timeout
@@ -253,8 +280,11 @@ func (s *Service) Invoke(p *sim.Proc, name string, payload []byte) (*Invocation,
 	execSpan.End(execStart + exec)
 	f.Meter.RecordAWS(exec, f.cfg.MemoryMB, f.cfg.ConsumedMemMB)
 
-	// Return the container to the warm pool.
-	f.warm = append(f.warm, p.Now()+s.params.KeepAlive)
+	// Return the container to the warm pool — unless it crashed, in
+	// which case the next invocation pays a fresh cold start.
+	if !crashed {
+		f.warm = append(f.warm, p.Now()+s.params.KeepAlive)
+	}
 	f.slots.Release()
 
 	inv.Output = out

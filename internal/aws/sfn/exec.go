@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"statebench/internal/aws/lambda"
+	"statebench/internal/chaos"
 	"statebench/internal/obs/span"
 	"statebench/internal/platform"
 	"statebench/internal/sim"
@@ -26,6 +27,9 @@ type Service struct {
 	// Tracer, when non-nil, emits an orchestration span per execution
 	// and a transition span per billable state transition.
 	Tracer *span.Tracer
+	// Chaos, when non-nil, can fail Task states with retriable
+	// "States.TaskFailed" errors, driving the Retry/Catch machinery.
+	Chaos *chaos.Injector
 }
 
 // New creates a Step Functions service bound to a Lambda service.
@@ -312,6 +316,7 @@ func (s *Service) runWithRetry(p *sim.Proc, exec *Execution, st *State, effIn an
 		delay := interval * pow(rate, attempts[ri])
 		attempts[ri]++
 		exec.record(p, "RetryScheduled", st.Resource)
+		s.Chaos.NoteRetry(time.Duration(delay * float64(time.Second)))
 		p.Sleep(time.Duration(delay * float64(time.Second)))
 	}
 }
@@ -384,6 +389,17 @@ func (s *Service) runTask(p *sim.Proc, exec *Execution, st *State, effIn any) (a
 	dStart := p.Now()
 	p.Sleep(s.params.StepTaskDispatch.Sample(s.rng))
 	s.Tracer.Emit(span.KindTransition, "sfn/dispatch/"+st.Resource, dStart, p.Now(), p.TraceCtx)
+	if s.Chaos != nil {
+		if flt, ok := s.Chaos.Next(p.TraceCtx, "sfn", st.Resource); ok {
+			// The task fails at the service boundary (worker lost,
+			// throttle, transient 5xx) after Delay of wasted wall time.
+			// Surfacing it as States.TaskFailed drives Retry/Catch.
+			p.Sleep(flt.Delay)
+			exec.record(p, "TaskFailed", st.Resource)
+			ferr := &chaos.FaultError{Kind: flt.Kind, Component: "sfn", Name: st.Resource}
+			return nil, &ExecutionError{ErrorName: "States.TaskFailed", Cause: ferr.Error()}
+		}
+	}
 	inv, err := s.lambda.Invoke(p, st.Resource, payload)
 	if err != nil {
 		return nil, err

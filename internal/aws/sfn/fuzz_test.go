@@ -1,0 +1,84 @@
+package sfn
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+// FuzzJSONPath drives GetPath/SetPath with arbitrary paths and JSON
+// documents. Invariants: never panic, and any path GetPath resolves
+// must round-trip — SetPath of the same value at the same path followed
+// by GetPath returns that value.
+func FuzzJSONPath(f *testing.F) {
+	// Seed corpus from the jsonpath_test.go cases.
+	f.Add(`{"detail":{"items":[{"id":1},{"id":2}]}}`, "$.detail.items[1].id")
+	f.Add(`{"a":{"b":2}}`, "$.a.b")
+	f.Add(`{"n":7}`, "$")
+	f.Add(`[1,2,3]`, "$[2]")
+	f.Add(`{"a":1}`, "$.missing")
+	f.Add(`{"a":[true,null]}`, "$.a[0]")
+	f.Add(`{}`, "$.")
+	f.Add(`{}`, "$[")
+	f.Add(`{}`, "$.a[99]")
+	f.Add(`5`, "no-dollar")
+	f.Fuzz(func(t *testing.T, docJSON, path string) {
+		var doc any
+		if err := json.Unmarshal([]byte(docJSON), &doc); err != nil {
+			return
+		}
+		got, err := GetPath(doc, path)
+		if err != nil {
+			// Invalid path or miss; SetPath must not panic either.
+			_, _ = SetPath(doc, path, "x")
+			return
+		}
+		// Round-trip: writing the read value back and re-reading it
+		// must reproduce it.
+		doc2, err := SetPath(doc, path, got)
+		if err != nil {
+			t.Fatalf("GetPath succeeded but SetPath failed: doc=%s path=%q err=%v", docJSON, path, err)
+		}
+		got2, err := GetPath(doc2, path)
+		if err != nil {
+			t.Fatalf("round-trip GetPath failed: doc=%s path=%q err=%v", docJSON, path, err)
+		}
+		if !reflect.DeepEqual(got, got2) {
+			t.Fatalf("round-trip mismatch: doc=%s path=%q got=%v re-got=%v", docJSON, path, got, got2)
+		}
+		// The untouched original must still resolve identically
+		// (SetPath promises not to mutate the caller's document).
+		got3, err := GetPath(doc, path)
+		if err != nil || !reflect.DeepEqual(got, got3) {
+			t.Fatalf("SetPath mutated the input document: doc=%s path=%q", docJSON, path)
+		}
+	})
+}
+
+// FuzzChoiceEval decodes an arbitrary ChoiceRule and document from JSON
+// and evaluates the rule. Invariant: evalRule never panics, whatever
+// operator combination or document shape the fuzzer invents.
+func FuzzChoiceEval(f *testing.F) {
+	// Seed corpus from the choice_test.go cases.
+	f.Add(`{"Variable":"$.n","NumericEquals":7}`, `{"n":7,"s":"go","ok":true}`)
+	f.Add(`{"Variable":"$.s","StringEquals":"go"}`, `{"s":"go"}`)
+	f.Add(`{"Variable":"$.ok","BooleanEquals":true}`, `{"ok":true}`)
+	f.Add(`{"Variable":"$.missing","IsPresent":false}`, `{}`)
+	f.Add(`{"And":[{"Variable":"$.n","NumericGreaterThan":1},{"Variable":"$.n","NumericLessThan":10}]}`, `{"n":7}`)
+	f.Add(`{"Or":[{"Variable":"$.n","NumericEquals":1}]}`, `{"n":7}`)
+	f.Add(`{"Not":{"Variable":"$.n","NumericEquals":7}}`, `{"n":7}`)
+	f.Add(`{"Variable":"$.n","NumericEquals":7,"Next":"Done"}`, `{"n":"not-a-number"}`)
+	f.Add(`{"Not":{"Not":{"Not":{"Variable":"$[0]","IsPresent":true}}}}`, `[1]`)
+	f.Fuzz(func(t *testing.T, ruleJSON, docJSON string) {
+		var rule ChoiceRule
+		if err := json.Unmarshal([]byte(ruleJSON), &rule); err != nil {
+			return
+		}
+		var doc any
+		if err := json.Unmarshal([]byte(docJSON), &doc); err != nil {
+			return
+		}
+		// Must return cleanly (true/false or an error), never panic.
+		_, _ = evalRule(&rule, doc)
+	})
+}

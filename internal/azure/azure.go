@@ -7,6 +7,7 @@ package azure
 import (
 	"statebench/internal/azure/durable"
 	"statebench/internal/azure/functions"
+	"statebench/internal/chaos"
 	"statebench/internal/cloud/blob"
 	"statebench/internal/cloud/queue"
 	"statebench/internal/obs/span"
@@ -27,6 +28,7 @@ type Cloud struct {
 	// transactions can be summed into the stateful bill.
 	ManualQueues []*queue.Queue
 	tracer       *span.Tracer
+	chaos        *chaos.Injector
 }
 
 // New builds a Cloud with the given calibration parameters.
@@ -54,6 +56,17 @@ func (c *Cloud) SetTracer(tr *span.Tracer) {
 	}
 }
 
+// SetChaos enables fault injection across the host, the task hub, and
+// every manual queue (existing and future).
+func (c *Cloud) SetChaos(inj *chaos.Injector) {
+	c.chaos = inj
+	c.Host.Chaos = inj
+	c.Hub.SetChaos(inj)
+	for _, q := range c.ManualQueues {
+		q.Chaos = inj
+	}
+}
+
 // NewQueue creates a manually managed storage queue (Az-Queue style)
 // whose transactions are tracked for billing.
 func (c *Cloud) NewQueue(name string) *queue.Queue {
@@ -61,6 +74,7 @@ func (c *Cloud) NewQueue(name string) *queue.Queue {
 	qp.MaxPayload = c.Params.QueuePayloadLimit
 	q := queue.New(c.k, name, qp)
 	q.Tracer = c.tracer
+	q.Chaos = c.chaos
 	c.ManualQueues = append(c.ManualQueues, q)
 	return q
 }

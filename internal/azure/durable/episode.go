@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"statebench/internal/azure/functions"
+	"statebench/internal/chaos"
 	"statebench/internal/cloud/table"
 	"statebench/internal/obs/span"
 	"statebench/internal/sim"
@@ -105,6 +106,27 @@ func (h *Hub) episodeHandler(name string) functions.Handler {
 					span.A("replayEvents", strconv.Itoa(replayed)))
 			}
 		}()
+
+		// One fault decision per episode. A plain Crash kills the host
+		// before any history is persisted; CrashAfterPersist arms a
+		// crash between persistence and message acknowledgment (the
+		// window that forces replay to deduplicate history rows).
+		crashAfter := false
+		if h.Chaos != nil {
+			if flt, ok := h.Chaos.Next(st.tctx, "durable", name); ok {
+				if flt.Kind == chaos.CrashAfterPersist {
+					crashAfter = true
+				} else {
+					// The consumed control messages were never
+					// acknowledged: put them back and redeliver the
+					// episode after the visibility timeout.
+					p.Sleep(flt.Delay)
+					st.inbox = append(msgs, st.inbox...)
+					h.redeliverEpisode(st)
+					return nil, &chaos.FaultError{Kind: flt.Kind, Component: "durable", Name: name}
+				}
+			}
+		}
 
 		// 1. Load persisted history (a billed table query every episode).
 		rows := h.history.Query(p, instance)
@@ -227,6 +249,19 @@ func (h *Hub) episodeHandler(name string) functions.Handler {
 			h.dispatchAction(instance, act)
 		}
 
+		if crashAfter {
+			// Crash after history persistence and action dispatch, but
+			// before the triggering messages are acknowledged: they
+			// redeliver, the episode re-runs, and replay deduplicates
+			// the re-folded messages against the persisted history
+			// (results and schedules are keyed by TaskID). Completion
+			// bookkeeping below never ran, so the redelivered episode
+			// performs it exactly once.
+			st.inbox = append(msgs, st.inbox...)
+			h.redeliverEpisode(st)
+			return nil, &chaos.FaultError{Kind: chaos.CrashAfterPersist, Component: "durable", Name: name}
+		}
+
 		// 7. Completion or continuation.
 		if completed {
 			st.done = true
@@ -263,6 +298,18 @@ func (h *Hub) episodeHandler(name string) functions.Handler {
 		st.active = false
 		return nil, nil
 	}
+}
+
+// redeliverEpisode re-activates a crashed episode's orchestration
+// after the control-queue visibility timeout, modeling redelivery of
+// its unacknowledged messages (already back in st.inbox).
+func (h *Hub) redeliverEpisode(st *orchState) {
+	delay := h.Chaos.RedeliveryDelay()
+	h.Chaos.NoteRecovery(delay)
+	h.k.After(delay, func() {
+		st.active = false
+		h.activateOrch(st)
+	})
 }
 
 // dispatchAction performs one scheduled side effect after an episode.

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"statebench/internal/azure/functions"
+	"statebench/internal/chaos"
 	"statebench/internal/cloud/queue"
 	"statebench/internal/cloud/table"
 	"statebench/internal/obs/span"
@@ -158,6 +159,11 @@ type Hub struct {
 	// Tracer, when non-nil, emits orchestration/episode/entity-op spans
 	// (queue hops are emitted by the queues themselves).
 	Tracer *span.Tracer
+
+	// Chaos, when non-nil, can crash orchestrator episodes before or
+	// after history persistence; the triggering control messages are
+	// then redelivered and event-sourcing replay recovers the run.
+	Chaos *chaos.Injector
 }
 
 // NewHub creates a task hub on host, wiring its control and work-item
@@ -191,6 +197,11 @@ func NewHub(k *sim.Kernel, host *functions.Host, name string) *Hub {
 func durableQueueParams(p platform.AzureParams) queue.Params {
 	qp := queue.DefaultParams()
 	qp.MaxPayload = p.QueuePayloadLimit
+	// The Durable Task Framework never poisons its own control or
+	// work-item messages — it redelivers until the episode succeeds —
+	// so dead-lettering is disabled on task-hub queues (liveness:
+	// a dead-lettered control message would strand its orchestration).
+	qp.MaxDequeueCount = 0
 	return qp
 }
 
@@ -201,6 +212,17 @@ func (h *Hub) SetTracer(tr *span.Tracer) {
 	h.workItems.Tracer = tr
 	for _, q := range h.control {
 		q.Tracer = tr
+	}
+}
+
+// SetChaos enables fault injection on the hub's episode execution and
+// on its queues. Call before running workloads (core.Env.EnableChaos
+// does).
+func (h *Hub) SetChaos(inj *chaos.Injector) {
+	h.Chaos = inj
+	h.workItems.Chaos = inj
+	for _, q := range h.control {
+		q.Chaos = inj
 	}
 }
 

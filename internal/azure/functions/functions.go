@@ -11,6 +11,7 @@ import (
 	"sort"
 	"time"
 
+	"statebench/internal/chaos"
 	"statebench/internal/cloud/queue"
 	"statebench/internal/obs/span"
 	"statebench/internal/platform"
@@ -133,6 +134,11 @@ type Host struct {
 	// Tracer, when non-nil, emits spans per execution: scheduling
 	// delay (queue or coldstart) plus handler exec.
 	Tracer *span.Tracer
+
+	// Chaos, when non-nil, can recycle the worker instance as it picks
+	// up a work item: the instance dies, the item is re-queued, and a
+	// fresh (possibly cold) instance retries it.
+	Chaos *chaos.Injector
 
 	// scaledFromZeroAt records when the app last left the
 	// scaled-to-zero state; queue listeners activating shortly after
@@ -303,6 +309,30 @@ func (h *Host) run(inst *instance, wi *workItem) {
 			h.Tracer.Emit(k, n, wi.submitted, p.Now(), wi.ctx)
 		}
 		p.Sleep(h.params.Dispatch.Sample(h.rng))
+
+		if h.Chaos != nil {
+			if flt, ok := h.Chaos.Next(wi.ctx, "azfunc", wi.fn); ok {
+				// Host recycle: the instance dies before the handler
+				// starts. The burnt ramp-up time is billed, the work
+				// item goes back on the dispatch queue (its result
+				// future stays open), and a surviving or fresh instance
+				// retries it — possibly behind a new cold start.
+				crashStart := p.Now()
+				p.Sleep(flt.Delay)
+				f.Meter.RecordAzure(p.Now()-crashStart, f.cfg.ConsumedMemMB)
+				inst.stopped = true
+				h.ready--
+				h.Chaos.NoteRedispatch()
+				wi.cold = false
+				h.pending = append(h.pending, wi)
+				h.dispatch()
+				if h.ready+h.starting == 0 {
+					h.startInstance()
+				}
+				h.armController()
+				return
+			}
+		}
 
 		execStart := p.Now()
 		execSpan := h.Tracer.Start(execStart, span.KindExec, "func/exec/"+wi.fn, wi.ctx)

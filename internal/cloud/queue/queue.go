@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"time"
 
+	"statebench/internal/chaos"
 	"statebench/internal/obs/span"
 	"statebench/internal/sim"
 )
@@ -26,6 +27,15 @@ type Params struct {
 	// PollBackoff is the multiplicative back-off factor applied to the
 	// poll interval after each empty poll (>= 1).
 	PollBackoff float64
+	// VisibilityTimeout is how long a message stays invisible after a
+	// failed (chaos-redelivered) or duplicated delivery before it
+	// reappears at the tail of the queue.
+	VisibilityTimeout time.Duration
+	// MaxDequeueCount dead-letters a message once its dequeue attempts
+	// reach this count (poison-message handling). 0 disables
+	// dead-lettering (unlimited redelivery, the Durable Task Framework
+	// control-queue behavior).
+	MaxDequeueCount int
 }
 
 // DefaultParams matches Azure Storage Queue behavior: ~5 ms operations,
@@ -33,11 +43,13 @@ type Params struct {
 // polling from 100 ms up to 30 s with 2x back-off.
 func DefaultParams() Params {
 	return Params{
-		OpLatency:   sim.LogNormalDist{Median: 5 * time.Millisecond, Sigma: 0.4, Max: 500 * time.Millisecond},
-		MaxPayload:  256 * 1024,
-		MinPoll:     100 * time.Millisecond,
-		MaxPoll:     30 * time.Second,
-		PollBackoff: 2,
+		OpLatency:         sim.LogNormalDist{Median: 5 * time.Millisecond, Sigma: 0.4, Max: 500 * time.Millisecond},
+		MaxPayload:        256 * 1024,
+		MinPoll:           100 * time.Millisecond,
+		MaxPoll:           30 * time.Second,
+		PollBackoff:       2,
+		VisibilityTimeout: 30 * time.Second,
+		MaxDequeueCount:   5,
 	}
 }
 
@@ -71,12 +83,24 @@ type Stats struct {
 	Dequeues   int64
 	EmptyPolls int64
 	Bytes      int64
+	// Redeliveries counts failed delivery attempts (the consumer
+	// crashed before acknowledging): the get happened, the delete
+	// never did, and the message reappeared after the visibility
+	// timeout. Only chaos injection produces these.
+	Redeliveries int64
+	// DeadLettered counts poison messages moved to the dead-letter
+	// queue after MaxDequeueCount attempts.
+	DeadLettered int64
 }
 
 // Transactions returns the billable transaction count. A successful
 // dequeue costs two operations (get + delete), matching Azure Storage
-// Queue semantics.
-func (s Stats) Transactions() int64 { return s.Enqueues + 2*s.Dequeues + s.EmptyPolls }
+// Queue semantics. A redelivered attempt bills only its get (the
+// delete never happened), and a dead-letter move bills two more
+// operations (put on the poison queue + delete from the source).
+func (s Stats) Transactions() int64 {
+	return s.Enqueues + 2*s.Dequeues + s.EmptyPolls + s.Redeliveries + 2*s.DeadLettered
+}
 
 // Queue is a simulated storage queue. Receivers use polling (TryDequeue
 // or Poll), never push delivery — that is exactly the storage-queue
@@ -87,12 +111,18 @@ type Queue struct {
 	name   string
 	params Params
 	msgs   []*Message
+	dead   []*Message
 	nextID int64
 	stats  Stats
 
 	// Tracer, when non-nil, receives one KindHop span per delivered
 	// message (enqueue→dequeue), parented to the sender's context.
 	Tracer *span.Tracer
+	// Chaos, when non-nil, can turn a delivery into a redelivery (the
+	// message reappears after VisibilityTimeout, or dead-letters) or a
+	// duplicate (delivered now and again later) — the at-least-once
+	// semantics real storage queues exhibit under consumer failure.
+	Chaos *chaos.Injector
 }
 
 // New creates an empty queue named name.
@@ -160,15 +190,66 @@ func (q *Queue) TryDequeue(p *sim.Proc) (*Message, bool) {
 		q.stats.EmptyPolls++
 		return nil, false
 	}
-	q.stats.Dequeues++
 	m := q.msgs[0]
+	dup := false
+	if q.Chaos != nil {
+		if flt, ok := q.Chaos.Next(m.Ctx, "queue", q.name); ok {
+			if flt.Kind != chaos.Duplicate {
+				// Redelivery: the get happened but the consumer died
+				// before acknowledging. The caller sees an empty poll;
+				// the message reappears after the visibility timeout
+				// unless its dequeue count is exhausted.
+				q.msgs = q.msgs[1:]
+				m.Dequeues++
+				q.stats.Redeliveries++
+				q.settleInvisible(m, false)
+				return nil, false
+			}
+			dup = true
+		}
+	}
+	q.stats.Dequeues++
 	q.msgs = q.msgs[1:]
 	m.Dequeues++
 	// The hop span is emitted retroactively at delivery: only now is the
 	// in-flight window (enqueue → dequeue) known.
 	q.Tracer.Emit(span.KindHop, "queue/"+q.name, m.EnqueuedAt, p.Now(), m.Ctx)
+	if dup {
+		// Duplicate: the delivery succeeded but the delete was lost, so
+		// the visibility timeout lapses and the same message reappears
+		// later as a ghost copy — classic at-least-once delivery.
+		q.settleInvisible(m, true)
+	}
 	return m, true
 }
+
+// settleInvisible decides the fate of a message whose delete was never
+// applied: reappear after the visibility timeout, or — if the attempt
+// failed and MaxDequeueCount is exhausted — move to the dead-letter
+// queue. A successfully delivered duplicate whose attempts are
+// exhausted simply stops ghosting (it is never poisoned).
+func (q *Queue) settleInvisible(m *Message, delivered bool) {
+	if q.params.MaxDequeueCount > 0 && m.Dequeues >= q.params.MaxDequeueCount {
+		if !delivered {
+			q.stats.DeadLettered++
+			q.dead = append(q.dead, m)
+			q.Chaos.NoteDeadLetter(m.Ctx, q.name)
+		}
+		return
+	}
+	vt := q.params.VisibilityTimeout
+	if vt <= 0 {
+		vt = 30 * time.Second
+	}
+	q.Chaos.NoteRecovery(vt)
+	q.k.After(vt, func() {
+		q.msgs = append(q.msgs, m)
+	})
+}
+
+// DeadLetters returns the poison messages moved off the queue, in
+// move order. The slice is owned by the queue.
+func (q *Queue) DeadLetters() []*Message { return q.dead }
 
 // Poll blocks the calling process until a message is available, using
 // the queue's adaptive polling policy: poll, back off on empty, reset on

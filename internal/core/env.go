@@ -5,6 +5,7 @@ import (
 
 	"statebench/internal/aws"
 	"statebench/internal/azure"
+	"statebench/internal/chaos"
 	"statebench/internal/obs"
 	"statebench/internal/obs/span"
 	"statebench/internal/platform"
@@ -38,6 +39,10 @@ type Env struct {
 	// Trace is non-nil once EnableTracing has been called; all platform
 	// services of this Env then emit spans into it.
 	Trace *span.Tracer
+
+	// Chaos is non-nil once EnableChaos has been called; all platform
+	// services of this Env then consult it for fault injection.
+	Chaos *chaos.Injector
 }
 
 // NewEnv builds an environment with default calibration parameters.
@@ -75,6 +80,22 @@ func (e *Env) EnableTracing() *span.Tracer {
 		e.Azure.SetTracer(e.Trace)
 	}
 	return e.Trace
+}
+
+// EnableChaos wires a fault injector for plan through every platform
+// service of this Env (idempotent; a nil plan is the disabled fast
+// path and leaves everything untouched). Call before deploying
+// workloads so queues created during deployment are covered too.
+func (e *Env) EnableChaos(plan *chaos.Plan) *chaos.Injector {
+	if plan == nil {
+		return e.Chaos
+	}
+	if e.Chaos == nil {
+		e.Chaos = chaos.NewInjector(e.K, plan)
+		e.AWS.SetChaos(e.Chaos)
+		e.Azure.SetChaos(e.Chaos)
+	}
+	return e.Chaos
 }
 
 // Stage opens an application-level stage span (ML pipeline step, video

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"statebench/internal/chaos"
 	"statebench/internal/obs"
 	"statebench/internal/obs/metrics"
 	"statebench/internal/obs/span"
@@ -47,6 +48,13 @@ type Series struct {
 	Trace *span.Tracer
 	// RunTraceIDs maps measured iteration -> its root trace ID in Trace.
 	RunTraceIDs []uint64
+
+	// SuccessRate is the fraction of measured iterations whose workflow
+	// run reported no error (1.0 on a fault-free campaign).
+	SuccessRate float64
+	// Faults aggregates the campaign's injected faults and recovery
+	// activity. Zero unless MeasureOptions.Chaos was set.
+	Faults chaos.Stats
 }
 
 // MeasureOptions tunes a measurement campaign.
@@ -85,6 +93,13 @@ type MeasureOptions struct {
 	// registry may be shared across concurrent campaigns; all writes are
 	// commutative, so contents are deterministic at any worker count.
 	Metrics *metrics.Registry
+	// Chaos, when non-nil, wires a deterministic fault injector for the
+	// given plan through every platform service of the campaign's Env.
+	// Fault schedules derive from Seed and the plan alone, so results
+	// are byte-identical across runs and worker counts. Nil is the
+	// zero-overhead fast path: no injector is constructed and no
+	// simulated result changes.
+	Chaos *chaos.Plan
 }
 
 // DefaultMeasureOptions returns the paper-like defaults.
@@ -107,6 +122,11 @@ func Measure(wf Workflow, impl Impl, opt MeasureOptions) (*Series, error) {
 	if opt.Tracing || opt.Metrics != nil {
 		tr = env.EnableTracing()
 		tr.Metrics = opt.Metrics
+	}
+	inj := env.EnableChaos(opt.Chaos)
+	if inj != nil {
+		inj.Tracer = tr
+		inj.Metrics = opt.Metrics
 	}
 	dep, err := wf.Deploy(env, impl)
 	if err != nil {
@@ -195,6 +215,8 @@ func Measure(wf Workflow, impl Impl, opt MeasureOptions) (*Series, error) {
 	s.MeanBill = bill.Scale(1 / n)
 	s.MeanGBs = gbs / n
 	s.MeanTxns = txns / n
+	s.SuccessRate = float64(opt.Iters-s.Errors) / n
+	s.Faults = inj.Stats()
 	return s, nil
 }
 

@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"testing"
+
+	"statebench/internal/core"
+	"statebench/internal/workloads/mlpipe"
+	"statebench/internal/workloads/mltrain"
+)
+
+func TestReliabilityRecoversWithRetries(t *testing.T) {
+	o := tiny()
+	o.Iters = 8
+	wf := mltrain.New(mlpipe.Small)
+	r, err := ReliabilityFor(wf, []core.Impl{core.AWSLambda, core.AWSStep}, o, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Table.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(r.Table.Rows))
+	}
+	if len(r.Table.Header) != len(r.Table.Rows[0]) {
+		t.Fatalf("header has %d columns, rows have %d", len(r.Table.Header), len(r.Table.Rows[0]))
+	}
+	lambda, step := r.Table.Rows[0], r.Table.Rows[1]
+	if lambda[0] != "AWS-Lambda" || step[0] != "AWS-Step" {
+		t.Fatalf("row order = %q, %q", lambda[0], step[0])
+	}
+	// At a 20% rate over 8 iterations faults are near-certain for the
+	// 10-task Step campaign; its Retry policy must absorb all of them.
+	if step[1] != "100.0%" {
+		t.Fatalf("AWS-Step ok-rate = %s, want 100.0%% (Retry recovers injected task failures)", step[1])
+	}
+	if step[10] != "100.0%" {
+		t.Fatalf("AWS-Step recovered = %s, want 100.0%%", step[10])
+	}
+	if step[3] == "0" {
+		t.Fatal("AWS-Step shows zero retries under a 20% fault rate")
+	}
+	// The monolithic Lambda has no platform retry: any injected fault is
+	// a lost run, so it can never beat the Step style's success rate.
+	if lambda[1] == "100.0%" && lambda[2] != "0" {
+		t.Fatalf("AWS-Lambda ok-rate = %s with %s faults injected; there is no retry path", lambda[1], lambda[2])
+	}
+}
+
+func TestReliabilityDeterministic(t *testing.T) {
+	o := tiny()
+	a, err := Reliability(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Reliability(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("two reliability runs at the same seed differ")
+	}
+	if len(a.Table.Rows) != 6 {
+		t.Fatalf("rows = %d, want all six styles", len(a.Table.Rows))
+	}
+}

@@ -65,6 +65,9 @@ const (
 	// KindStage is an application-level workload stage (ML pipeline
 	// step, video split/detect/merge) inside a handler.
 	KindStage Kind = "stage"
+	// KindFault is a zero-length annotation marking an injected chaos
+	// fault (internal/chaos) on the victim's trace.
+	KindFault Kind = "fault"
 )
 
 // Attr is one key/value annotation on a span.

@@ -182,22 +182,27 @@ func deployAWSStep(env *core.Env, size mlpipe.DatasetSize, arts *mlpipe.Artifact
 		return nil, err
 	}
 
+	// Task states retry transient failures the way production ASL
+	// definitions do. Without injected faults the retriers never fire,
+	// so fault-free results are unchanged; under chaos they are what
+	// lets AWS-Step recover injected task failures.
+	retry := []sfn.RetryPolicy{{ErrorEquals: []string{"States.ALL"}, MaxAttempts: 5}}
 	machine := &sfn.StateMachine{
 		Comment: "ML training workflow (paper Fig 2-3)",
 		StartAt: "Prep",
 		States: map[string]*sfn.State{
-			"Prep":   {Type: sfn.TypeTask, Resource: "ml-prep" + sfx, Next: "DimRed"},
-			"DimRed": {Type: sfn.TypeTask, Resource: "ml-dimred" + sfx, Next: "TrainModels"},
+			"Prep":   {Type: sfn.TypeTask, Resource: "ml-prep" + sfx, Next: "DimRed", Retry: retry},
+			"DimRed": {Type: sfn.TypeTask, Resource: "ml-dimred" + sfx, Next: "TrainModels", Retry: retry},
 			"TrainModels": {
 				Type: sfn.TypeMap, ItemsPath: "$.algos", ResultPath: "$.results", Next: "Select",
 				Iterator: &sfn.StateMachine{
 					StartAt: "TrainOne",
 					States: map[string]*sfn.State{
-						"TrainOne": {Type: sfn.TypeTask, Resource: "ml-trainmodel" + sfx, End: true},
+						"TrainOne": {Type: sfn.TypeTask, Resource: "ml-trainmodel" + sfx, End: true, Retry: retry},
 					},
 				},
 			},
-			"Select": {Type: sfn.TypeTask, Resource: "ml-select" + sfx, End: true},
+			"Select": {Type: sfn.TypeTask, Resource: "ml-select" + sfx, End: true, Retry: retry},
 		},
 	}
 	smName := "ml-training-" + string(size)

@@ -243,7 +243,10 @@ func (d *azQueueDeploy) selectBest(ctx *functions.Context, payload []byte) ([]by
 	}
 	ctx.Busy(d.costs.Xfer(len(src)))
 	d.env.Azure.Blob.Put(p, bestModelKey, src)
-	if t := d.track(m.Run); t != nil {
+	if t := d.track(m.Run); t != nil && !t.done.Done() {
+		// The Done guard makes completion idempotent: under chaos a
+		// duplicated queue message can re-run this stage after the run
+		// already finished.
 		t.done.Complete(mlpipe.EncodeResult(m.Algo, m.MSE), nil)
 	}
 	return nil, nil
