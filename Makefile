@@ -1,6 +1,8 @@
 # statebench build/test entry points.
 #
-# tier1    — the gate every change must keep green.
+# tier1    — the gate every change must keep green: gofmt, vet,
+#            build, and the full unit suite (including the quick-scale
+#            output goldens).
 # tier1.5  — adds static analysis and the race detector; the
 #            determinism test self-downscales under -race.
 # tier2    — tier1.5 plus the observability/chaos determinism gates,
@@ -15,15 +17,27 @@
 #            BENCH_PR2.json).
 
 GO ?= go
+GOFMT ?= gofmt
 
 # Minimum total statement coverage (percent) across ./internal/...;
 # `make cover` fails below this.
 COVER_FLOOR ?= 75
 
-.PHONY: tier1 tier1.5 tier2 cover fuzz bench bench-kernel bench-all
+.PHONY: tier1 tier1.5 tier2 cover fuzz bench bench-kernel bench-all fmt-check golden
 
-tier1:
+# fmt-check fails (listing the offenders) if any file needs gofmt.
+fmt-check:
+	@out=$$($(GOFMT) -l .); \
+	if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+tier1: fmt-check
+	$(GO) vet ./...
 	$(GO) build ./... && $(GO) test ./...
+
+# golden replays the full paper-scale campaign and compares it byte for
+# byte against testdata/golden (quick-scale goldens run in plain tier1).
+golden:
+	STATEBENCH_GOLDEN_FULL=1 $(GO) test -run TestDefaultOutputMatchesGolden -count=1 -timeout 30m ./cmd/statebench/
 
 tier1.5:
 	$(GO) vet ./... && $(GO) test -race -timeout 20m ./...

@@ -17,7 +17,7 @@ import (
 // -parallel settings.
 func runChaos(args []string) {
 	fs := flag.NewFlagSet("chaos", flag.ExitOnError)
-	implFlag := fs.String("impl", "all", "implementation style (AWS-Lambda|AWS-Step|Az-Func|Az-Queue|Az-Dorch|Az-Dent|all)")
+	implFlag := fs.String("impl", "all", "implementation style ("+styleList()+"|all)")
 	wfFlag := fs.String("workflow", "ml-training-small", "workflow ("+traceWorkflowNames()+")")
 	seed := fs.Uint64("seed", 42, "simulation seed")
 	rate := fs.Float64("faultrate", experiments.DefaultFaultRate, "per-decision fault injection probability")

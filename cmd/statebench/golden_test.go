@@ -1,0 +1,111 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"statebench/internal/experiments"
+	"statebench/internal/obs/metrics"
+)
+
+// golden reads a checked-in reference output captured from the
+// pre-provider-registry tree. These files pin two invariants at once:
+// the refactor (and any provider registered since) must not move a
+// byte of the paper output, and -parallel must change wall-clock time
+// only.
+func golden(t *testing.T, name string) string {
+	t.Helper()
+	b, err := os.ReadFile(filepath.Join("..", "..", "testdata", "golden", name))
+	if err != nil {
+		t.Fatalf("missing golden file (regenerate with scripts in testdata/golden): %v", err)
+	}
+	return string(b)
+}
+
+// render reproduces the default command's output path: every paper
+// experiment in order, text tables, one blank line between reports.
+func render(t *testing.T, opts experiments.Options) string {
+	t.Helper()
+	reports, err := experiments.All(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	for _, r := range reports {
+		buf.WriteString(r.String())
+		buf.WriteByte('\n')
+	}
+	return buf.String()
+}
+
+func quickOpts(workers int) experiments.Options {
+	o := experiments.QuickOptions()
+	o.Seed = 42
+	o.Workers = workers
+	return o
+}
+
+// skipUnderRace keeps the golden replays out of -race runs: each one
+// is a full quick-scale campaign suite (~10-20x slower under the
+// detector), and tier2's determinism tests already cover racy
+// interleavings. The byte-level golden pin runs in plain tier1.
+func skipUnderRace(t *testing.T) {
+	t.Helper()
+	if raceEnabled {
+		t.Skip("golden replay skipped under -race; run plain `go test` for the byte-level pin")
+	}
+}
+
+func TestQuickOutputMatchesGolden(t *testing.T) {
+	skipUnderRace(t)
+	want := golden(t, "quick_p1.txt")
+	if got := render(t, quickOpts(1)); got != want {
+		t.Fatal("quick-scale output diverged from the pre-refactor golden (-parallel 1)")
+	}
+}
+
+func TestQuickOutputParallelInvariant(t *testing.T) {
+	skipUnderRace(t)
+	want := golden(t, "quick_p8.txt")
+	if got := render(t, quickOpts(8)); got != want {
+		t.Fatal("quick-scale output at -parallel 8 diverged from the golden")
+	}
+}
+
+func TestQuickMetricsMatchGolden(t *testing.T) {
+	skipUnderRace(t)
+	want := golden(t, "quick_metrics.prom")
+	opts := quickOpts(1)
+	reg := metrics.NewRegistry()
+	opts.Metrics = reg
+	if _, err := experiments.All(opts); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != want {
+		t.Fatal("metrics exposition diverged from the golden")
+	}
+}
+
+// TestDefaultOutputMatchesGolden replays the full paper-scale run; it
+// is the strongest determinism check but takes minutes (and far longer
+// under -race), so it only runs when explicitly requested via
+// STATEBENCH_GOLDEN_FULL=1 — `make golden` does this. The quick-scale
+// goldens above exercise the same code paths on every test run.
+func TestDefaultOutputMatchesGolden(t *testing.T) {
+	if os.Getenv("STATEBENCH_GOLDEN_FULL") == "" {
+		t.Skip("set STATEBENCH_GOLDEN_FULL=1 (or run `make golden`) for the paper-scale replay")
+	}
+	want := golden(t, "default_p8.txt")
+	o := experiments.DefaultOptions()
+	o.Seed = 42
+	o.Workers = 8
+	if got := render(t, o); got != want {
+		t.Fatal("default-scale output diverged from the pre-refactor golden")
+	}
+}

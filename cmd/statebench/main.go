@@ -6,10 +6,16 @@
 //	statebench [flags] [experiment...]
 //	statebench trace -impl <style> -workflow <wf> [-runs N] [-o trace.json]
 //	statebench chaos -impl <style>|all -workflow <wf> [-seed N] [-faultrate R]
+//	statebench providers
 //
 // With no arguments every experiment runs in paper order. Experiments:
 // table1, table2, fig6, fig7, fig8, fig9, fig10, fig11, fig12, fig13,
 // fig14, fig15, table3.
+//
+// The providers subcommand lists every registered cloud provider and
+// its implementation styles. Providers self-register from package init,
+// so the listing (and the -impl choices of trace/chaos) grows when a
+// new provider package is linked in, with no CLI changes.
 //
 // The trace subcommand runs one workflow/style campaign with the span
 // tracer enabled and writes a Chrome trace-event file loadable in
@@ -51,6 +57,10 @@ func main() {
 	}
 	if len(os.Args) > 1 && os.Args[1] == "chaos" {
 		runChaos(os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "providers" {
+		runProviders()
 		return
 	}
 

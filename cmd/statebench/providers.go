@@ -1,0 +1,36 @@
+package main
+
+import (
+	"fmt"
+	"strings"
+
+	"statebench/internal/core"
+)
+
+// styleList renders every registered implementation style for flag help
+// text, so new providers surface in the CLI without edits here.
+func styleList() string {
+	impls := core.RegisteredImpls()
+	names := make([]string, len(impls))
+	for i, impl := range impls {
+		names[i] = string(impl)
+	}
+	return strings.Join(names, "|")
+}
+
+// runProviders implements "statebench providers": list every
+// registered provider and its implementation styles. The listing is
+// registry-driven — a provider package that calls core.RegisterProvider
+// from init appears here with no CLI change.
+func runProviders() {
+	for _, spec := range core.Providers() {
+		fmt.Printf("%s (kind %d)\n", spec.Name, spec.Kind)
+		for _, st := range spec.Styles {
+			stateful := "stateless"
+			if st.Stateful {
+				stateful = "stateful"
+			}
+			fmt.Printf("  %-10s %-9s %s\n", st.Impl, stateful, st.Description)
+		}
+	}
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package main
+
+// raceEnabled reports whether the race detector is compiled in; the
+// golden replays skip under it (10-20x execution overhead on full
+// quick-scale campaigns; tier2 covers determinism under race).
+const raceEnabled = true

@@ -39,7 +39,7 @@ func traceWorkflowNames() string {
 // Chrome trace-event file (chrome://tracing, Perfetto).
 func runTrace(args []string) {
 	fs := flag.NewFlagSet("trace", flag.ExitOnError)
-	implFlag := fs.String("impl", string(core.AWSStep), "implementation style (AWS-Lambda|AWS-Step|Az-Func|Az-Queue|Az-Dorch|Az-Dent)")
+	implFlag := fs.String("impl", string(core.AWSStep), "implementation style ("+styleList()+")")
 	wfFlag := fs.String("workflow", "ml-training-small", "workflow ("+traceWorkflowNames()+")")
 	runs := fs.Int("runs", 3, "measured runs to trace")
 	seed := fs.Uint64("seed", 42, "simulation seed")

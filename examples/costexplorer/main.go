@@ -74,14 +74,7 @@ func project(impl core.Impl, runsPerDay int) (pricing.Bill, error) {
 		return pricing.Bill{}, runErr
 	}
 	scale := float64(30*24*time.Hour) / float64(window)
-	if impl.Cloud() == core.AWS {
-		m := env.AWS.Lambda.TotalMeter()
-		return env.AWSPrices.AWSBill(m.BilledGBs, m.Invocations,
-			env.AWS.SFN.TotalTransitions, env.AWS.S3.Stats().Transactions()).Scale(scale), nil
-	}
-	m := env.Azure.Host.TotalMeter()
-	return env.AzurePrices.AzureBill(m.BilledGBs, m.Invocations,
-		env.Azure.StorageTransactions(), env.Azure.Blob.Stats().Transactions()).Scale(scale), nil
+	return env.BookFor(impl).Bill(env.UsageFor(impl)).Scale(scale), nil
 }
 
 func fail(err error) {

@@ -10,6 +10,7 @@ import (
 	"statebench/internal/cloud/blob"
 	"statebench/internal/obs/span"
 	"statebench/internal/platform"
+	"statebench/internal/pricing"
 	"statebench/internal/sim"
 )
 
@@ -51,3 +52,22 @@ func (c *Cloud) ResetMeters() {
 	c.SFN.ResetMeters()
 	c.S3.ResetStats()
 }
+
+// Usage reports cumulative billable consumption (the core.Backend
+// seam). AWS bills Step transitions whether or not the style is
+// stateful — a stateless deployment simply produces none.
+func (c *Cloud) Usage(stateful bool) pricing.Usage {
+	m := c.Lambda.TotalMeter()
+	return pricing.Usage{
+		GBs:          m.BilledGBs,
+		Requests:     m.Invocations,
+		StatefulTxns: c.SFN.TotalTransitions,
+		AllTxns:      c.SFN.TotalTransitions,
+		BlobTxns:     c.S3.Stats().Transactions(),
+		Exec:         m.ExecTime,
+	}
+}
+
+// Stop implements core.Backend; the AWS services run no background
+// listeners, so there is nothing to halt.
+func (c *Cloud) Stop() {}

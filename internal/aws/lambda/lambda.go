@@ -80,32 +80,34 @@ type Stats struct {
 	ColdDelays []time.Duration
 }
 
-// Function is a registered Lambda function.
+// Function is a registered Lambda function. Container lifecycle —
+// warm reuse, keep-alive expiry, cold-start stats — lives in the
+// shared platform.Pool; this package keeps the per-request scaling
+// policy (every invocation acquires its own container).
 type Function struct {
 	cfg   Config
 	svc   *Service
-	warm  []sim.Time // expiry times of idle warm containers
+	pool  platform.Pool
 	slots *sim.Resource
 	Meter platform.Meter
 	stats Stats
 }
 
-// Stats returns a snapshot of invoke outcomes.
-func (f *Function) Stats() Stats { return f.stats }
+// Stats returns a snapshot of invoke outcomes, merging the function's
+// invoke counters with the container pool's cold-start statistics.
+func (f *Function) Stats() Stats {
+	s := f.stats
+	ps := f.pool.Stats()
+	s.ColdStarts = ps.ColdStarts
+	s.ColdDelays = ps.ColdDelays
+	return s
+}
 
 // Config returns the function's configuration.
 func (f *Function) Config() Config { return f.cfg }
 
 // WarmContainers returns how many idle warm containers exist now.
-func (f *Function) WarmContainers(now sim.Time) int {
-	n := 0
-	for _, exp := range f.warm {
-		if exp > now {
-			n++
-		}
-	}
-	return n
-}
+func (f *Function) WarmContainers(now sim.Time) int { return f.pool.WarmCount(now) }
 
 // Service is the simulated Lambda control plane.
 type Service struct {
@@ -154,6 +156,7 @@ func (s *Service) Register(cfg Config) (*Function, error) {
 		cfg.Timeout = s.params.TimeLimit
 	}
 	f := &Function{cfg: cfg, svc: s, slots: sim.NewResource(s.k, s.params.BurstConcurrency)}
+	f.pool.KeepAlive = s.params.KeepAlive
 	s.fns[cfg.Name] = f
 	return f, nil
 }
@@ -225,18 +228,16 @@ func (s *Service) Invoke(p *sim.Proc, name string, payload []byte) (*Invocation,
 	f.stats.Invokes++
 
 	// Container acquisition: reuse a warm container or cold start.
-	if exp, ok := f.takeWarm(p.Now()); ok {
-		_ = exp
+	if _, ok := f.pool.TakeWarm(p.Now()); ok {
 		p.Sleep(s.params.WarmStart.Sample(s.rng))
 	} else {
 		inv.Cold = true
-		f.stats.ColdStarts++
 		delay := s.params.ColdStartBase.Sample(s.rng)
 		if s.params.CodeFetchBW > 0 {
 			delay += time.Duration(f.cfg.CodeSizeMB * 1e6 / s.params.CodeFetchBW * float64(time.Second))
 		}
 		inv.ColdStartDelay = delay
-		f.stats.ColdDelays = append(f.stats.ColdDelays, delay)
+		f.pool.RecordCold(delay)
 		coldStart := p.Now()
 		p.Sleep(delay)
 		s.Tracer.Emit(span.KindCold, "lambda/cold/"+name, coldStart, p.Now(), invCtx)
@@ -283,7 +284,7 @@ func (s *Service) Invoke(p *sim.Proc, name string, payload []byte) (*Invocation,
 	// Return the container to the warm pool — unless it crashed, in
 	// which case the next invocation pays a fresh cold start.
 	if !crashed {
-		f.warm = append(f.warm, p.Now()+s.params.KeepAlive)
+		f.pool.Release(p.Now())
 	}
 	f.slots.Release()
 
@@ -320,23 +321,6 @@ func boolStr(b bool) string {
 	return "false"
 }
 
-// takeWarm pops one unexpired warm container, discarding expired ones.
-func (f *Function) takeWarm(now sim.Time) (sim.Time, bool) {
-	live := f.warm[:0]
-	for _, exp := range f.warm {
-		if exp > now {
-			live = append(live, exp)
-		}
-	}
-	f.warm = live
-	if len(f.warm) == 0 {
-		return 0, false
-	}
-	exp := f.warm[len(f.warm)-1]
-	f.warm = f.warm[:len(f.warm)-1]
-	return exp, true
-}
-
 // TotalMeter sums billing meters across all functions.
 func (s *Service) TotalMeter() platform.Meter {
 	// Sum in sorted name order: float accumulation must not depend on
@@ -359,5 +343,6 @@ func (s *Service) ResetMeters() {
 	for _, f := range s.fns {
 		f.Meter.Reset()
 		f.stats = Stats{}
+		f.pool.ResetStats()
 	}
 }

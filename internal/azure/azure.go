@@ -12,6 +12,7 @@ import (
 	"statebench/internal/cloud/queue"
 	"statebench/internal/obs/span"
 	"statebench/internal/platform"
+	"statebench/internal/pricing"
 	"statebench/internal/sim"
 )
 
@@ -108,3 +109,25 @@ func (c *Cloud) ResetMeters() {
 // Stop terminates listeners and the scale controller so a finished
 // simulation's kernel can drain.
 func (c *Cloud) Stop() { c.Host.Stop() }
+
+// Usage reports cumulative billable consumption (the core.Backend
+// seam). Deployments without the durable extension are billed only for
+// their manually managed queues, not the task hub's storage traffic;
+// AllTxns always carries the full transaction count for the paper's
+// transactions-per-run metric.
+func (c *Cloud) Usage(stateful bool) pricing.Usage {
+	m := c.Host.TotalMeter()
+	txns := c.StorageTransactions()
+	statefulTxns := txns
+	if !stateful {
+		statefulTxns = c.ManualQueueTransactions()
+	}
+	return pricing.Usage{
+		GBs:          m.BilledGBs,
+		Requests:     m.Invocations,
+		StatefulTxns: statefulTxns,
+		AllTxns:      txns,
+		BlobTxns:     c.Blob.Stats().Transactions(),
+		Exec:         m.ExecTime,
+	}
+}

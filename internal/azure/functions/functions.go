@@ -86,13 +86,6 @@ type workItem struct {
 	ctx       sim.TraceContext
 }
 
-// instance is one worker VM/container.
-type instance struct {
-	id        int
-	idleSince sim.Time
-	stopped   bool
-}
-
 // Stats aggregates host-level scheduling behavior.
 type Stats struct {
 	Submitted   int64
@@ -111,13 +104,13 @@ type Host struct {
 	name   string
 	params platform.AzureParams
 
-	fns      map[string]*Function
-	pending  []*workItem
-	idle     []*instance
-	ready    int
-	starting int
-	nextInst int
-	stats    Stats
+	fns     map[string]*Function
+	pending []*workItem
+	// pool holds the worker-instance lifecycle (idle tracking,
+	// provisioning counters, reaping, cold-start stats); this package
+	// keeps the scale-controller policy that drives it.
+	pool  platform.Pool
+	stats Stats
 
 	// onHTTPActivity lets layered components (durable task hub) reset
 	// their queue-poll back-off when an HTTP trigger proves the app is
@@ -176,11 +169,18 @@ func (h *Host) Params() platform.AzureParams { return h.params }
 // Kernel returns the simulation kernel.
 func (h *Host) Kernel() *sim.Kernel { return h.k }
 
-// Stats returns a snapshot of scheduling statistics.
-func (h *Host) Stats() Stats { return h.stats }
+// Stats returns a snapshot of scheduling statistics, merging the
+// host's submission counters with the instance pool's lifecycle stats.
+func (h *Host) Stats() Stats {
+	s := h.stats
+	ps := h.pool.Stats()
+	s.ColdStarts = ps.ColdStarts
+	s.MaxReady = ps.MaxReady
+	return s
+}
 
 // ReadyInstances returns the number of started instances.
-func (h *Host) ReadyInstances() int { return h.ready }
+func (h *Host) ReadyInstances() int { return h.pool.Ready() }
 
 // PendingWork returns the dispatch-queue length.
 func (h *Host) PendingWork() int { return len(h.pending) }
@@ -252,7 +252,7 @@ func (h *Host) SubmitCtx(fn string, payload []byte, ctx sim.TraceContext) (*sim.
 	}
 	h.pending = append(h.pending, wi)
 	h.dispatch()
-	if h.ready+h.starting == 0 {
+	if h.pool.Provisioning() == 0 {
 		h.startInstance()
 	}
 	h.armController()
@@ -283,18 +283,20 @@ func (h *Host) InvokeHTTPAsync(p *sim.Proc, fn string, payload []byte) (*sim.Fut
 
 // dispatch pairs pending work with idle instances.
 func (h *Host) dispatch() {
-	for len(h.pending) > 0 && len(h.idle) > 0 {
+	for len(h.pending) > 0 {
+		inst, ok := h.pool.PopIdle()
+		if !ok {
+			return
+		}
 		wi := h.pending[0]
 		h.pending = h.pending[1:]
-		inst := h.idle[0]
-		h.idle = h.idle[1:]
 		h.run(inst, wi)
 	}
 }
 
 // run executes one work item on an instance, then returns the instance
 // to the pool (or hands it the next pending item).
-func (h *Host) run(inst *instance, wi *workItem) {
+func (h *Host) run(inst *platform.Container, wi *workItem) {
 	f := h.fns[wi.fn]
 	h.k.Spawn(fmt.Sprintf("%s/%s", h.name, wi.fn), func(p *sim.Proc) {
 		sched := p.Now() - wi.submitted
@@ -320,13 +322,12 @@ func (h *Host) run(inst *instance, wi *workItem) {
 				crashStart := p.Now()
 				p.Sleep(flt.Delay)
 				f.Meter.RecordAzure(p.Now()-crashStart, f.cfg.ConsumedMemMB)
-				inst.stopped = true
-				h.ready--
+				h.pool.Retire(inst)
 				h.Chaos.NoteRedispatch()
 				wi.cold = false
 				h.pending = append(h.pending, wi)
 				h.dispatch()
-				if h.ready+h.starting == 0 {
+				if h.pool.Provisioning() == 0 {
 					h.startInstance()
 				}
 				h.armController()
@@ -365,7 +366,7 @@ func (h *Host) run(inst *instance, wi *workItem) {
 		wi.done.Complete(Result{Output: out, Err: err, SchedDelay: sched, Cold: wi.cold, ExecTime: exec}, nil)
 
 		// Instance picks up the next item or goes idle.
-		if inst.stopped {
+		if inst.Stopped {
 			return
 		}
 		if len(h.pending) > 0 {
@@ -374,23 +375,21 @@ func (h *Host) run(inst *instance, wi *workItem) {
 			h.run(inst, next)
 			return
 		}
-		inst.idleSince = p.Now()
-		h.idle = append(h.idle, inst)
+		h.pool.PushIdle(inst, p.Now())
 		h.armController() // idle instances must eventually be reaped
 	})
 }
 
 // startInstance begins provisioning a new worker.
 func (h *Host) startInstance() {
-	if h.ready+h.starting >= h.params.MaxInstances {
+	if h.pool.Provisioning() >= h.params.MaxInstances {
 		return
 	}
-	if h.ready+h.starting == 0 {
+	if h.pool.Provisioning() == 0 {
 		h.scaledFromZeroAt = h.k.Now()
 		h.everScaled = true
 	}
-	h.starting++
-	h.stats.ColdStarts++
+	h.pool.BeginStart()
 	// The controller binds a queued item to the starting instance at
 	// launch time (message prefetch); if this instance start stalls,
 	// that item waits out the stall — the Fig 14 tail mechanism.
@@ -402,13 +401,7 @@ func (h *Host) startInstance() {
 	}
 	delay := h.params.InstanceColdStart.Sample(h.rng)
 	h.k.After(delay, func() {
-		h.starting--
-		h.ready++
-		if h.ready > h.stats.MaxReady {
-			h.stats.MaxReady = h.ready
-		}
-		h.nextInst++
-		inst := &instance{id: h.nextInst, idleSince: h.k.Now()}
+		inst := h.pool.FinishStart(h.k.Now())
 		if reserved != nil {
 			h.run(inst, reserved)
 			return
@@ -420,7 +413,7 @@ func (h *Host) startInstance() {
 			h.run(inst, wi)
 			return
 		}
-		h.idle = append(h.idle, inst)
+		h.pool.PushIdle(inst, h.k.Now())
 		h.armController()
 	})
 }
@@ -431,7 +424,7 @@ func (h *Host) armController() {
 	if h.controllerArmed || h.stopped {
 		return
 	}
-	if len(h.pending) == 0 && len(h.idle) == 0 && h.starting == 0 {
+	if len(h.pending) == 0 && h.pool.IdleCount() == 0 && h.pool.Starting() == 0 {
 		return
 	}
 	h.controllerArmed = true
@@ -451,17 +444,7 @@ func (h *Host) controllerTick() {
 			h.startInstance()
 		}
 	}
-	cutoff := h.k.Now() - h.params.IdleInstanceTimeout
-	keep := h.idle[:0]
-	for _, inst := range h.idle {
-		if inst.idleSince < cutoff && h.ready > 0 {
-			inst.stopped = true
-			h.ready--
-		} else {
-			keep = append(keep, inst)
-		}
-	}
-	h.idle = keep
+	h.pool.ReapIdle(h.k.Now() - h.params.IdleInstanceTimeout)
 	h.armController()
 }
 
@@ -500,7 +483,8 @@ func (h *Host) ResetMeters() {
 		f.Meter.Reset()
 		f.Execs, f.Errors = 0, 0
 	}
-	h.stats = Stats{MaxReady: h.ready}
+	h.stats = Stats{}
+	h.pool.ResetStats()
 }
 
 // QueueTrigger binds fn to a billed storage queue: a listener polls q
@@ -532,7 +516,7 @@ func (h *Host) QueueTrigger(q *queue.Queue, fn string) error {
 			}
 			if m, ok := qp.TryDequeue(p); ok {
 				interval = 100 * time.Millisecond
-				coldApp := h.ready+h.starting == 0 ||
+				coldApp := h.pool.Provisioning() == 0 ||
 					(h.everScaled && p.Now()-h.scaledFromZeroAt < time.Minute)
 				if coldApp {
 					// Scale-from-zero listener activation (the

@@ -105,13 +105,19 @@ type Plan struct {
 	Rules []Rule
 }
 
-// DefaultPlan is the schedule used by the reliability experiment and
-// the `statebench chaos` subcommand: rate-R transient errors on every
-// Lambda function and SFN task, host recycles on Azure Functions,
-// duplicate deliveries on every storage queue, and Durable episode
-// crashes on both sides of history persistence. All kinds chosen here
-// are liveness-safe: every fault is recoverable by the platform's own
-// retry/replay/redelivery machinery, so workflows always terminate.
+// DefaultPlan is the schedule used by the reliability and crosscloud
+// experiments and the `statebench chaos` subcommand: rate-R transient
+// errors on every Lambda function and SFN task, host recycles on Azure
+// Functions, duplicate deliveries on every storage queue, Durable
+// episode crashes on both sides of history persistence, and transient
+// errors on GCP Cloud Functions and Workflows call steps. All kinds
+// chosen here are liveness-safe: every fault is recoverable by the
+// platform's own retry/replay/redelivery machinery, so workflows
+// always terminate.
+//
+// New providers' sites are appended after the existing rules, never
+// inserted: decisions hash (component, name, rule index), so appending
+// leaves the schedules of earlier components bit-identical.
 func DefaultPlan(rate float64) *Plan {
 	return &Plan{
 		RedeliveryDelay: 30 * time.Second,
@@ -122,6 +128,8 @@ func DefaultPlan(rate float64) *Plan {
 			{Component: "queue", Kind: Duplicate, Rate: rate},
 			{Component: "durable", Kind: Crash, Rate: rate / 2},
 			{Component: "durable", Kind: CrashAfterPersist, Rate: rate / 2},
+			{Component: "gcf", Kind: TransientError, Rate: rate},
+			{Component: "gwf", Kind: TransientError, Rate: rate},
 		},
 	}
 }

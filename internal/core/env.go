@@ -24,13 +24,21 @@ import (
 // their own seed, which is what makes fan-out deterministic and
 // lock-free.
 type Env struct {
-	K     *sim.Kernel
+	K *sim.Kernel
+	// AWS and Azure are the paper's two clouds, constructed eagerly
+	// with the Env (workload deployment code reaches into their typed
+	// services). They are also the first two entries of the backend
+	// map; additional registered providers are constructed lazily by
+	// Backend on first use.
 	AWS   *aws.Cloud
 	Azure *azure.Cloud
 	Seed  uint64
 
 	AWSPrices   pricing.AWSPrices
 	AzurePrices pricing.AzurePrices
+
+	// backends holds each provider's simulated cloud, keyed by kind.
+	backends map[CloudKind]Backend
 
 	// Scratch lets workloads expose experiment-specific measurements
 	// (e.g. per-worker finish times) to the experiment drivers.
@@ -54,7 +62,7 @@ func NewEnv(seed uint64) *Env {
 // parameters (used by ablation experiments).
 func NewEnvWithParams(seed uint64, ap platform.AWSParams, zp platform.AzureParams) *Env {
 	k := sim.NewKernel(seed)
-	return &Env{
+	e := &Env{
 		K:           k,
 		AWS:         aws.New(k, ap),
 		Azure:       azure.New(k, zp),
@@ -63,21 +71,82 @@ func NewEnvWithParams(seed uint64, ap platform.AWSParams, zp platform.AzureParam
 		AzurePrices: pricing.DefaultAzure(),
 		Scratch:     make(map[string]any),
 	}
+	e.backends = map[CloudKind]Backend{AWS: e.AWS, Azure: e.Azure}
+	return e
 }
 
-// Stop terminates long-running platform listeners so the kernel drains.
-func (e *Env) Stop() { e.Azure.Stop() }
+// Backend returns the simulated cloud for a registered provider,
+// constructing it on first use. Lazy construction keeps extra
+// providers free for AWS/Azure-only campaigns: a backend that is
+// never touched allocates nothing and — because every RNG stream is
+// derived from its name, not from draw order — cannot perturb another
+// provider's variates. Returns nil for an unregistered kind.
+func (e *Env) Backend(kind CloudKind) Backend {
+	if be, ok := e.backends[kind]; ok {
+		return be
+	}
+	spec, ok := providerRegistry[kind]
+	if !ok {
+		return nil
+	}
+	be := spec.NewBackend(e)
+	if e.Trace != nil {
+		be.SetTracer(e.Trace)
+	}
+	if e.Chaos != nil {
+		be.SetChaos(e.Chaos)
+	}
+	e.backends[kind] = be
+	return be
+}
+
+// BackendFor returns the backend hosting an implementation style.
+func (e *Env) BackendFor(impl Impl) Backend { return e.Backend(impl.Cloud()) }
+
+// BookFor returns the price book for an implementation style. The
+// paper's two providers read the Env's live AWSPrices/AzurePrices
+// fields (ablation experiments perturb those); other providers use
+// their registered default book.
+func (e *Env) BookFor(impl Impl) pricing.Book {
+	kind := impl.Cloud()
+	if kind == AWS {
+		return e.AWSPrices
+	}
+	if kind == Azure {
+		return e.AzurePrices
+	}
+	if spec, ok := providerRegistry[kind]; ok {
+		return spec.DefaultBook()
+	}
+	return pricing.AzurePrices{}
+}
+
+// UsageFor reports the cumulative billable consumption of the backend
+// hosting impl, in impl's stateful billing mode.
+func (e *Env) UsageFor(impl Impl) pricing.Usage {
+	return e.BackendFor(impl).Usage(impl.Stateful())
+}
+
+// Stop terminates long-running platform listeners on every constructed
+// backend so the kernel drains.
+func (e *Env) Stop() {
+	for _, kind := range sortedBackendKinds(e.backends) {
+		e.backends[kind].Stop()
+	}
+}
 
 // EnableTracing wires a span tracer through every platform service of
 // this Env (idempotent). Call before deploying workloads so queues
 // created during deployment are covered too. Tracing is pure
 // bookkeeping — no sleeps, no RNG draws — so enabling it does not
-// change any simulated result.
+// change any simulated result. Backends constructed later inherit the
+// tracer at construction.
 func (e *Env) EnableTracing() *span.Tracer {
 	if e.Trace == nil {
 		e.Trace = span.New()
-		e.AWS.SetTracer(e.Trace)
-		e.Azure.SetTracer(e.Trace)
+		for _, kind := range sortedBackendKinds(e.backends) {
+			e.backends[kind].SetTracer(e.Trace)
+		}
 	}
 	return e.Trace
 }
@@ -92,8 +161,9 @@ func (e *Env) EnableChaos(plan *chaos.Plan) *chaos.Injector {
 	}
 	if e.Chaos == nil {
 		e.Chaos = chaos.NewInjector(e.K, plan)
-		e.AWS.SetChaos(e.Chaos)
-		e.Azure.SetChaos(e.Chaos)
+		for _, kind := range sortedBackendKinds(e.backends) {
+			e.backends[kind].SetChaos(e.Chaos)
+		}
 	}
 	return e.Chaos
 }
@@ -152,95 +222,37 @@ type Deployment struct {
 type Workflow interface {
 	// Name identifies the workload (e.g. "ml-training").
 	Name() string
-	// Impls lists the supported styles.
+	// Impls lists the paper's supported styles; every figure and table
+	// iterates this list, so it must contain Table II styles only.
 	Impls() []Impl
 	// Deploy installs the workflow into env using style impl.
 	Deploy(env *Env, impl Impl) (*Deployment, error)
 }
 
-// SupportsImpl reports whether wf lists impl.
+// ExtendedWorkflow is implemented by workloads that also deploy on
+// providers beyond the paper's two. The extra styles are measurable
+// through Measure/ColdStartCampaign but excluded from Impls so paper
+// output never changes as providers are registered.
+type ExtendedWorkflow interface {
+	Workflow
+	// ExtraImpls lists additional (non-paper) deployable styles.
+	ExtraImpls() []Impl
+}
+
+// SupportsImpl reports whether wf deploys impl, including any
+// ExtendedWorkflow extra styles.
 func SupportsImpl(wf Workflow, impl Impl) bool {
 	for _, i := range wf.Impls() {
 		if i == impl {
 			return true
 		}
 	}
+	if ext, ok := wf.(ExtendedWorkflow); ok {
+		for _, i := range ext.ExtraImpls() {
+			if i == impl {
+				return true
+			}
+		}
+	}
 	return false
-}
-
-// meterSnapshot captures all billing counters at an instant.
-type meterSnapshot struct {
-	awsGBs   float64
-	awsInv   int64
-	awsTrans int64
-	awsS3    int64
-
-	azGBs       float64
-	azExec      int64
-	azTxn       int64
-	azTxnManual int64
-	azBlob      int64
-
-	awsExecTime time.Duration
-	azExecTime  time.Duration
-}
-
-func snapshot(env *Env) meterSnapshot {
-	am := env.AWS.Lambda.TotalMeter()
-	zm := env.Azure.Host.TotalMeter()
-	return meterSnapshot{
-		awsGBs:      am.BilledGBs,
-		awsInv:      am.Invocations,
-		awsTrans:    env.AWS.SFN.TotalTransitions,
-		awsS3:       env.AWS.S3.Stats().Transactions(),
-		azGBs:       zm.BilledGBs,
-		azExec:      zm.Invocations,
-		azTxn:       env.Azure.StorageTransactions(),
-		azTxnManual: env.Azure.ManualQueueTransactions(),
-		azBlob:      env.Azure.Blob.Stats().Transactions(),
-		awsExecTime: am.ExecTime,
-		azExecTime:  zm.ExecTime,
-	}
-}
-
-// billDelta prices the difference between two snapshots for the given
-// style's cloud.
-func billDelta(env *Env, impl Impl, before, after meterSnapshot) pricing.Bill {
-	if impl.Cloud() == AWS {
-		return env.AWSPrices.AWSBill(
-			after.awsGBs-before.awsGBs,
-			after.awsInv-before.awsInv,
-			after.awsTrans-before.awsTrans,
-			after.awsS3-before.awsS3,
-		)
-	}
-	// Deployments without the durable extension are not billed for the
-	// task hub's queues and tables.
-	txns := after.azTxn - before.azTxn
-	if !impl.Stateful() {
-		txns = after.azTxnManual - before.azTxnManual
-	}
-	return env.AzurePrices.AzureBill(
-		after.azGBs-before.azGBs,
-		after.azExec-before.azExec,
-		txns,
-		after.azBlob-before.azBlob,
-	)
-}
-
-// gbsDelta returns the billed GB-s difference for the style's cloud.
-func gbsDelta(impl Impl, before, after meterSnapshot) float64 {
-	if impl.Cloud() == AWS {
-		return after.awsGBs - before.awsGBs
-	}
-	return after.azGBs - before.azGBs
-}
-
-// execDelta returns summed function execution time for the style's
-// cloud between snapshots.
-func execDelta(impl Impl, before, after meterSnapshot) time.Duration {
-	if impl.Cloud() == AWS {
-		return after.awsExecTime - before.awsExecTime
-	}
-	return after.azExecTime - before.azExecTime
 }

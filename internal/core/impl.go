@@ -2,16 +2,20 @@
 // cross-platform framework for deploying the same stateful workflow in
 // the six implementation styles of Table II (AWS-Lambda, AWS-Step,
 // Az-Func, Az-Queue, Az-Dorch, Az-Dent), measuring end-to-end latency,
-// cold starts, and latency breakdowns, and pricing each run with both
-// clouds' billing models.
+// cold starts, and latency breakdowns, and pricing each run with the
+// registered providers' billing models. Providers plug in through the
+// registry (registry.go); additional clouds (internal/gcp) register
+// themselves without touching this package.
 package core
 
 import "fmt"
 
-// Impl identifies one implementation style from Table II.
+// Impl identifies one implementation style. The six Table II styles
+// are declared here; additional providers declare theirs alongside
+// their RegisterProvider call.
 type Impl string
 
-// The six implementation styles.
+// The six implementation styles of the paper.
 const (
 	AWSLambda Impl = "AWS-Lambda"
 	AWSStep   Impl = "AWS-Step"
@@ -21,66 +25,56 @@ const (
 	AzDent    Impl = "Az-Dent"
 )
 
-// AllImpls lists the styles in Table II order.
+// AllImpls lists the paper's styles in Table II order. Third-provider
+// styles are deliberately excluded — every paper table and figure
+// iterates this list, and their output must not change as providers
+// are registered. Use RegisteredImpls for the full registry contents.
 func AllImpls() []Impl {
 	return []Impl{AWSLambda, AWSStep, AzFunc, AzQueue, AzDorch, AzDent}
 }
 
-// CloudKind distinguishes the two providers.
+// CloudKind identifies a registered provider.
 type CloudKind int
 
-// Cloud kinds.
+// The paper's two cloud kinds. Additional providers allocate the next
+// free value alongside their ProviderSpec (internal/gcp takes 2)
+// without editing this package.
 const (
 	AWS CloudKind = iota
 	Azure
 )
 
-// String implements fmt.Stringer.
+// String implements fmt.Stringer with the registered provider name.
 func (c CloudKind) String() string {
-	if c == AWS {
-		return "AWS"
+	if spec, ok := providerRegistry[c]; ok {
+		return spec.Name
 	}
-	return "Azure"
+	return fmt.Sprintf("cloud(%d)", int(c))
 }
 
-// Cloud returns the provider hosting this style.
+// Cloud returns the provider hosting this style. Unregistered styles
+// report Azure, preserving the pre-registry fallback.
 func (i Impl) Cloud() CloudKind {
-	switch i {
-	case AWSLambda, AWSStep:
-		return AWS
-	default:
-		return Azure
+	if info, ok := styleRegistry[i]; ok {
+		return info.Kind
 	}
+	return Azure
 }
 
 // Stateful reports whether the style uses a platform stateful extension
 // (Table II's "Stateful" column).
-func (i Impl) Stateful() bool { return i == AWSStep || i == AzDorch || i == AzDent }
+func (i Impl) Stateful() bool { return styleRegistry[i].Stateful }
 
-// Valid reports whether i is one of the six styles.
+// Valid reports whether i is a registered style.
 func (i Impl) Valid() bool {
-	switch i {
-	case AWSLambda, AWSStep, AzFunc, AzQueue, AzDorch, AzDent:
-		return true
-	}
-	return false
+	_, ok := styleRegistry[i]
+	return ok
 }
 
-// Description returns the Table II description text.
+// Description returns the style's registered description text.
 func (i Impl) Description() string {
-	switch i {
-	case AWSLambda:
-		return "One stateless Lambda function."
-	case AWSStep:
-		return "Workflow implementation using AWS Step Functions, calling AWS Lambda functions on each state."
-	case AzFunc:
-		return "One stateless Azure function."
-	case AzQueue:
-		return "Isolated functions connecting through Azure queues."
-	case AzDorch:
-		return "Workflow implemented using Azure Durable orchestrators, calling isolated functions through call_activity."
-	case AzDent:
-		return "Workflow implemented using Azure Durable orchestrators, calling stateful entities through call_entity."
+	if info, ok := styleRegistry[i]; ok {
+		return info.Description
 	}
 	return "unknown"
 }

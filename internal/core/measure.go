@@ -128,6 +128,12 @@ func Measure(wf Workflow, impl Impl, opt MeasureOptions) (*Series, error) {
 		inj.Tracer = tr
 		inj.Metrics = opt.Metrics
 	}
+	be := env.BackendFor(impl)
+	if be == nil {
+		return nil, fmt.Errorf("core: style %s has no registered provider", impl)
+	}
+	stateful := impl.Stateful()
+	book := env.BookFor(impl)
 	dep, err := wf.Deploy(env, impl)
 	if err != nil {
 		return nil, fmt.Errorf("core: deploy %s/%s: %w", wf.Name(), impl, err)
@@ -169,13 +175,13 @@ func Measure(wf Workflow, impl Impl, opt MeasureOptions) (*Series, error) {
 			mark := tr.Len()
 			runSpan := tr.StartTrace(p.Now(), span.KindRun, wf.Name()+"/"+string(impl))
 			p.TraceCtx = runSpan.Context()
-			before := snapshot(env)
+			before := be.Usage(stateful)
 			stats, err := dep.Runner.Invoke(p, input)
 			if err != nil {
 				campaignErr = fmt.Errorf("core: iteration %d: %w", i, err)
 				return
 			}
-			after := snapshot(env)
+			delta := be.Usage(stateful).Sub(before)
 			if runSpan.Live() {
 				runSpan.End(p.Now(), span.A("iter", fmt.Sprintf("%d", i)))
 				p.TraceCtx = sim.TraceContext{}
@@ -187,7 +193,7 @@ func Measure(wf Workflow, impl Impl, opt MeasureOptions) (*Series, error) {
 			s.E2E.Add(stats.E2E)
 			s.Cold.Add(stats.ColdStart)
 			if stats.ExecTime == 0 {
-				stats.ExecTime = execDelta(impl, before, after)
+				stats.ExecTime = delta.Exec
 			}
 			s.Breakdowns.Add(stats.Breakdown())
 			if opt.Tracing {
@@ -196,14 +202,9 @@ func Measure(wf Workflow, impl Impl, opt MeasureOptions) (*Series, error) {
 				s.SpanBreakdowns.Add(span.BreakdownOf(tr.Since(mark), id))
 			}
 
-			b := billDelta(env, impl, before, after)
-			bill = bill.Add(b)
-			gbs += gbsDelta(impl, before, after)
-			if impl.Cloud() == AWS {
-				txns += float64(after.awsTrans - before.awsTrans)
-			} else {
-				txns += float64(after.azTxn - before.azTxn)
-			}
+			bill = bill.Add(book.Bill(delta))
+			gbs += delta.GBs
+			txns += float64(delta.AllTxns)
 			p.Sleep(opt.Gap)
 		}
 	})

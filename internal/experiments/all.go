@@ -42,10 +42,13 @@ func Registry() []Runner {
 	}
 }
 
-// RegistryWithAblations appends the ablation studies to the paper
-// experiments.
+// RegistryWithAblations appends the ablation studies and the
+// cross-provider comparison to the paper experiments. The extras live
+// here, not in Registry, so the default run's output never changes as
+// studies (or providers) are added.
 func RegistryWithAblations() []Runner {
-	return append(Registry(), Ablations()...)
+	extra := append(Ablations(), Runner{"crosscloud", single(CrossCloud)})
+	return append(Registry(), extra...)
 }
 
 // Find returns the runner with the given ID (paper experiments and

@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"statebench/internal/chaos"
+	"statebench/internal/core"
+	"statebench/internal/gcp"
+	"statebench/internal/workloads/mlinfer"
+	"statebench/internal/workloads/mlpipe"
+	"statebench/internal/workloads/mltrain"
+	"statebench/internal/workloads/videoproc"
+)
+
+// TestCrossCloudCoversEveryProvider is the registry seam's acceptance
+// check: the crosscloud driver (which never imports a provider package)
+// must produce rows for every registered provider, including GCP, all
+// through the same core.Measure path with spans and chaos enabled.
+func TestCrossCloudCoversEveryProvider(t *testing.T) {
+	r, err := CrossCloud(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	providers := map[string]bool{}
+	styles := map[string]bool{}
+	for _, row := range r.Table.Rows {
+		providers[row[1]] = true
+		styles[row[2]] = true
+	}
+	for _, want := range []string{"AWS", "Azure", "GCP"} {
+		if !providers[want] {
+			t.Fatalf("crosscloud missing provider %s; got %v", want, providers)
+		}
+	}
+	// GCP hosts ml-training and ml-inference as GCP-Wflow and the
+	// training monolith as GCP-Func; video offers only the workflow.
+	for _, want := range []string{"GCP-Func", "GCP-Wflow"} {
+		if !styles[want] {
+			t.Fatalf("crosscloud missing style %s; got %v", want, styles)
+		}
+	}
+	for _, row := range r.Table.Rows {
+		if row[3] == "" || row[4] == "" || row[8] == "" {
+			t.Fatalf("incomplete row: %v", row)
+		}
+	}
+	out := r.String()
+	if !strings.Contains(out, "crosscloud") {
+		t.Fatalf("report ID missing:\n%s", out)
+	}
+}
+
+// TestGCPStylesRunAllWorkloadsThroughMeasure drives each workload's GCP
+// styles individually through core.Measure with tracing and chaos on,
+// asserting the measurements are live: spans recorded exec time, the
+// workflow styles billed steps, and runs completed.
+func TestGCPStylesRunAllWorkloadsThroughMeasure(t *testing.T) {
+	cases := []struct {
+		wf    core.Workflow
+		impl  core.Impl
+		iters int
+	}{
+		{mltrain.New(mlpipe.Small), gcp.Func, 3},
+		{mltrain.New(mlpipe.Small), gcp.Wflow, 3},
+		{mlinfer.New(mlpipe.Small), gcp.Wflow, 3},
+		{videoproc.New(10), gcp.Wflow, 1},
+	}
+	for _, c := range cases {
+		t.Run(c.wf.Name()+"/"+string(c.impl), func(t *testing.T) {
+			if !core.SupportsImpl(c.wf, c.impl) {
+				t.Fatalf("%s does not support %s", c.wf.Name(), c.impl)
+			}
+			o := tiny()
+			opt := measureOpts(o)
+			opt.Iters = c.iters
+			opt.Tracing = true
+			opt.Chaos = chaos.DefaultPlan(DefaultFaultRate)
+			s, err := core.Measure(c.wf, c.impl, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if s.SuccessRate <= 0 {
+				t.Fatalf("no successful runs (errors=%d)", s.Errors)
+			}
+			if s.E2E.Median() <= 0 {
+				t.Fatal("median E2E is zero")
+			}
+			sb := s.SpanBreakdowns.AtQuantile(0.5)
+			if sb.ExecTime <= 0 {
+				t.Fatal("span breakdown recorded no exec time — tracer not wired")
+			}
+			if s.MeanBill.Total() <= 0 {
+				t.Fatal("zero mean bill")
+			}
+			if c.impl == gcp.Wflow && s.MeanTxns <= 0 {
+				t.Fatal("workflow style billed no steps")
+			}
+		})
+	}
+}

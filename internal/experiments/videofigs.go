@@ -169,10 +169,9 @@ func Fig15(o Options) (*Report, error) {
 	var azStateful, awsStateful float64
 	for i, impl := range impls {
 		monthly := bills[i].Scale(scale)
-		switch impl {
-		case core.AzDorch:
+		if impl == core.AzDorch {
 			azStateful = monthly.Stateful
-		case core.AWSStep:
+		} else if impl == core.AWSStep {
 			awsStateful = monthly.Stateful
 		}
 		r.Table.AddRow(string(impl), fmtUSD(monthly.Compute), fmtUSD(monthly.Stateful),
@@ -213,16 +212,8 @@ func monthlyBill(o Options, impl core.Impl, window, interval time.Duration, runs
 		return pricing.Bill{}, runErr
 	}
 
-	am := env.AWS.Lambda.TotalMeter()
-	zm := env.Azure.Host.TotalMeter()
-	if impl.Cloud() == core.AWS {
-		return env.AWSPrices.AWSBill(am.BilledGBs, am.Invocations,
-			env.AWS.SFN.TotalTransitions, env.AWS.S3.Stats().Transactions()), nil
-	}
-	azTxns := env.Azure.StorageTransactions()
-	if !impl.Stateful() {
-		azTxns = env.Azure.ManualQueueTransactions()
-	}
-	return env.AzurePrices.AzureBill(zm.BilledGBs, zm.Invocations,
-		azTxns, env.Azure.Blob.Stats().Transactions()), nil
+	// Everything metered in the window is cumulative usage; the style's
+	// registered backend and price book turn it into the monthly bill
+	// without any per-cloud branching here.
+	return env.BookFor(impl).Bill(env.UsageFor(impl)), nil
 }

@@ -61,6 +61,13 @@ func (m *Meter) RecordAzure(exec time.Duration, consumedMemMB int) {
 	m.ConsumedGBs += exec.Seconds() * float64(consumedMemMB) / 1024
 }
 
+// RecordGCP meters one Cloud Functions (gen-1) execution: like AWS,
+// billed on configured memory with 100 ms duration round-up; the
+// tier-coupled GHz-s charge is applied by the price book, not here.
+func (m *Meter) RecordGCP(exec time.Duration, configuredMemMB, consumedMemMB int) {
+	m.RecordAWS(exec, configuredMemMB, consumedMemMB)
+}
+
 // Add merges another meter into m.
 func (m *Meter) Add(o Meter) {
 	m.Invocations += o.Invocations

@@ -153,3 +153,54 @@ func DefaultAzure() AzureParams {
 		EntityStateRTT:         sim.LogNormalDist{Median: 35 * time.Millisecond, Sigma: 0.6, Max: 5 * time.Second},
 	}
 }
+
+// GCPParams calibrates the simulated GCP platform (Cloud Functions
+// gen 1 + Workflows). GCP is not part of the paper's measurement; the
+// defaults follow the same public-documentation-plus-folk-benchmark
+// methodology as Table I so the third provider exercises the
+// provider-registry seam with plausible numbers.
+type GCPParams struct {
+	// InvokeRTT is the front-end round trip for an HTTPS function call.
+	InvokeRTT sim.Dist
+	// ColdStartBase is instance provisioning excluding code fetch;
+	// gen-1 Cloud Functions cold starts are markedly slower than
+	// Lambda's. CodeFetchBW (bytes/s) converts source size to extra
+	// cold-start time.
+	ColdStartBase sim.Dist
+	CodeFetchBW   float64
+	// WarmStart is the per-invocation overhead on a warm instance.
+	WarmStart sim.Dist
+	// KeepAlive is how long an idle instance stays warm.
+	KeepAlive time.Duration
+	// BurstConcurrency caps simultaneous instances per function.
+	BurstConcurrency int
+	// MemoryTiersMB lists the configurable memory sizes (gen 1 offers
+	// fixed tiers, not a step); billing uses the configured tier.
+	MemoryTiersMB []int
+	// TimeLimit aborts executions (540 s for gen-1 HTTP functions).
+	TimeLimit time.Duration
+	// PayloadLimit caps request/response bodies (10 MB).
+	PayloadLimit int
+	// StepOverhead is the Workflows engine's per-step scheduling time.
+	StepOverhead sim.Dist
+	// CallDispatch is the extra latency for a workflow call step to
+	// reach its Cloud Function (connector hop).
+	CallDispatch sim.Dist
+}
+
+// DefaultGCP returns the calibrated GCP parameters.
+func DefaultGCP() GCPParams {
+	return GCPParams{
+		InvokeRTT:        sim.LogNormalDist{Median: 25 * time.Millisecond, Sigma: 0.35, Max: time.Second},
+		ColdStartBase:    sim.LogNormalDist{Median: 1400 * time.Millisecond, Sigma: 0.45, Max: 20 * time.Second},
+		CodeFetchBW:      20e6, // ~20 MB/s source fetch+build cache restore
+		WarmStart:        sim.LogNormalDist{Median: 7 * time.Millisecond, Sigma: 0.3, Max: 200 * time.Millisecond},
+		KeepAlive:        15 * time.Minute,
+		BurstConcurrency: 1000,
+		MemoryTiersMB:    []int{128, 256, 512, 1024, 2048, 4096, 8192},
+		TimeLimit:        540 * time.Second,
+		PayloadLimit:     10 << 20,
+		StepOverhead:     sim.LogNormalDist{Median: 35 * time.Millisecond, Sigma: 0.4, Max: 2 * time.Second},
+		CallDispatch:     sim.LogNormalDist{Median: 80 * time.Millisecond, Sigma: 0.5, Max: 5 * time.Second},
+	}
+}

@@ -1,0 +1,93 @@
+package platform
+
+import (
+	"testing"
+	"time"
+
+	"statebench/internal/sim"
+)
+
+func TestPoolWarmEntryLifecycle(t *testing.T) {
+	p := &Pool{KeepAlive: 8 * time.Minute}
+	if _, ok := p.TakeWarm(0); ok {
+		t.Fatal("empty pool yielded a warm container")
+	}
+	p.Release(100) // expires at 100+KeepAlive
+	p.Release(200)
+	if got := p.WarmCount(150); got != 2 {
+		t.Fatalf("WarmCount = %d, want 2", got)
+	}
+	// LIFO reuse: the most recently released container comes back first.
+	exp, ok := p.TakeWarm(150)
+	if !ok || exp != 200+sim.Time(p.KeepAlive) {
+		t.Fatalf("TakeWarm = (%v, %v), want newest release", exp, ok)
+	}
+	// Expired entries are discarded on the way.
+	if _, ok := p.TakeWarm(sim.Time(time.Hour)); ok {
+		t.Fatal("expired warm container was reused")
+	}
+	if got := p.WarmCount(sim.Time(time.Hour)); got != 0 {
+		t.Fatalf("WarmCount after expiry = %d, want 0", got)
+	}
+
+	p.RecordCold(3 * time.Second)
+	p.RecordCold(1 * time.Second)
+	st := p.Stats()
+	if st.ColdStarts != 2 || len(st.ColdDelays) != 2 || st.ColdDelays[0] != 3*time.Second {
+		t.Fatalf("cold stats = %+v", st)
+	}
+	p.ResetStats()
+	if st := p.Stats(); st.ColdStarts != 0 || st.ColdDelays != nil || st.MaxReady != 0 {
+		t.Fatalf("stats after reset = %+v", st)
+	}
+}
+
+func TestPoolInstanceLifecycle(t *testing.T) {
+	p := &Pool{}
+	p.BeginStart()
+	if p.Starting() != 1 || p.Provisioning() != 1 || p.Ready() != 0 {
+		t.Fatalf("after BeginStart: starting=%d ready=%d", p.Starting(), p.Ready())
+	}
+	a := p.FinishStart(10)
+	if p.Ready() != 1 || p.Starting() != 0 || a.ID != 1 || a.IdleSince != 10 {
+		t.Fatalf("after FinishStart: ready=%d container=%+v", p.Ready(), a)
+	}
+	p.BeginStart()
+	b := p.FinishStart(20)
+	if b.ID != 2 || p.Stats().MaxReady != 2 || p.Stats().ColdStarts != 2 {
+		t.Fatalf("second instance: %+v stats=%+v", b, p.Stats())
+	}
+
+	p.PushIdle(a, 30)
+	p.PushIdle(b, 40)
+	if p.IdleCount() != 2 {
+		t.Fatalf("IdleCount = %d, want 2", p.IdleCount())
+	}
+	// FIFO: the longest-idle instance is dispatched first.
+	got, ok := p.PopIdle()
+	if !ok || got != a {
+		t.Fatalf("PopIdle = %v, want instance a", got)
+	}
+	p.PushIdle(a, 50)
+
+	// Reap with a cutoff past only b's idle start: b is retired, a
+	// (idle since 50) survives.
+	if n := p.ReapIdle(45); n != 1 {
+		t.Fatalf("ReapIdle reaped %d, want 1", n)
+	}
+	if p.Ready() != 1 || p.IdleCount() != 1 || !b.Stopped {
+		t.Fatalf("after reap: ready=%d idle=%d bStopped=%v", p.Ready(), p.IdleCount(), b.Stopped)
+	}
+
+	// Retire the survivor (chaos host recycle).
+	surv, _ := p.PopIdle()
+	p.Retire(surv)
+	if p.Ready() != 0 || !surv.Stopped {
+		t.Fatalf("after retire: ready=%d stopped=%v", p.Ready(), surv.Stopped)
+	}
+
+	p.ResetStats()
+	if st := p.Stats(); st.MaxReady != 0 || st.ColdStarts != 0 {
+		t.Fatalf("stats after reset = %+v", st)
+	}
+}

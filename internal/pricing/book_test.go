@@ -1,0 +1,147 @@
+package pricing
+
+import (
+	"testing"
+	"time"
+)
+
+// sampleUsage is one run's consumption, billed by every book below so
+// the per-provider line-item mapping is visible side by side.
+var sampleUsage = Usage{
+	GBs:          100,
+	Requests:     1_000_000,
+	StatefulTxns: 10_000,
+	AllTxns:      50_000,
+	BlobTxns:     100_000,
+	Exec:         90 * time.Second,
+}
+
+func TestBooksPriceLineItems(t *testing.T) {
+	cases := []struct {
+		name string
+		book Book
+		want Bill
+	}{
+		{
+			name: "aws",
+			book: DefaultAWS(),
+			want: Bill{
+				Compute:  100 * 0.0000166667,
+				Requests: 1e6 * 0.20 / 1e6,
+				Stateful: 10_000 * 0.025 / 1e3,
+				Blob:     100_000 * 0.0000054,
+			},
+		},
+		{
+			name: "azure",
+			book: DefaultAzure(),
+			want: Bill{
+				Compute:  100 * 0.000016,
+				Requests: 1e6 * 0.20 / 1e6,
+				Stateful: 10_000 * 0.00036 / 1e4,
+				Blob:     100_000 * 0.0000044,
+			},
+		},
+		{
+			// GCP couples a GHz-s CPU charge to every billed GB-s via
+			// the fixed tier ratio; everything else maps one line each.
+			name: "gcp",
+			book: DefaultGCP(),
+			want: Bill{
+				Compute:  100 * (0.0000025 + 1.4*0.0000100),
+				Requests: 1e6 * 0.40 / 1e6,
+				Stateful: 10_000 * 0.01 / 1e3,
+				Blob:     100_000 * 0.0000027,
+			},
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got := c.book.Bill(sampleUsage)
+			check := func(field string, got, want float64) {
+				if !close(got, want) {
+					t.Errorf("%s = %v, want %v", field, got, want)
+				}
+			}
+			check("compute", got.Compute, c.want.Compute)
+			check("requests", got.Requests, c.want.Requests)
+			check("stateful", got.Stateful, c.want.Stateful)
+			check("blob", got.Blob, c.want.Blob)
+			if got.Total() <= 0 {
+				t.Error("zero total for non-zero usage")
+			}
+		})
+	}
+}
+
+// TestStatefulUnitPriceOrdering pins the cross-provider relationship
+// the paper's cost analysis (and the crosscloud experiment) rests on:
+// per stateful operation, AWS transitions cost the most, GCP steps sit
+// in between, and Azure storage transactions are by far the cheapest.
+func TestStatefulUnitPriceOrdering(t *testing.T) {
+	aws := DefaultAWS().StepTransition
+	gcp := DefaultGCP().WorkflowStep
+	az := DefaultAzure().StorageTransaction
+	if !(aws > gcp && gcp > az) {
+		t.Fatalf("unit prices: aws=%v gcp=%v azure=%v, want aws > gcp > azure", aws, gcp, az)
+	}
+}
+
+func TestFreeTierEdges(t *testing.T) {
+	tier := FreeTier{Book: DefaultGCP(), GBs: 400_000, Requests: 2_000_000, StatefulTxns: 5_000}
+	cases := []struct {
+		name  string
+		usage Usage
+		want  Bill
+	}{
+		{
+			name:  "under allowance bills nothing on covered items",
+			usage: Usage{GBs: 100, Requests: 1000, StatefulTxns: 10, BlobTxns: 7},
+			// Blob has no allowance, so it still bills.
+			want: Bill{Blob: 7 * 0.0000027},
+		},
+		{
+			name:  "exactly at allowance bills zero",
+			usage: Usage{GBs: 400_000, Requests: 2_000_000, StatefulTxns: 5_000},
+			want:  Bill{},
+		},
+		{
+			name:  "only the excess is billed",
+			usage: Usage{GBs: 400_001, Requests: 2_000_010, StatefulTxns: 5_100},
+			want: Bill{
+				Compute:  1 * (0.0000025 + 1.4*0.0000100),
+				Requests: 10 * 0.40 / 1e6,
+				Stateful: 100 * 0.01 / 1e3,
+			},
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got := tier.Bill(c.usage)
+			if !close(got.Compute, c.want.Compute) || !close(got.Requests, c.want.Requests) ||
+				!close(got.Stateful, c.want.Stateful) || !close(got.Blob, c.want.Blob) {
+				t.Fatalf("bill = %+v, want %+v", got, c.want)
+			}
+		})
+	}
+}
+
+func TestFreeTierWrapsAnyBook(t *testing.T) {
+	// The wrapper is provider-neutral: the same allowances apply over
+	// the AWS book, pricing only the excess transition.
+	tier := FreeTier{Book: DefaultAWS(), StatefulTxns: 4000}
+	b := tier.Bill(Usage{StatefulTxns: 4001})
+	if !close(b.Stateful, 0.025/1e3) {
+		t.Fatalf("stateful = %v, want one transition", b.Stateful)
+	}
+}
+
+func TestUsageSub(t *testing.T) {
+	after := Usage{GBs: 10, Requests: 20, StatefulTxns: 30, AllTxns: 40, BlobTxns: 50, Exec: time.Minute}
+	before := Usage{GBs: 4, Requests: 5, StatefulTxns: 6, AllTxns: 7, BlobTxns: 8, Exec: time.Second}
+	d := after.Sub(before)
+	want := Usage{GBs: 6, Requests: 15, StatefulTxns: 24, AllTxns: 33, BlobTxns: 42, Exec: 59 * time.Second}
+	if d != want {
+		t.Fatalf("delta = %+v, want %+v", d, want)
+	}
+}

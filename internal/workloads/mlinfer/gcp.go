@@ -1,0 +1,153 @@
+package mlinfer
+
+import (
+	"encoding/json"
+	"time"
+
+	"statebench/internal/core"
+	"statebench/internal/gcp"
+	"statebench/internal/sim"
+	"statebench/internal/workloads/mlpipe"
+)
+
+// This file contributes the third provider's orchestrated style to the
+// ML inference workload, wired entirely from init (the dispatch table
+// in mlinfer.go never mentions GCP).
+
+func init() {
+	deployers[gcp.Wflow] = deployGCPWflow
+	extraImpls = append(extraImpls, gcp.Wflow)
+}
+
+// gcpSpeed scales the calibrated AWS-speed compute costs to a gen-1
+// Cloud Functions 2 GB instance (2.4 GHz fractional vCPU).
+const gcpSpeed = 0.85
+
+// deployGCPWflow installs the GCP Workflows inference chain: Encode →
+// Scale → Decompose → Infer, the same Fig 4 shape as AWS-Step, every
+// call fetching its artifact from GCS and the final call fetching +
+// deserializing the model.
+func deployGCPWflow(env *core.Env, size mlpipe.DatasetSize, arts *mlpipe.Artifacts) (*core.Deployment, error) {
+	gc := gcp.FromEnv(env)
+	costs := mlpipe.NewCosts(env.K, "gcp-mlinfer", gcpSpeed)
+	gcs := gc.GCS
+	gcs.Preload(testKey(size), batchCSV(arts))
+	gcs.Preload("models/encoder", arts.EncoderBytes)
+	gcs.Preload("models/scaler", arts.ScalerBytes)
+	gcs.Preload("models/pca", arts.PCABytes)
+	gcs.Preload("models/best", arts.ModelBytes[arts.BestName])
+	sfx := "-" + string(size)
+
+	stage := func(name, artifact string, busy func() time.Duration, outBytes int) gcp.Handler {
+		return func(ctx *gcp.Context, payload []byte) ([]byte, error) {
+			m, err := parse(payload)
+			if err != nil {
+				return nil, err
+			}
+			p := ctx.Proc()
+			if _, err := gcs.Get(p, m.Key); err != nil {
+				return nil, err
+			}
+			art, err := gcs.Get(p, artifact)
+			if err != nil {
+				return nil, err
+			}
+			ctx.Busy(rehydrate(len(art)))
+			ctx.Busy(busy())
+			key := runKey(m.Run, name)
+			gcs.Put(p, key, make([]byte, outBytes))
+			return marshal(msg{Run: m.Run, Key: key}), nil
+		}
+	}
+
+	type st struct {
+		name string
+		h    gcp.Handler
+	}
+	third := func() time.Duration { return costs.InferencePrep(size) / 3 }
+	stages := []st{
+		{"inf-encode" + sfx, stage("encoded", "models/encoder", third, batchEncodedBytes())},
+		{"inf-scale" + sfx, stage("scaled", "models/scaler", third, batchEncodedBytes())},
+		{"inf-decompose" + sfx, stage("projected", "models/pca", third, batchProjectedBytes())},
+	}
+	for _, s := range stages {
+		if _, err := gc.Functions.Register(gcp.Config{
+			Name: s.name, MemoryMB: 2048, ConsumedMemMB: mlpipe.MemInference, CodeSizeMB: 271.2 / 4, Handler: s.h,
+		}); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := gc.Functions.Register(gcp.Config{
+		Name: "inf-predict" + sfx, MemoryMB: 2048, ConsumedMemMB: mlpipe.MemInference, CodeSizeMB: 271.2 / 4,
+		Handler: func(ctx *gcp.Context, payload []byte) ([]byte, error) {
+			m, err := parse(payload)
+			if err != nil {
+				return nil, err
+			}
+			p := ctx.Proc()
+			if _, err := gcs.Get(p, m.Key); err != nil {
+				return nil, err
+			}
+			model, err := gcs.Get(p, "models/best")
+			if err != nil {
+				return nil, err
+			}
+			ctx.Busy(rehydrate(len(model)))
+			ctx.Busy(costs.Predict(size))
+			key := runKey(m.Run, "predictions")
+			gcs.Put(p, key, make([]byte, resultBytes(size)))
+			return marshal(msg{Run: m.Run, Key: key}), nil
+		},
+	}); err != nil {
+		return nil, err
+	}
+
+	wfName := "ml-inference-" + string(size)
+	chain := []string{"inf-encode" + sfx, "inf-scale" + sfx, "inf-decompose" + sfx, "inf-predict" + sfx}
+	def := func(ctx *gcp.Ctx, input map[string]any) (map[string]any, error) {
+		run, _ := input["run"].(float64)
+		key, _ := input["key"].(string)
+		m := msg{Run: int64(run), Key: key}
+		for _, fn := range chain {
+			out, err := ctx.Call(fn, marshal(m))
+			if err != nil {
+				return nil, err
+			}
+			if m, err = parse(out); err != nil {
+				return nil, err
+			}
+		}
+		return map[string]any{"run": float64(m.Run), "key": m.Key}, nil
+	}
+	if err := gc.Workflows.Create(wfName, def); err != nil {
+		return nil, err
+	}
+	return &core.Deployment{Runner: &gwfRunner{gc: gc, wf: wfName, size: size}, FuncCount: 4, CodeSizeMB: 271.2}, nil
+}
+
+// gwfRunner executes the GCP inference workflow per run.
+type gwfRunner struct {
+	gc      *gcp.Cloud
+	wf      string
+	size    mlpipe.DatasetSize
+	nextRun int64
+}
+
+// Invoke implements core.Runner.
+func (r *gwfRunner) Invoke(p *sim.Proc, _ []byte) (core.RunStats, error) {
+	r.nextRun++
+	exec, err := r.gc.Workflows.Execute(p, r.wf,
+		map[string]any{"run": float64(r.nextRun), "key": testKey(r.size)})
+	if err != nil {
+		return core.RunStats{}, err
+	}
+	cold := exec.FirstCallDelay
+	if cold < 0 {
+		cold = 0
+	}
+	var out []byte
+	if exec.Err == nil {
+		out, _ = json.Marshal(exec.Output)
+	}
+	return core.RunStats{E2E: exec.Duration(), ColdStart: cold, Output: out, Err: exec.Err}, nil
+}

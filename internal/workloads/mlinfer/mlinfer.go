@@ -59,21 +59,34 @@ func (w *Workflow) Impls() []core.Impl {
 	return []core.Impl{core.AWSStep, core.AzDorch, core.AzDent}
 }
 
+// ExtraImpls implements core.ExtendedWorkflow: deployable styles
+// beyond the Fig 9 set, contributed by provider-specific files.
+func (w *Workflow) ExtraImpls() []core.Impl { return extraImpls }
+
+// deployFunc installs the workflow for one style.
+type deployFunc func(env *core.Env, size mlpipe.DatasetSize, arts *mlpipe.Artifacts) (*core.Deployment, error)
+
+// deployers routes each style to its deployment routine; provider
+// files append additional entries from init.
+var deployers = map[core.Impl]deployFunc{
+	core.AWSStep: deployAWSStep,
+	core.AzDorch: deployAzDorch,
+	core.AzDent:  deployAzDent,
+}
+
+var extraImpls []core.Impl
+
 // Deploy implements core.Workflow.
 func (w *Workflow) Deploy(env *core.Env, impl core.Impl) (*core.Deployment, error) {
+	fn, ok := deployers[impl]
+	if !ok {
+		return nil, &core.UnsupportedImplError{Workflow: w.Name(), Impl: impl}
+	}
 	arts, err := mlpipe.Train(w.Size)
 	if err != nil {
 		return nil, fmt.Errorf("mlinfer: prepare artifacts: %w", err)
 	}
-	switch impl {
-	case core.AWSStep:
-		return deployAWSStep(env, w.Size, arts)
-	case core.AzDorch:
-		return deployAzDorch(env, w.Size, arts)
-	case core.AzDent:
-		return deployAzDent(env, w.Size, arts)
-	}
-	return nil, &core.UnsupportedImplError{Workflow: w.Name(), Impl: impl}
+	return fn(env, w.Size, arts)
 }
 
 func testKey(size mlpipe.DatasetSize) string { return "datasets/cars-batch-" + string(size) + ".csv" }

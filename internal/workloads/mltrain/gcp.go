@@ -1,0 +1,285 @@
+package mltrain
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"statebench/internal/core"
+	"statebench/internal/gcp"
+	"statebench/internal/sim"
+	"statebench/internal/workloads/mlpipe"
+)
+
+// This file contributes the third provider's styles to the ML training
+// workload. It is wired entirely from init — the dispatch table and
+// ExtraImpls in mltrain.go never mention GCP — which is the
+// provider-registry seam the refactor exists to prove.
+
+func init() {
+	deployers[gcp.Func] = deployGCPFunc
+	deployers[gcp.Wflow] = deployGCPWflow
+	extraImpls = append(extraImpls, gcp.Func, gcp.Wflow)
+}
+
+// gcpSpeed scales the calibrated AWS-speed compute costs to a gen-1
+// Cloud Functions 2 GB instance (2.4 GHz fractional vCPU).
+const gcpSpeed = 0.85
+
+// deployGCPFunc installs the monolithic single-function implementation
+// (the GCP analogue of AWS-Lambda's 1-λ row).
+func deployGCPFunc(env *core.Env, size mlpipe.DatasetSize, arts *mlpipe.Artifacts) (*core.Deployment, error) {
+	gc := gcp.FromEnv(env)
+	costs := mlpipe.NewCosts(env.K, "gcp-mltrain-mono", gcpSpeed)
+	gcs := gc.GCS
+	gcs.Preload(datasetKey(size), arts.DatasetCSV)
+
+	fnName := "ml-train-mono-" + string(size)
+	_, err := gc.Functions.Register(gcp.Config{
+		Name:          fnName,
+		MemoryMB:      2048,
+		ConsumedMemMB: mlpipe.MemMonolith,
+		CodeSizeMB:    63.1,
+		Handler: func(ctx *gcp.Context, payload []byte) ([]byte, error) {
+			p := ctx.Proc()
+			load := env.Stage(p, "mono/load")
+			if _, err := gcs.Get(p, datasetKey(size)); err != nil {
+				return nil, err
+			}
+			load.End(p.Now())
+			train := env.Stage(p, "mono/train")
+			ctx.Busy(costs.MonolithTrain(size))
+			train.End(p.Now())
+			publish := env.Stage(p, "mono/publish")
+			ctx.Busy(costs.Xfer(len(arts.EncoderBytes) + len(arts.ScalerBytes) + len(arts.PCABytes) + len(arts.ModelBytes[arts.BestName])))
+			gcs.Put(p, "models/encoder", arts.EncoderBytes)
+			gcs.Put(p, "models/scaler", arts.ScalerBytes)
+			gcs.Put(p, "models/pca", arts.PCABytes)
+			gcs.Put(p, bestModelKey, arts.ModelBytes[arts.BestName])
+			publish.End(p.Now())
+			return mlpipe.EncodeResult(arts.BestName, arts.BestMSE), nil
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &core.Deployment{
+		Runner:     &gcfRunner{gc: gc, fn: fnName},
+		FuncCount:  1,
+		CodeSizeMB: 63.1,
+	}, nil
+}
+
+// gcfRunner invokes a single Cloud Function synchronously.
+type gcfRunner struct {
+	gc *gcp.Cloud
+	fn string
+}
+
+// Invoke implements core.Runner.
+func (r *gcfRunner) Invoke(p *sim.Proc, _ []byte) (core.RunStats, error) {
+	inv, err := r.gc.Functions.Invoke(p, r.fn, nil)
+	if err != nil {
+		return core.RunStats{}, err
+	}
+	return core.RunStats{
+		E2E:       inv.Total,
+		ColdStart: inv.ColdStartDelay,
+		ExecTime:  inv.ExecTime,
+		Output:    inv.Output,
+		Err:       inv.Err,
+	}, nil
+}
+
+// deployGCPWflow installs the GCP Workflows implementation: Prep →
+// DimRed → parallel(train per algorithm) → Select, the same Fig 2-3
+// shape as AWS-Step but expressed as code-first workflow steps.
+func deployGCPWflow(env *core.Env, size mlpipe.DatasetSize, arts *mlpipe.Artifacts) (*core.Deployment, error) {
+	gc := gcp.FromEnv(env)
+	costs := mlpipe.NewCosts(env.K, "gcp-mltrain-wflow", gcpSpeed)
+	gcs := gc.GCS
+	gcs.Preload(datasetKey(size), arts.DatasetCSV)
+	perFnCode := 271.2 / 4
+
+	reg := func(name string, memMB, consumed int, h gcp.Handler) error {
+		_, err := gc.Functions.Register(gcp.Config{
+			Name: name, MemoryMB: memMB, ConsumedMemMB: consumed, CodeSizeMB: perFnCode, Handler: h,
+		})
+		return err
+	}
+
+	sfx := "-" + string(size)
+	if err := reg("ml-prep"+sfx, 2048, mlpipe.MemPrep, func(ctx *gcp.Context, payload []byte) ([]byte, error) {
+		m, err := parseMsg(payload)
+		if err != nil {
+			return nil, err
+		}
+		p := ctx.Proc()
+		if _, err := gcs.Get(p, datasetKey(size)); err != nil {
+			return nil, err
+		}
+		ctx.Busy(costs.Prep(size))
+		ctx.Busy(costs.Xfer(arts.EncodedBytes))
+		key := runKey(m.Run, "encoded")
+		gcs.Put(p, key, make([]byte, arts.EncodedBytes))
+		return marshalMsg(stepMsg{Run: m.Run, Key: key}), nil
+	}); err != nil {
+		return nil, err
+	}
+
+	if err := reg("ml-dimred"+sfx, 2048, mlpipe.MemPrep, func(ctx *gcp.Context, payload []byte) ([]byte, error) {
+		m, err := parseMsg(payload)
+		if err != nil {
+			return nil, err
+		}
+		p := ctx.Proc()
+		if _, err := gcs.Get(p, m.Key); err != nil {
+			return nil, err
+		}
+		ctx.Busy(costs.Xfer(arts.EncodedBytes))
+		ctx.Busy(costs.DimRed(size))
+		ctx.Busy(costs.Xfer(arts.ProjectedBytes))
+		key := runKey(m.Run, "projected")
+		gcs.Put(p, key, make([]byte, arts.ProjectedBytes))
+		return marshalMsg(stepMsg{Run: m.Run, Key: key}), nil
+	}); err != nil {
+		return nil, err
+	}
+
+	if err := reg("ml-trainmodel"+sfx, 2048, mlpipe.MemTrain, func(ctx *gcp.Context, payload []byte) ([]byte, error) {
+		m, err := parseMsg(payload)
+		if err != nil {
+			return nil, err
+		}
+		p := ctx.Proc()
+		if _, err := gcs.Get(p, m.Key); err != nil {
+			return nil, err
+		}
+		ctx.Busy(costs.Xfer(arts.ProjectedBytes))
+		ctx.Busy(costs.TrainModel(m.Algo, size))
+		ctx.Busy(costs.Xfer(len(arts.ModelBytes[m.Algo])))
+		modelKey := runKey(m.Run, "model-"+m.Algo)
+		gcs.Put(p, modelKey, arts.ModelBytes[m.Algo])
+		return marshalMsg(stepMsg{Run: m.Run, Algo: m.Algo, MSE: arts.ModelMSE[m.Algo], Model: modelKey}), nil
+	}); err != nil {
+		return nil, err
+	}
+
+	if err := reg("ml-select"+sfx, 512, mlpipe.MemSelect, func(ctx *gcp.Context, payload []byte) ([]byte, error) {
+		var in struct {
+			Results []stepMsg `json:"results"`
+		}
+		if err := json.Unmarshal(payload, &in); err != nil {
+			return nil, err
+		}
+		if len(in.Results) == 0 {
+			return nil, fmt.Errorf("mltrain: select got no results")
+		}
+		ctx.Busy(costs.SelectBest(size))
+		best := in.Results[0]
+		for _, r := range in.Results[1:] {
+			if r.MSE < best.MSE {
+				best = r
+			}
+		}
+		p := ctx.Proc()
+		src, err := gcs.Get(p, best.Model)
+		if err != nil {
+			return nil, err
+		}
+		ctx.Busy(costs.Xfer(len(src)))
+		gcs.Put(p, bestModelKey, src)
+		return mlpipe.EncodeResult(best.Algo, best.MSE), nil
+	}); err != nil {
+		return nil, err
+	}
+
+	wfName := "ml-training-" + string(size)
+	def := func(ctx *gcp.Ctx, input map[string]any) (map[string]any, error) {
+		run, _ := input["run"].(float64)
+		out, err := ctx.Call("ml-prep"+sfx, marshalMsg(stepMsg{Run: int64(run)}))
+		if err != nil {
+			return nil, err
+		}
+		m, err := parseMsg(out)
+		if err != nil {
+			return nil, err
+		}
+		out, err = ctx.Call("ml-dimred"+sfx, marshalMsg(m))
+		if err != nil {
+			return nil, err
+		}
+		m, err = parseMsg(out)
+		if err != nil {
+			return nil, err
+		}
+		// Parallel branch per algorithm, mirroring AWS-Step's Map state.
+		results := make([]stepMsg, len(mlpipe.Algorithms))
+		branches := make([]func(*gcp.Ctx) error, len(mlpipe.Algorithms))
+		for i, algo := range mlpipe.Algorithms {
+			i, algo := i, algo
+			item := stepMsg{Run: m.Run, Key: m.Key, Algo: algo}
+			branches[i] = func(bc *gcp.Ctx) error {
+				bout, berr := bc.Call("ml-trainmodel"+sfx, marshalMsg(item))
+				if berr != nil {
+					return berr
+				}
+				results[i], berr = parseMsg(bout)
+				return berr
+			}
+		}
+		if err := ctx.Parallel(branches...); err != nil {
+			return nil, err
+		}
+		selIn, err := json.Marshal(map[string]any{"results": results})
+		if err != nil {
+			return nil, err
+		}
+		out, err = ctx.Call("ml-select"+sfx, selIn)
+		if err != nil {
+			return nil, err
+		}
+		var res map[string]any
+		if err := json.Unmarshal(out, &res); err != nil {
+			return nil, err
+		}
+		return res, nil
+	}
+	if err := gc.Workflows.Create(wfName, def); err != nil {
+		return nil, err
+	}
+	return &core.Deployment{
+		Runner:     &gwfRunner{gc: gc, wf: wfName},
+		FuncCount:  4,
+		CodeSizeMB: 271.2,
+	}, nil
+}
+
+// gwfRunner executes a GCP workflow per run.
+type gwfRunner struct {
+	gc      *gcp.Cloud
+	wf      string
+	nextRun int64
+}
+
+// Invoke implements core.Runner.
+func (r *gwfRunner) Invoke(p *sim.Proc, _ []byte) (core.RunStats, error) {
+	r.nextRun++
+	exec, err := r.gc.Workflows.Execute(p, r.wf, map[string]any{"run": float64(r.nextRun)})
+	if err != nil {
+		return core.RunStats{}, err
+	}
+	var out []byte
+	if exec.Err == nil {
+		out, _ = json.Marshal(exec.Output)
+	}
+	cold := exec.FirstCallDelay
+	if cold < 0 {
+		cold = 0
+	}
+	return core.RunStats{
+		E2E:       exec.Duration(),
+		ColdStart: cold,
+		Output:    out,
+		Err:       exec.Err,
+	}, nil
+}

@@ -29,30 +29,43 @@ func New(size mlpipe.DatasetSize) *Workflow { return &Workflow{Size: size} }
 func (w *Workflow) Name() string { return "ml-training-" + string(w.Size) }
 
 // Impls implements core.Workflow: Table II lists all six styles for ML
-// training.
+// training. Styles of additional providers ride on ExtraImpls so the
+// paper's figures never see them.
 func (w *Workflow) Impls() []core.Impl { return core.AllImpls() }
+
+// ExtraImpls implements core.ExtendedWorkflow: deployable styles
+// beyond Table II, contributed by provider-specific files (gcp.go).
+func (w *Workflow) ExtraImpls() []core.Impl { return extraImpls }
+
+// deployFunc installs the workflow for one style.
+type deployFunc func(env *core.Env, size mlpipe.DatasetSize, arts *mlpipe.Artifacts) (*core.Deployment, error)
+
+// deployers routes each style to its deployment routine. Files for
+// additional providers append entries (and their styles to
+// extraImpls) from init, so plugging in a provider never edits the
+// dispatch below.
+var deployers = map[core.Impl]deployFunc{
+	core.AWSLambda: deployAWSLambda,
+	core.AWSStep:   deployAWSStep,
+	core.AzFunc:    deployAzFunc,
+	core.AzQueue:   deployAzQueue,
+	core.AzDorch:   deployAzDorch,
+	core.AzDent:    deployAzDent,
+}
+
+var extraImpls []core.Impl
 
 // Deploy implements core.Workflow.
 func (w *Workflow) Deploy(env *core.Env, impl core.Impl) (*core.Deployment, error) {
+	fn, ok := deployers[impl]
+	if !ok {
+		return nil, &core.UnsupportedImplError{Workflow: w.Name(), Impl: impl}
+	}
 	arts, err := mlpipe.Train(w.Size)
 	if err != nil {
 		return nil, fmt.Errorf("mltrain: prepare artifacts: %w", err)
 	}
-	switch impl {
-	case core.AWSLambda:
-		return deployAWSLambda(env, w.Size, arts)
-	case core.AWSStep:
-		return deployAWSStep(env, w.Size, arts)
-	case core.AzFunc:
-		return deployAzFunc(env, w.Size, arts)
-	case core.AzQueue:
-		return deployAzQueue(env, w.Size, arts)
-	case core.AzDorch:
-		return deployAzDorch(env, w.Size, arts)
-	case core.AzDent:
-		return deployAzDent(env, w.Size, arts)
-	}
-	return nil, &core.UnsupportedImplError{Workflow: w.Name(), Impl: impl}
+	return fn(env, w.Size, arts)
 }
 
 // datasetKey is where the training dataset is staged.

@@ -1,0 +1,180 @@
+package videoproc
+
+import (
+	"encoding/json"
+
+	"statebench/internal/core"
+	"statebench/internal/gcp"
+	"statebench/internal/sim"
+)
+
+// This file contributes the third provider's styles to the video
+// workload, wired entirely from init (the dispatch table in
+// videoproc.go never mentions GCP).
+
+// Only the orchestrated style is offered: the ~12.5-minute monolithic
+// detection pass cannot fit inside gen-1 Cloud Functions' 540 s
+// execution limit, so — like Table II's video column, which also
+// supports a subset of styles — GCP-Func is simply not deployable here.
+func init() {
+	deployers[gcp.Wflow] = (*Workflow).deployGCPWflow
+	extraImpls = append(extraImpls, gcp.Wflow)
+}
+
+// gcpSpeed scales the AWS-calibrated per-frame detection cost to a
+// gen-1 Cloud Functions 2 GB instance (2.4 GHz fractional vCPU).
+const gcpSpeed = 0.85
+
+// gcpVideoMemoryMB is the 2 GB tier, matching the paper's AWS config.
+const gcpVideoMemoryMB = 2048
+
+// deployGCPWflow installs the Fig 5 shape on GCP Workflows: a split
+// call, a parallel block of face-detection calls (one branch per
+// chunk), and a merge call.
+func (w *Workflow) deployGCPWflow(env *core.Env) (*core.Deployment, error) {
+	gc := gcp.FromEnv(env)
+	gcs := gc.GCS
+	gcs.Preload(videoKey, make([]byte, w.Spec.TotalBytes))
+	gcs.Preload(modelKey, make([]byte, w.Spec.ModelBytes))
+	n := w.Workers
+
+	if _, err := gc.Functions.Register(gcp.Config{
+		Name: "video-split", MemoryMB: gcpVideoMemoryMB, ConsumedMemMB: memSplit, CodeSizeMB: 28,
+		Handler: func(ctx *gcp.Context, payload []byte) ([]byte, error) {
+			m, err := parseChunk(payload)
+			if err != nil {
+				return nil, err
+			}
+			p := ctx.Proc()
+			if _, err := gcs.Get(p, videoKey); err != nil {
+				return nil, err
+			}
+			ctx.Busy(w.Spec.splitCost(gcpSpeed))
+			chunks := make([]chunkMsg, n)
+			for i := 0; i < n; i++ {
+				key := chunkKey(m.Run, i)
+				gcs.Put(p, key, make([]byte, w.Spec.chunkBytes(i, n)))
+				chunks[i] = chunkMsg{Run: m.Run, Key: key, Index: i}
+			}
+			out, err := json.Marshal(map[string]any{"run": m.Run, "chunks": chunks})
+			return out, err
+		},
+	}); err != nil {
+		return nil, err
+	}
+
+	if _, err := gc.Functions.Register(gcp.Config{
+		Name: "video-detect", MemoryMB: gcpVideoMemoryMB, ConsumedMemMB: memDetect, CodeSizeMB: 34,
+		Handler: func(ctx *gcp.Context, payload []byte) ([]byte, error) {
+			m, err := parseChunk(payload)
+			if err != nil {
+				return nil, err
+			}
+			p := ctx.Proc()
+			if _, err := gcs.Get(p, m.Key); err != nil {
+				return nil, err
+			}
+			if _, err := gcs.Get(p, modelKey); err != nil {
+				return nil, err
+			}
+			ctx.Busy(w.Spec.detectCost(m.Index, n, gcpSpeed))
+			key := resultKey(m.Run, m.Index)
+			gcs.Put(p, key, make([]byte, w.Spec.chunkBytes(m.Index, n)))
+			return marshalChunk(chunkMsg{Run: m.Run, Key: key, Index: m.Index}), nil
+		},
+	}); err != nil {
+		return nil, err
+	}
+
+	if _, err := gc.Functions.Register(gcp.Config{
+		Name: "video-merge", MemoryMB: gcpVideoMemoryMB, ConsumedMemMB: memMerge, CodeSizeMB: 28,
+		Handler: func(ctx *gcp.Context, payload []byte) ([]byte, error) {
+			var in struct {
+				Results []chunkMsg `json:"results"`
+			}
+			if err := json.Unmarshal(payload, &in); err != nil {
+				return nil, err
+			}
+			p := ctx.Proc()
+			for _, c := range in.Results {
+				if _, err := gcs.Get(p, c.Key); err != nil {
+					return nil, err
+				}
+			}
+			ctx.Busy(w.Spec.mergeCost(gcpSpeed))
+			gcs.Put(p, "videos/output", make([]byte, w.Spec.TotalBytes))
+			return []byte(`{"merged":true}`), nil
+		},
+	}); err != nil {
+		return nil, err
+	}
+
+	def := func(ctx *gcp.Ctx, input map[string]any) (map[string]any, error) {
+		run, _ := input["run"].(float64)
+		out, err := ctx.Call("video-split", marshalChunk(chunkMsg{Run: int64(run)}))
+		if err != nil {
+			return nil, err
+		}
+		var split struct {
+			Run    int64      `json:"run"`
+			Chunks []chunkMsg `json:"chunks"`
+		}
+		if err := json.Unmarshal(out, &split); err != nil {
+			return nil, err
+		}
+		results := make([]chunkMsg, len(split.Chunks))
+		branches := make([]func(*gcp.Ctx) error, len(split.Chunks))
+		for i, c := range split.Chunks {
+			i, c := i, c
+			branches[i] = func(bc *gcp.Ctx) error {
+				bout, berr := bc.Call("video-detect", marshalChunk(c))
+				if berr != nil {
+					return berr
+				}
+				results[i], berr = parseChunk(bout)
+				return berr
+			}
+		}
+		if err := ctx.Parallel(branches...); err != nil {
+			return nil, err
+		}
+		mergeIn, err := json.Marshal(map[string]any{"results": results})
+		if err != nil {
+			return nil, err
+		}
+		if _, err := ctx.Call("video-merge", mergeIn); err != nil {
+			return nil, err
+		}
+		return map[string]any{"frames": float64(w.Spec.Frames)}, nil
+	}
+	wfName := "video-processing"
+	if err := gc.Workflows.Create(wfName, def); err != nil {
+		return nil, err
+	}
+	return &core.Deployment{Runner: &gwfVideoRunner{gc: gc, wf: wfName}, FuncCount: 3, CodeSizeMB: 214.8}, nil
+}
+
+// gwfVideoRunner executes the GCP video workflow per run.
+type gwfVideoRunner struct {
+	gc      *gcp.Cloud
+	wf      string
+	nextRun int64
+}
+
+// Invoke implements core.Runner.
+func (r *gwfVideoRunner) Invoke(p *sim.Proc, _ []byte) (core.RunStats, error) {
+	r.nextRun++
+	exec, err := r.gc.Workflows.Execute(p, r.wf, map[string]any{"run": float64(r.nextRun)})
+	if err != nil {
+		return core.RunStats{}, err
+	}
+	cold := exec.FirstCallDelay
+	if cold < 0 {
+		cold = 0
+	}
+	var out []byte
+	if exec.Err == nil {
+		out, _ = json.Marshal(exec.Output)
+	}
+	return core.RunStats{E2E: exec.Duration(), ColdStart: cold, Output: out, Err: exec.Err}, nil
+}

@@ -75,22 +75,31 @@ func (w *Workflow) Impls() []core.Impl {
 	return []core.Impl{core.AWSLambda, core.AWSStep, core.AzFunc, core.AzDorch}
 }
 
+// ExtraImpls implements core.ExtendedWorkflow: deployable styles
+// beyond Table II's video column, contributed by provider files.
+func (w *Workflow) ExtraImpls() []core.Impl { return extraImpls }
+
+// deployers routes each style to its deployment routine; provider
+// files append additional entries from init.
+var deployers = map[core.Impl]func(*Workflow, *core.Env) (*core.Deployment, error){
+	core.AWSLambda: (*Workflow).deployAWSLambda,
+	core.AWSStep:   (*Workflow).deployAWSStep,
+	core.AzFunc:    (*Workflow).deployAzFunc,
+	core.AzDorch:   (*Workflow).deployAzDorch,
+}
+
+var extraImpls []core.Impl
+
 // Deploy implements core.Workflow.
 func (w *Workflow) Deploy(env *core.Env, impl core.Impl) (*core.Deployment, error) {
 	if w.Workers < 1 {
 		return nil, fmt.Errorf("videoproc: workers must be >= 1, got %d", w.Workers)
 	}
-	switch impl {
-	case core.AWSLambda:
-		return w.deployAWSLambda(env)
-	case core.AWSStep:
-		return w.deployAWSStep(env)
-	case core.AzFunc:
-		return w.deployAzFunc(env)
-	case core.AzDorch:
-		return w.deployAzDorch(env)
+	fn, ok := deployers[impl]
+	if !ok {
+		return nil, &core.UnsupportedImplError{Workflow: w.Name(), Impl: impl}
 	}
-	return nil, &core.UnsupportedImplError{Workflow: w.Name(), Impl: impl}
+	return fn(w, env)
 }
 
 const (
