@@ -12,9 +12,9 @@
 # cover    — library-package coverage with a checked-in floor.
 # fuzz     — short native-fuzzing smoke runs for the SFN JSONPath and
 #            Choice evaluators.
-# bench    — kernel micro-benchmarks plus the sequential-vs-parallel
-#            full-suite pair (the numbers behind BENCH_PR1.json and
-#            BENCH_PR2.json).
+# bench    — kernel micro-benchmarks, the payload alloc benchmarks,
+#            and the sequential-vs-parallel full-suite pair (the
+#            numbers behind the committed BENCH_*.json baselines).
 
 GO ?= go
 GOFMT ?= gofmt
@@ -23,7 +23,7 @@ GOFMT ?= gofmt
 # `make cover` fails below this.
 COVER_FLOOR ?= 75
 
-.PHONY: tier1 tier1.5 tier2 cover fuzz bench bench-kernel bench-all fmt-check golden
+.PHONY: tier1 tier1.5 tier2 cover fuzz bench bench-kernel bench-payload bench-all fmt-check golden golden-cache-off
 
 # fmt-check fails (listing the offenders) if any file needs gofmt.
 fmt-check:
@@ -41,6 +41,14 @@ golden:
 
 tier1.5:
 	$(GO) vet ./... && $(GO) test -race -timeout 20m ./...
+	$(MAKE) golden-cache-off
+
+# golden-cache-off replays the quick-scale suite with the payload cache
+# disabled (-payload-cache=off path) and compares byte-for-byte against
+# the same goldens the cached run must match: memoization can change
+# cost, never output.
+golden-cache-off:
+	STATEBENCH_CACHE_OFF=1 $(GO) test -run TestQuickOutputCacheOffMatchesGolden -count=1 ./cmd/statebench/
 
 tier2:
 	$(GO) vet ./...
@@ -63,7 +71,10 @@ fuzz:
 bench-kernel:
 	$(GO) test -run - -bench 'Kernel|EventThroughput|ProcContextSwitch' -benchmem ./internal/sim/
 
+bench-payload:
+	$(GO) test -run - -bench 'BenchmarkPayload' -benchmem ./internal/workloads/mlpipe/ ./internal/video/
+
 bench-all:
 	$(GO) test -run - -bench 'SequentialAll|ParallelAll' -benchtime 1x -benchmem .
 
-bench: bench-kernel bench-all
+bench: bench-kernel bench-payload bench-all

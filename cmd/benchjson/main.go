@@ -6,9 +6,12 @@
 //
 //	go test -run - -bench . -benchmem ./internal/sim/ | go run ./cmd/benchjson
 //	go run ./cmd/benchjson -label pr1 < bench.txt
+//	go run ./cmd/benchjson -compare BENCH_PR4.json BENCH_PR5.json
 //
 // Lines that are not benchmark results (goos/pkg headers, PASS/ok) are
-// folded into the document's metadata or ignored.
+// folded into the document's metadata or ignored. The -compare mode
+// prints per-benchmark time and allocation deltas between two committed
+// baselines instead of parsing stdin.
 package main
 
 import (
@@ -21,6 +24,8 @@ import (
 	"runtime"
 	"strconv"
 	"strings"
+	"text/tabwriter"
+	"time"
 )
 
 // Result is one parsed benchmark line.
@@ -59,7 +64,20 @@ func gitCommit() string {
 
 func main() {
 	label := flag.String("label", "", "optional label stored in the JSON document")
+	compare := flag.Bool("compare", false, "compare two benchjson files: benchjson -compare old.json new.json")
 	flag.Parse()
+
+	if *compare {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "usage: benchjson -compare old.json new.json")
+			os.Exit(2)
+		}
+		if err := runCompare(flag.Arg(0), flag.Arg(1)); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	doc := Document{Label: *label, Commit: gitCommit(), GoMaxProcs: runtime.GOMAXPROCS(0)}
 	sc := bufio.NewScanner(os.Stdin)
@@ -92,6 +110,128 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+}
+
+// baselineFile is the committed BENCH_*.json shape: a note plus one
+// Document per labelled `make bench` invocation. A bare Document (as
+// emitted by this tool) is also accepted.
+type baselineFile struct {
+	Note string     `json:"note,omitempty"`
+	Runs []Document `json:"runs,omitempty"`
+}
+
+// readResults loads a baseline and flattens its runs into one result
+// list. When a benchmark name recurs across runs the fastest entry
+// wins, matching how the committed baselines compare minima.
+func readResults(path string) ([]Result, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var bf baselineFile
+	if err := json.Unmarshal(b, &bf); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	docs := bf.Runs
+	if len(docs) == 0 {
+		var doc Document
+		if err := json.Unmarshal(b, &doc); err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		docs = []Document{doc}
+	}
+	var out []Result
+	index := make(map[string]int)
+	for _, doc := range docs {
+		for _, r := range doc.Results {
+			if i, ok := index[r.Name]; ok {
+				if r.NsPerOp < out[i].NsPerOp {
+					out[i] = r
+				}
+				continue
+			}
+			index[r.Name] = len(out)
+			out = append(out, r)
+		}
+	}
+	return out, nil
+}
+
+// runCompare prints per-benchmark deltas between two baselines, matched
+// by benchmark name (including the -N GOMAXPROCS suffix). Benchmarks
+// present in only one document are listed as added or removed.
+func runCompare(oldPath, newPath string) error {
+	oldResults, err := readResults(oldPath)
+	if err != nil {
+		return err
+	}
+	newResults, err := readResults(newPath)
+	if err != nil {
+		return err
+	}
+	oldBy := make(map[string]Result, len(oldResults))
+	for _, r := range oldResults {
+		oldBy[r.Name] = r
+	}
+
+	w := tabwriter.NewWriter(os.Stdout, 0, 0, 2, ' ', 0)
+	fmt.Fprintf(w, "benchmark\told time/op\tnew time/op\tdelta\told allocs/op\tnew allocs/op\tdelta\n")
+	seen := make(map[string]bool, len(newResults))
+	for _, nr := range newResults {
+		seen[nr.Name] = true
+		or, ok := oldBy[nr.Name]
+		if !ok {
+			fmt.Fprintf(w, "%s\t-\t%s\t(new)\t-\t%s\t(new)\n",
+				nr.Name, fmtNs(nr.NsPerOp), fmtAllocs(nr.AllocsPerOp))
+			continue
+		}
+		fmt.Fprintf(w, "%s\t%s\t%s\t%s\t%s\t%s\t%s\n",
+			nr.Name,
+			fmtNs(or.NsPerOp), fmtNs(nr.NsPerOp), fmtDelta(or.NsPerOp, nr.NsPerOp),
+			fmtAllocs(or.AllocsPerOp), fmtAllocs(nr.AllocsPerOp),
+			fmtDeltaAllocs(or.AllocsPerOp, nr.AllocsPerOp))
+	}
+	for _, or := range oldResults {
+		if !seen[or.Name] {
+			fmt.Fprintf(w, "%s\t%s\t-\t(removed)\t%s\t-\t(removed)\n",
+				or.Name, fmtNs(or.NsPerOp), fmtAllocs(or.AllocsPerOp))
+		}
+	}
+	return w.Flush()
+}
+
+func fmtNs(ns float64) string {
+	switch d := time.Duration(ns); {
+	case d < time.Microsecond:
+		return fmt.Sprintf("%.1fns", ns)
+	case d < time.Millisecond:
+		return fmt.Sprintf("%.2fµs", ns/1e3)
+	case d < time.Second:
+		return fmt.Sprintf("%.2fms", ns/1e6)
+	default:
+		return fmt.Sprintf("%.3fs", ns/1e9)
+	}
+}
+
+func fmtAllocs(a *int64) string {
+	if a == nil {
+		return "-"
+	}
+	return strconv.FormatInt(*a, 10)
+}
+
+func fmtDelta(old, new float64) string {
+	if old == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%+.1f%%", (new-old)/old*100)
+}
+
+func fmtDeltaAllocs(old, new *int64) string {
+	if old == nil || new == nil || *old == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%+.1f%%", float64(*new-*old)/float64(*old)*100)
 }
 
 // parseLine parses one result line of the form

@@ -8,6 +8,7 @@ import (
 
 	"statebench/internal/experiments"
 	"statebench/internal/obs/metrics"
+	"statebench/internal/payload"
 )
 
 // golden reads a checked-in reference output captured from the
@@ -89,6 +90,29 @@ func TestQuickMetricsMatchGolden(t *testing.T) {
 	}
 	if buf.String() != want {
 		t.Fatal("metrics exposition diverged from the golden")
+	}
+}
+
+// TestQuickOutputCacheOffMatchesGolden replays the quick suite with the
+// payload cache disabled and demands the same bytes as the cached run's
+// goldens: the cache may change cost, never content. Gated behind
+// STATEBENCH_CACHE_OFF=1 (`make golden-cache-off`, run by tier1.5) so
+// plain tier1 does not pay for the recompute-everything pass twice.
+func TestQuickOutputCacheOffMatchesGolden(t *testing.T) {
+	if os.Getenv("STATEBENCH_CACHE_OFF") == "" {
+		t.Skip("set STATEBENCH_CACHE_OFF=1 (or run `make golden-cache-off`) for the cache-off cross-check")
+	}
+	skipUnderRace(t)
+	for _, workers := range []int{1, 8} {
+		o := quickOpts(workers)
+		o.PayloadCache = payload.Disabled()
+		name := "quick_p1.txt"
+		if workers == 8 {
+			name = "quick_p8.txt"
+		}
+		if got := render(t, o); got != golden(t, name) {
+			t.Fatalf("cache-off output diverged from the golden at -parallel %d", workers)
+		}
 	}
 }
 

@@ -33,6 +33,7 @@
 //	-seed N       simulation master seed
 //	-parallel N   campaign worker pool size (0 = GOMAXPROCS, 1 = sequential)
 //	-metrics FILE collect runtime metrics, write Prometheus text to FILE
+//	-payload-cache on|off  memoize workload payload computation (default on)
 //	-list         list experiment IDs and exit
 //
 // Campaign seeds derive from -seed alone, so -parallel changes
@@ -48,6 +49,7 @@ import (
 
 	"statebench/internal/experiments"
 	"statebench/internal/obs/metrics"
+	"statebench/internal/payload"
 )
 
 func main() {
@@ -71,6 +73,7 @@ func main() {
 	list := flag.Bool("list", false, "list experiment IDs and exit")
 	csv := flag.Bool("csv", false, "emit CSV instead of text tables")
 	metricsOut := flag.String("metrics", "", "collect runtime metrics and write Prometheus text to this file")
+	payloadCache := flag.String("payload-cache", "on", "memoize workload payload computation: on|off (off recomputes every payload; output is byte-identical either way)")
 	flag.Parse()
 
 	if *list {
@@ -89,6 +92,17 @@ func main() {
 	}
 	opts.Seed = *seed
 	opts.Workers = *workers
+	switch *payloadCache {
+	case "on":
+		// Leave opts.PayloadCache nil: RunAll creates a fresh engine per
+		// invocation, so the run is cache-cold but shares computations
+		// across its impls, providers, and repetitions.
+	case "off":
+		opts.PayloadCache = payload.Disabled()
+	default:
+		fmt.Fprintf(os.Stderr, "statebench: -payload-cache must be on or off, got %q\n", *payloadCache)
+		os.Exit(2)
+	}
 	var reg *metrics.Registry
 	if *metricsOut != "" {
 		reg = metrics.NewRegistry()

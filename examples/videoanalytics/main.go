@@ -60,10 +60,14 @@ func main() {
 			if err != nil {
 				return nil, err
 			}
+			v.Release() // chunks hold deep copies
 			keys := make([]any, len(chunks))
+			var buf []byte // Put copies, so one encode buffer serves all chunks
 			for i, c := range chunks {
 				key := fmt.Sprintf("chunks/%03d", i)
-				s3.Put(p, key, video.Encode(c))
+				buf = video.AppendEncode(buf[:0], c)
+				s3.Put(p, key, buf)
+				c.Release()
 				keys[i] = key
 			}
 			return json.Marshal(map[string]any{"chunks": keys})
@@ -96,6 +100,7 @@ func main() {
 				return nil, err
 			}
 			dets := m.DetectVideo(chunk)
+			chunk.Release()
 			out, err := json.Marshal(dets)
 			if err != nil {
 				return nil, err

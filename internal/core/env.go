@@ -8,6 +8,7 @@ import (
 	"statebench/internal/chaos"
 	"statebench/internal/obs"
 	"statebench/internal/obs/span"
+	"statebench/internal/payload"
 	"statebench/internal/platform"
 	"statebench/internal/pricing"
 	"statebench/internal/sim"
@@ -51,6 +52,15 @@ type Env struct {
 	// Chaos is non-nil once EnableChaos has been called; all platform
 	// services of this Env then consult it for fault injection.
 	Chaos *chaos.Injector
+
+	// Payload is the memoization engine workload deployments use for
+	// real payload compute (mlpipe training, video detection). Defaults
+	// to the process-global payload.Shared; campaigns run through
+	// Measure inherit MeasureOptions.PayloadCache instead, so one suite
+	// run shares one engine across impls, providers, and repetitions.
+	// Cached results are byte-identical to fresh recomputes, so the
+	// engine never changes simulated output.
+	Payload *payload.Engine
 }
 
 // NewEnv builds an environment with default calibration parameters.
@@ -70,6 +80,7 @@ func NewEnvWithParams(seed uint64, ap platform.AWSParams, zp platform.AzureParam
 		AWSPrices:   pricing.DefaultAWS(),
 		AzurePrices: pricing.DefaultAzure(),
 		Scratch:     make(map[string]any),
+		Payload:     payload.Shared(),
 	}
 	e.backends = map[CloudKind]Backend{AWS: e.AWS, Azure: e.Azure}
 	return e

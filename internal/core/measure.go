@@ -9,6 +9,7 @@ import (
 	"statebench/internal/obs/metrics"
 	"statebench/internal/obs/span"
 	"statebench/internal/parallel"
+	"statebench/internal/payload"
 	"statebench/internal/pricing"
 	"statebench/internal/sim"
 )
@@ -100,6 +101,14 @@ type MeasureOptions struct {
 	// zero-overhead fast path: no injector is constructed and no
 	// simulated result changes.
 	Chaos *chaos.Plan
+	// PayloadCache is the memoization engine for real payload compute
+	// (see internal/payload). Nil keeps the Env default — the
+	// process-global payload.Shared engine; experiment suites pass a
+	// per-run engine so cold behaviour is uniform, and
+	// payload.Disabled() turns memoization off entirely. Cached results
+	// are byte-identical to fresh recomputes, so this option never
+	// changes measured output.
+	PayloadCache *payload.Engine
 }
 
 // DefaultMeasureOptions returns the paper-like defaults.
@@ -118,6 +127,9 @@ func Measure(wf Workflow, impl Impl, opt MeasureOptions) (*Series, error) {
 		opt.Iters = 1
 	}
 	env := NewEnv(opt.Seed)
+	if opt.PayloadCache != nil {
+		env.Payload = opt.PayloadCache
+	}
 	var tr *span.Tracer
 	if opt.Tracing || opt.Metrics != nil {
 		tr = env.EnableTracing()
@@ -227,10 +239,20 @@ func Measure(wf Workflow, impl Impl, opt MeasureOptions) (*Series, error) {
 // recorded. Keep-alive windows are far below an hour, so every request
 // lands cold.
 func ColdStartCampaign(wf Workflow, impl Impl, hours int, seed uint64, input func(iter int) []byte) (*obs.Samples, error) {
+	return ColdStartCampaignCached(wf, impl, hours, seed, input, nil)
+}
+
+// ColdStartCampaignCached is ColdStartCampaign with an explicit
+// payload engine (nil keeps the Env default), so suite runs share one
+// engine across warm and cold campaigns.
+func ColdStartCampaignCached(wf Workflow, impl Impl, hours int, seed uint64, input func(iter int) []byte, cache *payload.Engine) (*obs.Samples, error) {
 	if !SupportsImpl(wf, impl) {
 		return nil, &UnsupportedImplError{Workflow: wf.Name(), Impl: impl}
 	}
 	env := NewEnv(seed)
+	if cache != nil {
+		env.Payload = cache
+	}
 	dep, err := wf.Deploy(env, impl)
 	if err != nil {
 		return nil, fmt.Errorf("core: deploy %s/%s: %w", wf.Name(), impl, err)

@@ -24,7 +24,7 @@ import (
 // latency-vs-cost tradeoff the paper's §V-B discussion highlights
 // ("the user is responsible to tune the memory configuration").
 func AblationMemory(o Options) (*Report, error) {
-	arts, err := mlpipe.Train(mlpipe.Small)
+	arts, err := mlpipe.TrainWith(o.payloadCache(), mlpipe.Small)
 	if err != nil {
 		return nil, err
 	}
@@ -35,7 +35,9 @@ func AblationMemory(o Options) (*Report, error) {
 		memMB := memories[idx]
 		env := core.NewEnv(o.Seed)
 		s3 := env.AWS.S3
-		s3.Preload("dataset", arts.DatasetCSV)
+		// The dataset bytes are immutable pipeline artifacts; share them
+		// across the sweep points instead of copying per configuration.
+		s3.PreloadShared("dataset", arts.DatasetCSV)
 		// CPU share scales with configured memory (1792 MB = 1 vCPU).
 		speed := float64(memMB) / 1536
 		costs := mlpipe.NewCosts(env.K, fmt.Sprintf("mem-%d", memMB), speed)

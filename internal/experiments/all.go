@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"statebench/internal/parallel"
+	"statebench/internal/payload"
 )
 
 // Runner is a named experiment entry point.
@@ -69,6 +70,12 @@ func Find(id string) (Runner, error) {
 // byte-identical to a sequential run at any worker count; on failure
 // the lowest-numbered runner's error is reported.
 func RunAll(runners []Runner, o Options) ([]*Report, error) {
+	if o.PayloadCache == nil {
+		// Fresh engine per run: every computation happens exactly once
+		// inside this run and never leaks across runs, so benchmark
+		// numbers don't depend on in-process call order.
+		o.PayloadCache = payload.NewEngine()
+	}
 	results, err := parallel.Map(o.Workers, len(runners), func(i int) ([]*Report, error) {
 		reports, err := runners[i].Run(o)
 		if err != nil {
@@ -78,6 +85,12 @@ func RunAll(runners []Runner, o Options) ([]*Report, error) {
 	})
 	if err != nil {
 		return nil, err
+	}
+	// One emission per run, after every campaign has finished: totals
+	// are worker-count-independent (misses = distinct keys, hits =
+	// lookups - misses), unlike any per-campaign split.
+	if o.Metrics != nil {
+		o.PayloadCache.EmitTo(o.Metrics)
 	}
 	var out []*Report
 	for _, reports := range results {

@@ -12,6 +12,7 @@ import (
 	"statebench/internal/core"
 	"statebench/internal/obs"
 	"statebench/internal/obs/metrics"
+	"statebench/internal/payload"
 )
 
 // Report is one regenerated table or figure.
@@ -84,6 +85,15 @@ type Options struct {
 	// are deterministic at any Workers setting. Report output is
 	// byte-identical with or without it.
 	Metrics *metrics.Registry
+	// PayloadCache is the payload-compute memoization engine shared by
+	// every campaign of the run. Nil makes RunAll create a fresh engine
+	// per invocation, so each suite run is uniformly cache-cold inside
+	// itself while still reusing each computation across its impls,
+	// providers, and repetitions; payload.Disabled() turns memoization
+	// off (the -payload-cache=off escape hatch). Either way the
+	// rendered reports are byte-identical: cached results equal fresh
+	// recomputes byte for byte.
+	PayloadCache *payload.Engine
 }
 
 // DefaultOptions reproduces the paper's campaign sizes.
@@ -122,4 +132,15 @@ func applyObs(o Options, m *core.MeasureOptions) {
 		m.Metrics = o.Metrics
 		m.Tracing = true
 	}
+	m.PayloadCache = o.payloadCache()
+}
+
+// payloadCache returns the run's payload engine, falling back to the
+// process-global one for drivers invoked with bare Options (tests
+// calling an experiment function directly).
+func (o Options) payloadCache() *payload.Engine {
+	if o.PayloadCache != nil {
+		return o.PayloadCache
+	}
+	return payload.Shared()
 }

@@ -159,7 +159,7 @@ func Fig10(o Options) (*Report, error) {
 	// The per-style cold-start sweeps are day-scale virtual campaigns;
 	// fan them out one style per worker.
 	perStyle, err := parallel.Map(o.Workers, len(impls), func(i int) (*obs.Samples, error) {
-		return core.ColdStartCampaign(wf, impls[i], o.ColdHours, o.Seed, nil)
+		return core.ColdStartCampaignCached(wf, impls[i], o.ColdHours, o.Seed, nil, o.payloadCache())
 	})
 	if err != nil {
 		return nil, err

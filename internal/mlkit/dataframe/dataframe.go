@@ -195,9 +195,13 @@ func (df *DataFrame) NumericMatrix() [][]float64 {
 			numCols = append(numCols, c)
 		}
 	}
+	// One flat backing array for the whole matrix: identical values, two
+	// allocations instead of one per row.
+	d := len(numCols)
+	backing := make([]float64, rows*d)
 	m := make([][]float64, rows)
 	for i := range m {
-		m[i] = make([]float64, len(numCols))
+		m[i] = backing[i*d : (i+1)*d : (i+1)*d]
 		for j, c := range numCols {
 			m[i][j] = c.Nums[i]
 		}

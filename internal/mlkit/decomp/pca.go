@@ -101,11 +101,15 @@ func FitPCA(X [][]float64, nComponents int) (*PCA, error) {
 func (p *PCA) Transform(X [][]float64) ([][]float64, error) {
 	d := len(p.Mean)
 	out := make([][]float64, len(X))
+	// One flat backing array for every projected row: identical values,
+	// two allocations instead of one per row.
+	k := len(p.Components)
+	backing := make([]float64, len(X)*k)
 	for i, row := range X {
 		if len(row) != d {
 			return nil, fmt.Errorf("decomp: row has %d features, PCA fitted on %d", len(row), d)
 		}
-		proj := make([]float64, len(p.Components))
+		proj := backing[i*k : (i+1)*k : (i+1)*k]
 		for c, comp := range p.Components {
 			var s float64
 			for j := 0; j < d; j++ {

@@ -40,10 +40,14 @@ func (m *RandomForestRegressor) Fit(X [][]float64, y []float64) error {
 	rng := sim.NewRNG(m.Seed ^ 0x9e3779b97f4a7c15)
 	n := len(X)
 	m.Trees = m.Trees[:0]
+	// One bootstrap buffer and one rng closure serve every tree: Fit
+	// never retains bx/by (nodes store thresholds, not rows), so the
+	// next tree can overwrite them.
+	bx := make([][]float64, n)
+	by := make([]float64, n)
+	pick := func(k int) int { return rng.Intn(k) }
+	var prev *RegressionTree
 	for t := 0; t < m.NumTrees; t++ {
-		// Bootstrap sample.
-		bx := make([][]float64, n)
-		by := make([]float64, n)
 		for i := 0; i < n; i++ {
 			j := rng.Intn(n)
 			bx[i] = X[j]
@@ -53,12 +57,21 @@ func (m *RandomForestRegressor) Fit(X [][]float64, y []float64) error {
 			MaxDepth:       m.MaxDepth,
 			MinSamplesLeaf: m.MinSamplesLeaf,
 			MaxFeatures:    maxFeat,
-			rng:            func(k int) int { return rng.Intn(k) },
+			rng:            pick,
+		}
+		if prev != nil {
+			// Hand the previous tree's split scratch forward; Fit grows
+			// it on demand, so the whole ensemble allocates it once.
+			tree.scratchFeats, tree.scratchVals, tree.scratchIdx = prev.scratchFeats, prev.scratchVals, prev.scratchIdx
 		}
 		if err := tree.Fit(bx, by); err != nil {
 			return fmt.Errorf("ensemble: tree %d: %w", t, err)
 		}
 		m.Trees = append(m.Trees, tree)
+		prev = tree
+	}
+	for _, tree := range m.Trees {
+		tree.scratchFeats, tree.scratchVals, tree.scratchIdx = nil, nil, nil
 	}
 	return nil
 }
@@ -69,9 +82,9 @@ func (m *RandomForestRegressor) Predict(X [][]float64) ([]float64, error) {
 		return nil, fmt.Errorf("ensemble: forest not fitted")
 	}
 	out := make([]float64, len(X))
+	p := make([]float64, len(X))
 	for _, tree := range m.Trees {
-		p, err := tree.Predict(X)
-		if err != nil {
+		if err := tree.predictInto(X, p); err != nil {
 			return nil, err
 		}
 		for i, v := range p {

@@ -5,7 +5,6 @@
 package ensemble
 
 import (
-	"cmp"
 	"fmt"
 	"math"
 	"slices"
@@ -39,7 +38,17 @@ type RegressionTree struct {
 	// rng returns pseudo-random ints for feature subsampling; injected
 	// by the forest for determinism. Nil means deterministic order.
 	rng func(n int) int
+
+	// Per-Fit scratch buffers, sized once in Fit and reused across every
+	// node's split search and partition. Unexported, so fitted trees
+	// gob-encode exactly as before.
+	scratchFeats []int
+	scratchVals  []splitPair
+	scratchIdx   []int
 }
+
+// splitPair is one (feature value, target) sample in a split scan.
+type splitPair struct{ x, y float64 }
 
 // Fit grows the tree on X, y.
 func (t *RegressionTree) Fit(X [][]float64, y []float64) error {
@@ -53,6 +62,15 @@ func (t *RegressionTree) Fit(X [][]float64, y []float64) error {
 	idx := make([]int, len(X))
 	for i := range idx {
 		idx[i] = i
+	}
+	if cap(t.scratchFeats) < t.NumFeatures {
+		t.scratchFeats = make([]int, t.NumFeatures)
+	}
+	if cap(t.scratchVals) < len(X) {
+		t.scratchVals = make([]splitPair, len(X))
+	}
+	if cap(t.scratchIdx) < len(X) {
+		t.scratchIdx = make([]int, len(X))
 	}
 	t.Nodes = t.Nodes[:0]
 	t.grow(X, y, idx, 0)
@@ -75,19 +93,29 @@ func (t *RegressionTree) grow(X [][]float64, y []float64, idx []int, depth int) 
 	if !ok {
 		return self
 	}
-	var left, right []int
+	// Stable in-place partition of idx into [left | right] via the shared
+	// scratch: rows going right park in scratchIdx while left rows
+	// compact into the prefix, preserving relative order on both sides —
+	// the same order the old append-based split produced. The scratch is
+	// done before either recursive call, so one buffer serves all nodes.
+	right := t.scratchIdx[:0]
+	nl := 0
 	for _, i := range idx {
 		if X[i][feat] <= thr {
-			left = append(left, i)
+			idx[nl] = i
+			nl++
 		} else {
 			right = append(right, i)
 		}
 	}
-	if len(left) < t.MinSamplesLeaf || len(right) < t.MinSamplesLeaf {
+	if nl < t.MinSamplesLeaf || len(right) < t.MinSamplesLeaf {
+		// The split is void; idx's prefix was already compacted, but no
+		// caller reads idx after grow returns, so no restore is needed.
 		return self
 	}
-	l := t.grow(X, y, left, depth+1)
-	r := t.grow(X, y, right, depth+1)
+	copy(idx[nl:], right)
+	l := t.grow(X, y, idx[:nl], depth+1)
+	r := t.grow(X, y, idx[nl:], depth+1)
 	t.Nodes[self].Feature = feat
 	t.Nodes[self].Threshold = thr
 	t.Nodes[self].Left = l
@@ -99,7 +127,7 @@ func (t *RegressionTree) grow(X [][]float64, y []float64, idx []int, depth int) 
 // variance over a feature subsample.
 func (t *RegressionTree) bestSplit(X [][]float64, y []float64, idx []int) (int, float64, bool) {
 	d := len(X[0])
-	feats := make([]int, d)
+	feats := t.scratchFeats[:d]
 	for i := range feats {
 		feats[i] = i
 	}
@@ -116,13 +144,23 @@ func (t *RegressionTree) bestSplit(X [][]float64, y []float64, idx []int) (int, 
 	bestScore := math.Inf(1)
 	bestFeat, bestThr := -1, 0.0
 
-	type pair struct{ x, y float64 }
-	vals := make([]pair, len(idx))
+	vals := t.scratchVals[:len(idx)]
 	for _, f := range feats {
 		for i, row := range idx {
-			vals[i] = pair{x: X[row][f], y: y[row]}
+			vals[i] = splitPair{x: X[row][f], y: y[row]}
 		}
-		slices.SortFunc(vals, func(a, b pair) int { return cmp.Compare(a.x, b.x) })
+		// Manual comparator: feature values are never NaN, so this orders
+		// identically to cmp.Compare without its NaN branches.
+		slices.SortFunc(vals, func(a, b splitPair) int {
+			switch {
+			case a.x < b.x:
+				return -1
+			case a.x > b.x:
+				return 1
+			default:
+				return 0
+			}
+		})
 
 		// Prefix sums for O(n) split scan.
 		n := len(vals)
@@ -156,13 +194,22 @@ func (t *RegressionTree) bestSplit(X [][]float64, y []float64, idx []int) (int, 
 
 // Predict evaluates the tree for each row.
 func (t *RegressionTree) Predict(X [][]float64) ([]float64, error) {
-	if len(t.Nodes) == 0 {
-		return nil, fmt.Errorf("ensemble: tree not fitted")
-	}
 	out := make([]float64, len(X))
+	if err := t.predictInto(X, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// predictInto evaluates the tree into a caller-provided slice, letting
+// the forest reuse one buffer across its trees.
+func (t *RegressionTree) predictInto(X [][]float64, out []float64) error {
+	if len(t.Nodes) == 0 {
+		return fmt.Errorf("ensemble: tree not fitted")
+	}
 	for i, row := range X {
 		if len(row) != t.NumFeatures {
-			return nil, fmt.Errorf("ensemble: row has %d features, tree fitted on %d", len(row), t.NumFeatures)
+			return fmt.Errorf("ensemble: row has %d features, tree fitted on %d", len(row), t.NumFeatures)
 		}
 		n := 0
 		for t.Nodes[n].Feature >= 0 {
@@ -175,7 +222,7 @@ func (t *RegressionTree) Predict(X [][]float64) ([]float64, error) {
 		}
 		out[i] = t.Nodes[n].Value
 	}
-	return out, nil
+	return nil
 }
 
 // Depth returns the tree's maximum depth.

@@ -5,7 +5,6 @@
 package neighbors
 
 import (
-	"cmp"
 	"fmt"
 	"math"
 	"slices"
@@ -45,11 +44,16 @@ func (m *KNeighborsRegressor) Fit(X [][]float64, y []float64) error {
 	}
 	d := len(X[0])
 	m.XTrain = make([][]float64, len(X))
+	// One flat backing array for the memorized rows: same values (and
+	// the same gob encoding), two allocations instead of len(X)+1.
+	backing := make([]float64, len(X)*d)
 	for i := range X {
 		if len(X[i]) != d {
 			return fmt.Errorf("neighbors: ragged matrix at row %d", i)
 		}
-		m.XTrain[i] = append([]float64(nil), X[i]...)
+		row := backing[i*d : (i+1)*d : (i+1)*d]
+		copy(row, X[i])
+		m.XTrain[i] = row
 	}
 	m.YTrain = append([]float64(nil), y...)
 	return nil
@@ -65,11 +69,13 @@ func (m *KNeighborsRegressor) Predict(X [][]float64) ([]float64, error) {
 		dist float64
 		y    float64
 	}
+	// One candidate buffer serves every query row: the sort consumes it
+	// before the next row refills it.
+	cands := make([]cand, len(m.XTrain))
 	for qi, q := range X {
 		if len(q) != len(m.XTrain[0]) {
 			return nil, fmt.Errorf("neighbors: query has %d features, model has %d", len(q), len(m.XTrain[0]))
 		}
-		cands := make([]cand, len(m.XTrain))
 		for i, row := range m.XTrain {
 			var s float64
 			for j := range row {
@@ -78,7 +84,18 @@ func (m *KNeighborsRegressor) Predict(X [][]float64) ([]float64, error) {
 			}
 			cands[i] = cand{dist: math.Sqrt(s), y: m.YTrain[i]}
 		}
-		slices.SortFunc(cands, func(a, b cand) int { return cmp.Compare(a.dist, b.dist) })
+		// Manual comparator: distances are never NaN, so this orders
+		// identically to cmp.Compare without its NaN branches.
+		slices.SortFunc(cands, func(a, b cand) int {
+			switch {
+			case a.dist < b.dist:
+				return -1
+			case a.dist > b.dist:
+				return 1
+			default:
+				return 0
+			}
+		})
 		top := cands[:m.K]
 		switch m.Weights {
 		case Distance:

@@ -48,13 +48,22 @@ func FitOneHot(df *dataframe.DataFrame) *OneHotEncoder {
 func (e *OneHotEncoder) Transform(df *dataframe.DataFrame) (*dataframe.DataFrame, error) {
 	out := dataframe.New()
 	rows := df.NumRows()
+	// All indicator columns share one flat backing array: identical
+	// values, one allocation for the whole encoded block.
+	total := 0
+	for _, name := range e.Cols {
+		total += len(e.Vocab[name])
+	}
+	backing := make([]float64, rows*total)
+	next := 0
 	for _, name := range e.Cols {
 		col, ok := df.Column(name)
 		if !ok || col.Type != dataframe.Categorical {
 			return nil, fmt.Errorf("preprocess: frame missing categorical column %q", name)
 		}
 		for _, cat := range e.Vocab[name] {
-			ind := make([]float64, rows)
+			ind := backing[next*rows : (next+1)*rows : (next+1)*rows]
+			next++
 			for i, v := range col.Cats {
 				if v == cat {
 					ind[i] = 1
@@ -121,11 +130,14 @@ func FitStandard(X [][]float64) *StandardScaler {
 // Transform returns the standardized copy of X.
 func (s *StandardScaler) Transform(X [][]float64) ([][]float64, error) {
 	out := make([][]float64, len(X))
+	cols := len(s.Mean)
+	// Flat backing array: identical values, two allocations total.
+	backing := make([]float64, len(X)*cols)
 	for i := range X {
-		if len(X[i]) != len(s.Mean) {
-			return nil, fmt.Errorf("preprocess: row has %d features, scaler fitted on %d", len(X[i]), len(s.Mean))
+		if len(X[i]) != cols {
+			return nil, fmt.Errorf("preprocess: row has %d features, scaler fitted on %d", len(X[i]), cols)
 		}
-		out[i] = make([]float64, len(X[i]))
+		out[i] = backing[i*cols : (i+1)*cols : (i+1)*cols]
 		for j := range X[i] {
 			out[i][j] = (X[i][j] - s.Mean[j]) / s.Std[j]
 		}
@@ -164,11 +176,14 @@ func FitMinMax(X [][]float64) *MinMaxScaler {
 // Transform returns the rescaled copy of X (constant columns map to 0).
 func (s *MinMaxScaler) Transform(X [][]float64) ([][]float64, error) {
 	out := make([][]float64, len(X))
+	cols := len(s.Min)
+	// Flat backing array: identical values, two allocations total.
+	backing := make([]float64, len(X)*cols)
 	for i := range X {
-		if len(X[i]) != len(s.Min) {
-			return nil, fmt.Errorf("preprocess: row has %d features, scaler fitted on %d", len(X[i]), len(s.Min))
+		if len(X[i]) != cols {
+			return nil, fmt.Errorf("preprocess: row has %d features, scaler fitted on %d", len(X[i]), cols)
 		}
-		out[i] = make([]float64, len(X[i]))
+		out[i] = backing[i*cols : (i+1)*cols : (i+1)*cols]
 		for j := range X[i] {
 			span := s.Max[j] - s.Min[j]
 			if span == 0 {

@@ -243,6 +243,17 @@ func (a Active) Context() sim.TraceContext {
 	return sim.TraceContext{TraceID: a.s.TraceID, SpanID: a.s.SpanID}
 }
 
+// Annotate attaches attributes to the span before it ends — a
+// zero-cost bookkeeping write, consuming no virtual time. No-op on a
+// disabled handle; callers should guard attr construction on Live()
+// to keep the disabled path allocation-free.
+func (a *Active) Annotate(attrs ...Attr) {
+	if a.t == nil {
+		return
+	}
+	a.s.Attrs = append(a.s.Attrs, attrs...)
+}
+
 // End finishes the span at now and records it, with optional
 // annotations. No-op on a disabled handle. Callers that build attrs
 // should guard on Live() to keep the disabled path allocation-free.

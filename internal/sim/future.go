@@ -11,7 +11,18 @@ type Future[T any] struct {
 	val     T
 	err     error
 	waiters []*Proc
-	cbs     []func(T, error)
+	cbs     []completion[T]
+}
+
+// completion is one registered completion action: a callback when fn
+// is non-nil, otherwise a timed waiter (AwaitTimeout) to be woken
+// through the kernel's conditional-unpark event — the closure-free
+// path. The two live in one ordered list so completion order between
+// callbacks and timed waiters is exactly registration order.
+type completion[T any] struct {
+	fn  func(T, error)
+	p   *Proc
+	gen uint64
 }
 
 // NewFuture returns an incomplete future bound to k.
@@ -38,9 +49,13 @@ func (f *Future[T]) Complete(v T, err error) {
 		w.wake(0)
 	}
 	f.waiters = nil
-	for _, cb := range f.cbs {
-		cb := cb
-		f.k.After(0, func() { cb(v, err) })
+	for _, c := range f.cbs {
+		if c.fn != nil {
+			cb := c.fn
+			f.k.After(0, func() { cb(v, err) })
+		} else {
+			f.k.pushCondUnpark(0, c.p, c.gen)
+		}
 	}
 	f.cbs = nil
 }
@@ -67,20 +82,10 @@ func (f *Future[T]) AwaitTimeout(p *Proc, d time.Duration) (v T, err error, ok b
 	if f.done {
 		return f.val, f.err, true
 	}
-	fired := false
-	woken := false
-	f.cbs = append(f.cbs, func(T, error) {
-		if !fired && !woken {
-			woken = true
-			p.wake(0)
-		}
-	})
-	p.k.After(d, func() {
-		if !woken {
-			fired = true
-			p.wake(0)
-		}
-	})
+	p.awaitGen++
+	gen := p.awaitGen
+	f.cbs = append(f.cbs, completion[T]{p: p, gen: gen})
+	p.k.pushCondUnpark(d, p, gen)
 	p.park()
 	if f.done {
 		return f.val, f.err, true
@@ -97,7 +102,7 @@ func (f *Future[T]) OnComplete(cb func(T, error)) {
 		f.k.After(0, func() { cb(v, err) })
 		return
 	}
-	f.cbs = append(f.cbs, cb)
+	f.cbs = append(f.cbs, completion[T]{fn: cb})
 }
 
 // CompletedFuture returns a future already resolved with v and err.

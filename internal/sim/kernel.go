@@ -31,7 +31,10 @@ import (
 // of the simulation.
 type Time = time.Duration
 
-// event is a scheduled callback.
+// event is a scheduled callback. The struct is deliberately kept at
+// three words: the heap stores events by value, so every extra field
+// is copied on every sift — widening it measurably slows the
+// push/pop hot path.
 type event struct {
 	at  Time
 	seq int64
@@ -155,6 +158,38 @@ func (k *Kernel) After(d time.Duration, fn func()) {
 		d = 0
 	}
 	k.At(k.now+d, fn)
+}
+
+// pushUnpark schedules p's resume d from now without allocating: the
+// closure is the per-process unparkFn bound once at spawn — the hot
+// path behind Proc.wake (and so Sleep), millions of events per
+// campaign, which used to allocate a method value each.
+func (k *Kernel) pushUnpark(d time.Duration, p *Proc) {
+	if d < 0 {
+		d = 0
+	}
+	k.seq++
+	k.pq.push(event{at: k.now + d, seq: k.seq, fn: p.unparkFn})
+}
+
+// pushCondUnpark schedules a conditional wake-up d from now: when the
+// event fires, p is resumed — through a second unpark event, keeping
+// the two-hop event shape (and therefore the sequence-number layout)
+// of the flag-based path it replaced — only if p's await generation
+// still equals gen. A stale generation means the other side of a
+// timeout race already woke the process, and the event is a no-op.
+// The one closure allocated here is per timed await, not per wake.
+func (k *Kernel) pushCondUnpark(d time.Duration, p *Proc, gen uint64) {
+	if d < 0 {
+		d = 0
+	}
+	k.seq++
+	k.pq.push(event{at: k.now + d, seq: k.seq, fn: func() {
+		if p.awaitGen == gen {
+			p.awaitGen++
+			k.pushUnpark(0, p)
+		}
+	}})
 }
 
 // Run executes events until the queue is empty or Stop is called.

@@ -33,6 +33,18 @@ type Proc struct {
 
 	resume chan struct{}
 	dead   bool
+
+	// unparkFn is unpark bound as a method value once at spawn, so that
+	// pushUnpark — the Sleep/wake hot path, millions of events per
+	// campaign — never allocates a closure per wake-up.
+	unparkFn func()
+
+	// awaitGen is the process's current timed-await generation. Each
+	// Future.AwaitTimeout bumps it and tags both the timer event and
+	// the future-completion entry with the new value; whichever fires
+	// first while the generation still matches bumps it again, turning
+	// the loser into a no-op. Closure-free timeout cancellation.
+	awaitGen uint64
 }
 
 // Spawn creates a process named name and schedules it to start at the
@@ -41,6 +53,7 @@ type Proc struct {
 func (k *Kernel) Spawn(name string, fn func(p *Proc)) *Proc {
 	k.procSeq++
 	p := &Proc{k: k, id: k.procSeq, name: name, resume: make(chan struct{})}
+	p.unparkFn = p.unpark
 	k.live++
 	k.After(0, func() {
 		go func() {
@@ -59,6 +72,7 @@ func (k *Kernel) Spawn(name string, fn func(p *Proc)) *Proc {
 func (k *Kernel) SpawnAfter(d Time, name string, fn func(p *Proc)) *Proc {
 	k.procSeq++
 	p := &Proc{k: k, id: k.procSeq, name: name, resume: make(chan struct{})}
+	p.unparkFn = p.unpark
 	k.live++
 	k.After(d, func() {
 		go func() {
@@ -100,7 +114,7 @@ func (p *Proc) unpark() {
 // wake schedules the process to be resumed after d. Safe to call from
 // either kernel or process context.
 func (p *Proc) wake(d Time) {
-	p.k.After(d, p.unpark)
+	p.k.pushUnpark(d, p)
 }
 
 // Kernel returns the kernel this process belongs to.

@@ -36,6 +36,25 @@ func BenchmarkDecode(b *testing.B) {
 	}
 }
 
+// BenchmarkPayloadFaceDetect measures one cache-cold decode + detect of
+// a benchmark chunk — the detect stage's real compute — pinning the
+// frame-pool and detector-scratch work.
+func BenchmarkPayloadFaceDetect(b *testing.B) {
+	v, _ := benchClip(12)
+	data := Encode(v)
+	m := DefaultModel(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		chunk, err := Decode(data)
+		if err != nil {
+			b.Fatal(err)
+		}
+		m.DetectVideo(chunk)
+		chunk.Release()
+	}
+}
+
 func BenchmarkSplitMerge(b *testing.B) {
 	v, _ := benchClip(48)
 	b.ResetTimer()

@@ -16,7 +16,13 @@ const codecMagic = 0x53564944 // "SVID"
 // Encode serializes the video: header, then per-frame RLE of (count,
 // value) byte pairs.
 func Encode(v *Video) []byte {
-	buf := make([]byte, 0, len(v.Frames)*v.W*v.H/4+64)
+	return AppendEncode(make([]byte, 0, len(v.Frames)*v.W*v.H/4+64), v)
+}
+
+// AppendEncode appends the encoded stream to dst — which may be a
+// recycled buffer with spare capacity — and returns the extended slice.
+func AppendEncode(dst []byte, v *Video) []byte {
+	buf := dst
 	var hdr [20]byte
 	binary.LittleEndian.PutUint32(hdr[0:], codecMagic)
 	binary.LittleEndian.PutUint32(hdr[4:], uint32(v.W))
@@ -71,7 +77,9 @@ func Decode(data []byte) (*Video, error) {
 		if pos+flen > len(data) {
 			return nil, fmt.Errorf("video: frame %d overruns buffer", fi)
 		}
-		fr := NewFrame(w, h)
+		// Pooled frame: the RLE fill below writes every pixel (enforced
+		// by the out != len check), so stale pool contents never leak.
+		fr := getFrame(w, h)
 		out := 0
 		for p := pos; p < pos+flen; p += 2 {
 			if p+1 >= len(data) {

@@ -6,6 +6,7 @@ import (
 	"encoding/gob"
 	"fmt"
 	"slices"
+	"sync"
 )
 
 // DetectorModel is the "pretrained model" of the paper's workload: the
@@ -72,8 +73,23 @@ type integralImage struct {
 	sum  []int64
 }
 
-func newIntegral(f *Frame) *integralImage {
-	ii := &integralImage{w: f.W + 1, h: f.H + 1, sum: make([]int64, (f.W+1)*(f.H+1))}
+// reset recomputes the table for f in place, reusing the sum buffer.
+// Only the border row/column needs explicit zeroing on reuse — the
+// interior is fully overwritten.
+func (ii *integralImage) reset(f *Frame) {
+	ii.w, ii.h = f.W+1, f.H+1
+	n := ii.w * ii.h
+	if cap(ii.sum) < n {
+		ii.sum = make([]int64, n)
+	} else {
+		ii.sum = ii.sum[:n]
+		for x := 0; x < ii.w; x++ {
+			ii.sum[x] = 0
+		}
+		for y := 1; y < ii.h; y++ {
+			ii.sum[y*ii.w] = 0
+		}
+	}
 	for y := 1; y <= f.H; y++ {
 		var rowSum int64
 		for x := 1; x <= f.W; x++ {
@@ -81,8 +97,18 @@ func newIntegral(f *Frame) *integralImage {
 			ii.sum[y*ii.w+x] = ii.sum[(y-1)*ii.w+x] + rowSum
 		}
 	}
-	return ii
 }
+
+// detectScratch holds one frame's transient detection buffers: the
+// summed-area table and the pre-NMS candidate list. Pooled because the
+// detector runs per frame per chunk per worker — the dominant transient
+// allocation of the real video payload.
+type detectScratch struct {
+	ii    integralImage
+	cands []Detection
+}
+
+var detectPool = sync.Pool{New: func() any { return new(detectScratch) }}
 
 // rectSum returns the pixel sum over [x, x+w) x [y, y+h).
 func (ii *integralImage) rectSum(x, y, w, h int) int64 {
@@ -100,12 +126,16 @@ type Detection struct {
 // center brightness minus surround brightness, then applies greedy
 // non-maximum suppression.
 func (m *DetectorModel) DetectFrame(f *Frame) []Detection {
-	ii := newIntegral(f)
+	scratch := detectPool.Get().(*detectScratch)
+	defer detectPool.Put(scratch)
+	ii := &scratch.ii
+	ii.reset(f)
 	stride := m.Stride
 	if stride < 1 {
 		stride = 1
 	}
-	var cands []Detection
+	cands := scratch.cands[:0]
+	defer func() { scratch.cands = cands[:0] }()
 	for _, win := range m.WindowSizes {
 		if win >= f.W || win >= f.H {
 			continue

@@ -8,6 +8,7 @@ package video
 
 import (
 	"fmt"
+	"sync"
 
 	"statebench/internal/sim"
 )
@@ -23,15 +24,45 @@ func NewFrame(w, h int) *Frame {
 	return &Frame{W: w, H: h, Pix: make([]uint8, w*h)}
 }
 
+// framePool recycles frame headers and pixel planes between decode or
+// clone and Release: the chunked pipeline decodes, scans, and discards
+// thousands of frames per campaign.
+var framePool = sync.Pool{New: func() any { return new(Frame) }}
+
+// getFrame returns a pooled frame whose pixel contents are undefined;
+// every caller must overwrite the full plane before the frame is read.
+func getFrame(w, h int) *Frame {
+	f := framePool.Get().(*Frame)
+	f.W, f.H = w, h
+	if cap(f.Pix) < w*h {
+		f.Pix = make([]uint8, w*h)
+	} else {
+		f.Pix = f.Pix[:w*h]
+	}
+	return f
+}
+
+// Release returns the video's frames to the frame pool and empties the
+// video. Call it only when no alias of the frames (or their Pix slices)
+// survives — typically on a decoded chunk after detection finishes.
+func (v *Video) Release() {
+	for i, f := range v.Frames {
+		v.Frames[i] = nil
+		framePool.Put(f)
+	}
+	v.Frames = v.Frames[:0]
+}
+
 // At returns the pixel at (x, y).
 func (f *Frame) At(x, y int) uint8 { return f.Pix[y*f.W+x] }
 
 // Set writes the pixel at (x, y).
 func (f *Frame) Set(x, y int, v uint8) { f.Pix[y*f.W+x] = v }
 
-// Clone returns a deep copy.
+// Clone returns a deep copy. The copy draws from the frame pool, so a
+// later Release of the owning video recycles it.
 func (f *Frame) Clone() *Frame {
-	cp := NewFrame(f.W, f.H)
+	cp := getFrame(f.W, f.H)
 	copy(cp.Pix, f.Pix)
 	return cp
 }

@@ -235,7 +235,8 @@ func TestIntegralImage(t *testing.T) {
 	for i := range f.Pix {
 		f.Pix[i] = uint8(i + 1) // 1..12
 	}
-	ii := newIntegral(f)
+	var ii integralImage
+	ii.reset(f)
 	if got := ii.rectSum(0, 0, 4, 3); got != 78 {
 		t.Fatalf("full sum = %d, want 78", got)
 	}
@@ -244,6 +245,19 @@ func TestIntegralImage(t *testing.T) {
 	}
 	if got := ii.rectSum(0, 0, 1, 1); got != 1 {
 		t.Fatalf("corner = %d", got)
+	}
+	// Reuse with a smaller frame must re-zero the border row/column
+	// left over from the larger layout.
+	small := NewFrame(2, 2)
+	for i := range small.Pix {
+		small.Pix[i] = 10
+	}
+	ii.reset(small)
+	if got := ii.rectSum(0, 0, 2, 2); got != 40 {
+		t.Fatalf("reused full sum = %d, want 40", got)
+	}
+	if got := ii.rectSum(1, 0, 1, 2); got != 20 {
+		t.Fatalf("reused column sum = %d, want 20", got)
 	}
 }
 

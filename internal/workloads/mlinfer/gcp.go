@@ -6,6 +6,7 @@ import (
 
 	"statebench/internal/core"
 	"statebench/internal/gcp"
+	"statebench/internal/payload"
 	"statebench/internal/sim"
 	"statebench/internal/workloads/mlpipe"
 )
@@ -39,8 +40,8 @@ func deployGCPWflow(env *core.Env, size mlpipe.DatasetSize, arts *mlpipe.Artifac
 	sfx := "-" + string(size)
 
 	stage := func(name, artifact string, busy func() time.Duration, outBytes int) gcp.Handler {
-		return func(ctx *gcp.Context, payload []byte) ([]byte, error) {
-			m, err := parse(payload)
+		return func(ctx *gcp.Context, input []byte) ([]byte, error) {
+			m, err := parse(input)
 			if err != nil {
 				return nil, err
 			}
@@ -55,7 +56,7 @@ func deployGCPWflow(env *core.Env, size mlpipe.DatasetSize, arts *mlpipe.Artifac
 			ctx.Busy(rehydrate(len(art)))
 			ctx.Busy(busy())
 			key := runKey(m.Run, name)
-			gcs.Put(p, key, make([]byte, outBytes))
+			gcs.PutShared(p, key, payload.Zeros(outBytes))
 			return marshal(msg{Run: m.Run, Key: key}), nil
 		}
 	}
@@ -79,8 +80,8 @@ func deployGCPWflow(env *core.Env, size mlpipe.DatasetSize, arts *mlpipe.Artifac
 	}
 	if _, err := gc.Functions.Register(gcp.Config{
 		Name: "inf-predict" + sfx, MemoryMB: 2048, ConsumedMemMB: mlpipe.MemInference, CodeSizeMB: 271.2 / 4,
-		Handler: func(ctx *gcp.Context, payload []byte) ([]byte, error) {
-			m, err := parse(payload)
+		Handler: func(ctx *gcp.Context, input []byte) ([]byte, error) {
+			m, err := parse(input)
 			if err != nil {
 				return nil, err
 			}
@@ -95,7 +96,7 @@ func deployGCPWflow(env *core.Env, size mlpipe.DatasetSize, arts *mlpipe.Artifac
 			ctx.Busy(rehydrate(len(model)))
 			ctx.Busy(costs.Predict(size))
 			key := runKey(m.Run, "predictions")
-			gcs.Put(p, key, make([]byte, resultBytes(size)))
+			gcs.PutShared(p, key, payload.Zeros(resultBytes(size)))
 			return marshal(msg{Run: m.Run, Key: key}), nil
 		},
 	}); err != nil {

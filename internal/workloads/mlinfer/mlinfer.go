@@ -26,6 +26,7 @@ import (
 	"statebench/internal/azure/durable"
 	"statebench/internal/azure/functions"
 	"statebench/internal/core"
+	"statebench/internal/payload"
 	"statebench/internal/sim"
 	"statebench/internal/workloads/mlpipe"
 )
@@ -82,7 +83,7 @@ func (w *Workflow) Deploy(env *core.Env, impl core.Impl) (*core.Deployment, erro
 	if !ok {
 		return nil, &core.UnsupportedImplError{Workflow: w.Name(), Impl: impl}
 	}
-	arts, err := mlpipe.Train(w.Size)
+	arts, err := mlpipe.TrainWith(env.Payload, w.Size)
 	if err != nil {
 		return nil, fmt.Errorf("mlinfer: prepare artifacts: %w", err)
 	}
@@ -138,8 +139,8 @@ func deployAWSStep(env *core.Env, size mlpipe.DatasetSize, arts *mlpipe.Artifact
 	sfx := "-" + string(size)
 
 	stage := func(name, artifact string, busy func() time.Duration, inBytes, outBytes int) lambda.Handler {
-		return func(ctx *lambda.Context, payload []byte) ([]byte, error) {
-			m, err := parse(payload)
+		return func(ctx *lambda.Context, input []byte) ([]byte, error) {
+			m, err := parse(input)
 			if err != nil {
 				return nil, err
 			}
@@ -154,7 +155,7 @@ func deployAWSStep(env *core.Env, size mlpipe.DatasetSize, arts *mlpipe.Artifact
 			ctx.Busy(rehydrate(len(art)))
 			ctx.Busy(busy())
 			key := runKey(m.Run, name)
-			s3.Put(p, key, make([]byte, outBytes))
+			s3.PutShared(p, key, payload.Zeros(outBytes))
 			return marshal(msg{Run: m.Run, Key: key}), nil
 		}
 	}
@@ -180,8 +181,8 @@ func deployAWSStep(env *core.Env, size mlpipe.DatasetSize, arts *mlpipe.Artifact
 	// "slow remote storage" path), then predict.
 	if _, err := env.AWS.Lambda.Register(lambda.Config{
 		Name: "inf-predict" + sfx, MemoryMB: 1536, ConsumedMemMB: mlpipe.MemInference, CodeSizeMB: 271.2 / 4,
-		Handler: func(ctx *lambda.Context, payload []byte) ([]byte, error) {
-			m, err := parse(payload)
+		Handler: func(ctx *lambda.Context, input []byte) ([]byte, error) {
+			m, err := parse(input)
 			if err != nil {
 				return nil, err
 			}
@@ -196,7 +197,7 @@ func deployAWSStep(env *core.Env, size mlpipe.DatasetSize, arts *mlpipe.Artifact
 			ctx.Busy(rehydrate(len(model)))
 			ctx.Busy(costs.Predict(size))
 			key := runKey(m.Run, "predictions")
-			s3.Put(p, key, make([]byte, resultBytes(size)))
+			s3.PutShared(p, key, payload.Zeros(resultBytes(size)))
 			return marshal(msg{Run: m.Run, Key: key}), nil
 		},
 	}); err != nil {
@@ -292,7 +293,7 @@ func stageEntities(env *core.Env, size mlpipe.DatasetSize, arts *mlpipe.Artifact
 				}
 				ctx.Busy(third())
 				key := runKey(m.Run, s.outNm)
-				blob.Put(p, key, make([]byte, s.out))
+				blob.PutShared(p, key, payload.Zeros(s.out))
 				return marshal(msg{Run: m.Run, Key: key}), nil
 			case "get":
 				return ctx.State(), nil
@@ -323,7 +324,7 @@ func stageEntities(env *core.Env, size mlpipe.DatasetSize, arts *mlpipe.Artifact
 			}
 			ctx.Busy(time.Duration(float64(costs.Predict(size)) * entityComputePenalty))
 			key := runKey(m.Run, "predictions")
-			blob.Put(p, key, make([]byte, resultBytes(size)))
+			blob.PutShared(p, key, payload.Zeros(resultBytes(size)))
 			return marshal(msg{Run: m.Run, Key: key}), nil
 		}
 		return nil, fmt.Errorf("mlinfer: ModelSelection: unknown op %q", op)
@@ -354,8 +355,8 @@ func deployAzDorch(env *core.Env, size mlpipe.DatasetSize, arts *mlpipe.Artifact
 	// after the first run (warm Azure Functions instances), so runs pay
 	// only the compute.
 	warm := false
-	if err := hub.RegisterActivity("dorch-infer"+sfx, mlpipe.MemInference, func(ctx *functions.Context, payload []byte) ([]byte, error) {
-		m, err := parse(payload)
+	if err := hub.RegisterActivity("dorch-infer"+sfx, mlpipe.MemInference, func(ctx *functions.Context, input []byte) ([]byte, error) {
+		m, err := parse(input)
 		if err != nil {
 			return nil, err
 		}
@@ -374,7 +375,7 @@ func deployAzDorch(env *core.Env, size mlpipe.DatasetSize, arts *mlpipe.Artifact
 		ctx.Busy(costs.InferencePrep(size))
 		ctx.Busy(costs.Predict(size))
 		key := runKey(m.Run, "predictions")
-		blob.Put(p, key, make([]byte, resultBytes(size)))
+		blob.PutShared(p, key, payload.Zeros(resultBytes(size)))
 		return marshal(msg{Run: m.Run, Key: key}), nil
 	}); err != nil {
 		return nil, err

@@ -1,0 +1,35 @@
+package mlpipe
+
+import (
+	"testing"
+
+	"statebench/internal/payload"
+)
+
+// BenchmarkPayloadMLTrain measures one cache-cold run of the real small
+// training pipeline — a fresh engine every iteration, so nothing is
+// memoized — pinning the mlkit scratch/flat-backing allocation work.
+func BenchmarkPayloadMLTrain(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := TrainWith(payload.NewEngine(), Small); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPayloadMLTrainWarm measures the memoized path: every
+// iteration after the first is a single cache hit.
+func BenchmarkPayloadMLTrainWarm(b *testing.B) {
+	eng := payload.NewEngine()
+	if _, err := TrainWith(eng, Small); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := TrainWith(eng, Small); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

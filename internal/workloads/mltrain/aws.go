@@ -7,6 +7,7 @@ import (
 	"statebench/internal/aws/lambda"
 	"statebench/internal/aws/sfn"
 	"statebench/internal/core"
+	"statebench/internal/payload"
 	"statebench/internal/sim"
 	"statebench/internal/workloads/mlpipe"
 )
@@ -24,7 +25,7 @@ func deployAWSLambda(env *core.Env, size mlpipe.DatasetSize, arts *mlpipe.Artifa
 		MemoryMB:      1536,
 		ConsumedMemMB: mlpipe.MemMonolith,
 		CodeSizeMB:    63.1,
-		Handler: func(ctx *lambda.Context, payload []byte) ([]byte, error) {
+		Handler: func(ctx *lambda.Context, input []byte) ([]byte, error) {
 			p := ctx.Proc()
 			load := env.Stage(p, "mono/load")
 			if _, err := s3.Get(p, datasetKey(size)); err != nil {
@@ -91,8 +92,8 @@ func deployAWSStep(env *core.Env, size mlpipe.DatasetSize, arts *mlpipe.Artifact
 	}
 
 	sfx := "-" + string(size)
-	if err := reg("ml-prep"+sfx, 1536, mlpipe.MemPrep, func(ctx *lambda.Context, payload []byte) ([]byte, error) {
-		m, err := parseMsg(payload)
+	if err := reg("ml-prep"+sfx, 1536, mlpipe.MemPrep, func(ctx *lambda.Context, input []byte) ([]byte, error) {
+		m, err := parseMsg(input)
 		if err != nil {
 			return nil, err
 		}
@@ -103,14 +104,14 @@ func deployAWSStep(env *core.Env, size mlpipe.DatasetSize, arts *mlpipe.Artifact
 		ctx.Busy(costs.Prep(size))
 		ctx.Busy(costs.Xfer(arts.EncodedBytes))
 		key := runKey(m.Run, "encoded")
-		s3.Put(p, key, make([]byte, arts.EncodedBytes))
+		s3.PutShared(p, key, payload.Zeros(arts.EncodedBytes))
 		return marshalMsg(stepMsg{Run: m.Run, Key: key}), nil
 	}); err != nil {
 		return nil, err
 	}
 
-	if err := reg("ml-dimred"+sfx, 1536, mlpipe.MemPrep, func(ctx *lambda.Context, payload []byte) ([]byte, error) {
-		m, err := parseMsg(payload)
+	if err := reg("ml-dimred"+sfx, 1536, mlpipe.MemPrep, func(ctx *lambda.Context, input []byte) ([]byte, error) {
+		m, err := parseMsg(input)
 		if err != nil {
 			return nil, err
 		}
@@ -122,7 +123,7 @@ func deployAWSStep(env *core.Env, size mlpipe.DatasetSize, arts *mlpipe.Artifact
 		ctx.Busy(costs.DimRed(size))
 		ctx.Busy(costs.Xfer(arts.ProjectedBytes))
 		key := runKey(m.Run, "projected")
-		s3.Put(p, key, make([]byte, arts.ProjectedBytes))
+		s3.PutShared(p, key, payload.Zeros(arts.ProjectedBytes))
 		// Emit one Map item per algorithm.
 		items := make([]stepMsg, 0, len(mlpipe.Algorithms))
 		for _, algo := range mlpipe.Algorithms {
@@ -134,8 +135,8 @@ func deployAWSStep(env *core.Env, size mlpipe.DatasetSize, arts *mlpipe.Artifact
 		return nil, err
 	}
 
-	if err := reg("ml-trainmodel"+sfx, 1536, mlpipe.MemTrain, func(ctx *lambda.Context, payload []byte) ([]byte, error) {
-		m, err := parseMsg(payload)
+	if err := reg("ml-trainmodel"+sfx, 1536, mlpipe.MemTrain, func(ctx *lambda.Context, input []byte) ([]byte, error) {
+		m, err := parseMsg(input)
 		if err != nil {
 			return nil, err
 		}
@@ -153,11 +154,11 @@ func deployAWSStep(env *core.Env, size mlpipe.DatasetSize, arts *mlpipe.Artifact
 		return nil, err
 	}
 
-	if err := reg("ml-select"+sfx, 512, mlpipe.MemSelect, func(ctx *lambda.Context, payload []byte) ([]byte, error) {
+	if err := reg("ml-select"+sfx, 512, mlpipe.MemSelect, func(ctx *lambda.Context, input []byte) ([]byte, error) {
 		var in struct {
 			Results []stepMsg `json:"results"`
 		}
-		if err := json.Unmarshal(payload, &in); err != nil {
+		if err := json.Unmarshal(input, &in); err != nil {
 			return nil, err
 		}
 		if len(in.Results) == 0 {

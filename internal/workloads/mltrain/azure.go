@@ -7,6 +7,7 @@ import (
 	"statebench/internal/azure/functions"
 	"statebench/internal/cloud/queue"
 	"statebench/internal/core"
+	"statebench/internal/payload"
 	"statebench/internal/sim"
 	"statebench/internal/workloads/mlpipe"
 )
@@ -22,7 +23,7 @@ func deployAzFunc(env *core.Env, size mlpipe.DatasetSize, arts *mlpipe.Artifacts
 	_, err := env.Azure.Host.Register(functions.Config{
 		Name:          fnName,
 		ConsumedMemMB: mlpipe.MemMonolith,
-		Handler: func(ctx *functions.Context, payload []byte) ([]byte, error) {
+		Handler: func(ctx *functions.Context, input []byte) ([]byte, error) {
 			p := ctx.Proc()
 			load := env.Stage(p, "mono/load")
 			if _, err := blob.Get(p, datasetKey(size)); err != nil {
@@ -162,8 +163,8 @@ func (d *azQueueDeploy) noteFirst(run int64, now sim.Time) {
 
 // prep is stage 1 (HTTP-triggered): download dataset, feature
 // engineering, pass on through the first queue.
-func (d *azQueueDeploy) prep(ctx *functions.Context, payload []byte) ([]byte, error) {
-	m, err := parseMsg(payload)
+func (d *azQueueDeploy) prep(ctx *functions.Context, input []byte) ([]byte, error) {
+	m, err := parseMsg(input)
 	if err != nil {
 		return nil, err
 	}
@@ -174,7 +175,7 @@ func (d *azQueueDeploy) prep(ctx *functions.Context, payload []byte) ([]byte, er
 	ctx.Busy(d.costs.Prep(d.size))
 	ctx.Busy(d.costs.Xfer(d.arts.EncodedBytes))
 	key := runKey(m.Run, "encoded")
-	d.env.Azure.Blob.Put(p, key, make([]byte, d.arts.EncodedBytes))
+	d.env.Azure.Blob.PutShared(p, key, payload.Zeros(d.arts.EncodedBytes))
 	if t := d.track(m.Run); t != nil {
 		t.enqueuedAt = p.Now()
 	}
@@ -184,8 +185,8 @@ func (d *azQueueDeploy) prep(ctx *functions.Context, payload []byte) ([]byte, er
 // dimred is stage 2 (first queue-triggered stage): PCA. Its start
 // marks the paper's Az-Queue cold-start point ("queuing of requests on
 // a static pool of containers").
-func (d *azQueueDeploy) dimred(ctx *functions.Context, payload []byte) ([]byte, error) {
-	m, err := parseMsg(payload)
+func (d *azQueueDeploy) dimred(ctx *functions.Context, input []byte) ([]byte, error) {
+	m, err := parseMsg(input)
 	if err != nil {
 		return nil, err
 	}
@@ -198,14 +199,14 @@ func (d *azQueueDeploy) dimred(ctx *functions.Context, payload []byte) ([]byte, 
 	ctx.Busy(d.costs.DimRed(d.size))
 	ctx.Busy(d.costs.Xfer(d.arts.ProjectedBytes))
 	key := runKey(m.Run, "projected")
-	d.env.Azure.Blob.Put(p, key, make([]byte, d.arts.ProjectedBytes))
+	d.env.Azure.Blob.PutShared(p, key, payload.Zeros(d.arts.ProjectedBytes))
 	return nil, d.q3.Enqueue(p, marshalMsg(stepMsg{Run: m.Run, Key: key}))
 }
 
 // modelsel is stage 3: train all algorithms serially (a single
 // function, as in the paper's 4-function chain).
-func (d *azQueueDeploy) modelsel(ctx *functions.Context, payload []byte) ([]byte, error) {
-	m, err := parseMsg(payload)
+func (d *azQueueDeploy) modelsel(ctx *functions.Context, input []byte) ([]byte, error) {
+	m, err := parseMsg(input)
 	if err != nil {
 		return nil, err
 	}
@@ -230,8 +231,8 @@ func (d *azQueueDeploy) modelsel(ctx *functions.Context, payload []byte) ([]byte
 }
 
 // selectBest is stage 4: publish the winner and complete the run.
-func (d *azQueueDeploy) selectBest(ctx *functions.Context, payload []byte) ([]byte, error) {
-	m, err := parseMsg(payload)
+func (d *azQueueDeploy) selectBest(ctx *functions.Context, input []byte) ([]byte, error) {
+	m, err := parseMsg(input)
 	if err != nil {
 		return nil, err
 	}

@@ -7,6 +7,7 @@ import (
 	"statebench/internal/azure/durable"
 	"statebench/internal/azure/functions"
 	"statebench/internal/core"
+	"statebench/internal/payload"
 	"statebench/internal/sim"
 	"statebench/internal/workloads/mlpipe"
 )
@@ -47,8 +48,8 @@ func deployAzDorch(env *core.Env, size mlpipe.DatasetSize, arts *mlpipe.Artifact
 	hub := env.Azure.Hub
 	sfx := "-" + string(size)
 
-	if err := hub.RegisterActivity("dorch-prep"+sfx, mlpipe.MemPrep, func(ctx *functions.Context, payload []byte) ([]byte, error) {
-		m, err := parseMsg(payload)
+	if err := hub.RegisterActivity("dorch-prep"+sfx, mlpipe.MemPrep, func(ctx *functions.Context, input []byte) ([]byte, error) {
+		m, err := parseMsg(input)
 		if err != nil {
 			return nil, err
 		}
@@ -59,14 +60,14 @@ func deployAzDorch(env *core.Env, size mlpipe.DatasetSize, arts *mlpipe.Artifact
 		ctx.Busy(costs.Prep(size))
 		ctx.Busy(costs.Xfer(arts.EncodedBytes))
 		key := runKey(m.Run, "encoded")
-		blob.Put(p, key, make([]byte, arts.EncodedBytes))
+		blob.PutShared(p, key, payload.Zeros(arts.EncodedBytes))
 		return marshalMsg(stepMsg{Run: m.Run, Key: key}), nil
 	}); err != nil {
 		return nil, err
 	}
 
-	if err := hub.RegisterActivity("dorch-dimred"+sfx, mlpipe.MemPrep, func(ctx *functions.Context, payload []byte) ([]byte, error) {
-		m, err := parseMsg(payload)
+	if err := hub.RegisterActivity("dorch-dimred"+sfx, mlpipe.MemPrep, func(ctx *functions.Context, input []byte) ([]byte, error) {
+		m, err := parseMsg(input)
 		if err != nil {
 			return nil, err
 		}
@@ -78,14 +79,14 @@ func deployAzDorch(env *core.Env, size mlpipe.DatasetSize, arts *mlpipe.Artifact
 		ctx.Busy(costs.DimRed(size))
 		ctx.Busy(costs.Xfer(arts.ProjectedBytes))
 		key := runKey(m.Run, "projected")
-		blob.Put(p, key, make([]byte, arts.ProjectedBytes))
+		blob.PutShared(p, key, payload.Zeros(arts.ProjectedBytes))
 		return marshalMsg(stepMsg{Run: m.Run, Key: key}), nil
 	}); err != nil {
 		return nil, err
 	}
 
-	if err := hub.RegisterActivity("dorch-train"+sfx, mlpipe.MemTrain, func(ctx *functions.Context, payload []byte) ([]byte, error) {
-		m, err := parseMsg(payload)
+	if err := hub.RegisterActivity("dorch-train"+sfx, mlpipe.MemTrain, func(ctx *functions.Context, input []byte) ([]byte, error) {
+		m, err := parseMsg(input)
 		if err != nil {
 			return nil, err
 		}
@@ -103,9 +104,9 @@ func deployAzDorch(env *core.Env, size mlpipe.DatasetSize, arts *mlpipe.Artifact
 		return nil, err
 	}
 
-	if err := hub.RegisterActivity("dorch-select"+sfx, mlpipe.MemSelect, func(ctx *functions.Context, payload []byte) ([]byte, error) {
+	if err := hub.RegisterActivity("dorch-select"+sfx, mlpipe.MemSelect, func(ctx *functions.Context, input []byte) ([]byte, error) {
 		var results []stepMsg
-		if err := json.Unmarshal(payload, &results); err != nil {
+		if err := json.Unmarshal(input, &results); err != nil {
 			return nil, err
 		}
 		if len(results) == 0 {
@@ -206,7 +207,7 @@ func deployAzDent(env *core.Env, size mlpipe.DatasetSize, arts *mlpipe.Artifacts
 			ctx.Busy(costs.Xfer(arts.EncodedBytes))
 			ctx.SetState(arts.EncoderBytes)
 			key := runKey(m.Run, "encoded")
-			blob.Put(p, key, make([]byte, arts.EncodedBytes))
+			blob.PutShared(p, key, payload.Zeros(arts.EncodedBytes))
 			return marshalMsg(stepMsg{Run: m.Run, Key: key}), nil
 		case "get":
 			return ctx.State(), nil
@@ -233,7 +234,7 @@ func deployAzDent(env *core.Env, size mlpipe.DatasetSize, arts *mlpipe.Artifacts
 			ctx.Busy(costs.Xfer(arts.EncodedBytes))
 			ctx.SetState(arts.ScalerBytes)
 			key := runKey(m.Run, "scaled")
-			blob.Put(p, key, make([]byte, arts.EncodedBytes))
+			blob.PutShared(p, key, payload.Zeros(arts.EncodedBytes))
 			return marshalMsg(stepMsg{Run: m.Run, Key: key}), nil
 		case "get":
 			return ctx.State(), nil
@@ -260,7 +261,7 @@ func deployAzDent(env *core.Env, size mlpipe.DatasetSize, arts *mlpipe.Artifacts
 			ctx.Busy(costs.Xfer(arts.ProjectedBytes))
 			ctx.SetState(arts.PCABytes)
 			key := runKey(m.Run, "projected")
-			blob.Put(p, key, make([]byte, arts.ProjectedBytes))
+			blob.PutShared(p, key, payload.Zeros(arts.ProjectedBytes))
 			return marshalMsg(stepMsg{Run: m.Run, Key: key}), nil
 		case "get":
 			return ctx.State(), nil
@@ -344,8 +345,8 @@ func deployAzDent(env *core.Env, size mlpipe.DatasetSize, arts *mlpipe.Artifacts
 
 	// Random-forest training: sub-orchestrator wrapping an activity
 	// (paper: "for larger models we used a sub-orchestrator").
-	if err := hub.RegisterActivity("dent-rf-train"+sfx, mlpipe.MemTrain, func(ctx *functions.Context, payload []byte) ([]byte, error) {
-		m, err := parseMsg(payload)
+	if err := hub.RegisterActivity("dent-rf-train"+sfx, mlpipe.MemTrain, func(ctx *functions.Context, input []byte) ([]byte, error) {
+		m, err := parseMsg(input)
 		if err != nil {
 			return nil, err
 		}

@@ -6,6 +6,7 @@ import (
 
 	"statebench/internal/core"
 	"statebench/internal/gcp"
+	"statebench/internal/payload"
 	"statebench/internal/sim"
 	"statebench/internal/workloads/mlpipe"
 )
@@ -39,7 +40,7 @@ func deployGCPFunc(env *core.Env, size mlpipe.DatasetSize, arts *mlpipe.Artifact
 		MemoryMB:      2048,
 		ConsumedMemMB: mlpipe.MemMonolith,
 		CodeSizeMB:    63.1,
-		Handler: func(ctx *gcp.Context, payload []byte) ([]byte, error) {
+		Handler: func(ctx *gcp.Context, input []byte) ([]byte, error) {
 			p := ctx.Proc()
 			load := env.Stage(p, "mono/load")
 			if _, err := gcs.Get(p, datasetKey(size)); err != nil {
@@ -108,8 +109,8 @@ func deployGCPWflow(env *core.Env, size mlpipe.DatasetSize, arts *mlpipe.Artifac
 	}
 
 	sfx := "-" + string(size)
-	if err := reg("ml-prep"+sfx, 2048, mlpipe.MemPrep, func(ctx *gcp.Context, payload []byte) ([]byte, error) {
-		m, err := parseMsg(payload)
+	if err := reg("ml-prep"+sfx, 2048, mlpipe.MemPrep, func(ctx *gcp.Context, input []byte) ([]byte, error) {
+		m, err := parseMsg(input)
 		if err != nil {
 			return nil, err
 		}
@@ -120,14 +121,14 @@ func deployGCPWflow(env *core.Env, size mlpipe.DatasetSize, arts *mlpipe.Artifac
 		ctx.Busy(costs.Prep(size))
 		ctx.Busy(costs.Xfer(arts.EncodedBytes))
 		key := runKey(m.Run, "encoded")
-		gcs.Put(p, key, make([]byte, arts.EncodedBytes))
+		gcs.PutShared(p, key, payload.Zeros(arts.EncodedBytes))
 		return marshalMsg(stepMsg{Run: m.Run, Key: key}), nil
 	}); err != nil {
 		return nil, err
 	}
 
-	if err := reg("ml-dimred"+sfx, 2048, mlpipe.MemPrep, func(ctx *gcp.Context, payload []byte) ([]byte, error) {
-		m, err := parseMsg(payload)
+	if err := reg("ml-dimred"+sfx, 2048, mlpipe.MemPrep, func(ctx *gcp.Context, input []byte) ([]byte, error) {
+		m, err := parseMsg(input)
 		if err != nil {
 			return nil, err
 		}
@@ -139,14 +140,14 @@ func deployGCPWflow(env *core.Env, size mlpipe.DatasetSize, arts *mlpipe.Artifac
 		ctx.Busy(costs.DimRed(size))
 		ctx.Busy(costs.Xfer(arts.ProjectedBytes))
 		key := runKey(m.Run, "projected")
-		gcs.Put(p, key, make([]byte, arts.ProjectedBytes))
+		gcs.PutShared(p, key, payload.Zeros(arts.ProjectedBytes))
 		return marshalMsg(stepMsg{Run: m.Run, Key: key}), nil
 	}); err != nil {
 		return nil, err
 	}
 
-	if err := reg("ml-trainmodel"+sfx, 2048, mlpipe.MemTrain, func(ctx *gcp.Context, payload []byte) ([]byte, error) {
-		m, err := parseMsg(payload)
+	if err := reg("ml-trainmodel"+sfx, 2048, mlpipe.MemTrain, func(ctx *gcp.Context, input []byte) ([]byte, error) {
+		m, err := parseMsg(input)
 		if err != nil {
 			return nil, err
 		}
@@ -164,11 +165,11 @@ func deployGCPWflow(env *core.Env, size mlpipe.DatasetSize, arts *mlpipe.Artifac
 		return nil, err
 	}
 
-	if err := reg("ml-select"+sfx, 512, mlpipe.MemSelect, func(ctx *gcp.Context, payload []byte) ([]byte, error) {
+	if err := reg("ml-select"+sfx, 512, mlpipe.MemSelect, func(ctx *gcp.Context, input []byte) ([]byte, error) {
 		var in struct {
 			Results []stepMsg `json:"results"`
 		}
-		if err := json.Unmarshal(payload, &in); err != nil {
+		if err := json.Unmarshal(input, &in); err != nil {
 			return nil, err
 		}
 		if len(in.Results) == 0 {

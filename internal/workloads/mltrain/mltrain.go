@@ -61,7 +61,7 @@ func (w *Workflow) Deploy(env *core.Env, impl core.Impl) (*core.Deployment, erro
 	if !ok {
 		return nil, &core.UnsupportedImplError{Workflow: w.Name(), Impl: impl}
 	}
-	arts, err := mlpipe.Train(w.Size)
+	arts, err := mlpipe.TrainWith(env.Payload, w.Size)
 	if err != nil {
 		return nil, fmt.Errorf("mltrain: prepare artifacts: %w", err)
 	}

@@ -10,6 +10,7 @@ import (
 	"statebench/internal/azure/durable"
 	"statebench/internal/azure/functions"
 	"statebench/internal/core"
+	"statebench/internal/payload"
 	"statebench/internal/sim"
 	"statebench/internal/workloads/mlpipe"
 )
@@ -18,12 +19,12 @@ import (
 // 70.8 MB): split, detect every frame, merge, all in one function.
 func (w *Workflow) deployAWSLambda(env *core.Env) (*core.Deployment, error) {
 	s3 := env.AWS.S3
-	s3.Preload(videoKey, make([]byte, w.Spec.TotalBytes))
-	s3.Preload(modelKey, make([]byte, w.Spec.ModelBytes))
+	s3.PreloadShared(videoKey, payload.Zeros(w.Spec.TotalBytes))
+	s3.PreloadShared(modelKey, payload.Zeros(w.Spec.ModelBytes))
 	fnName := "video-mono"
 	_, err := env.AWS.Lambda.Register(lambda.Config{
 		Name: fnName, MemoryMB: awsVideoMemoryMB, ConsumedMemMB: memMono, CodeSizeMB: 32,
-		Handler: func(ctx *lambda.Context, payload []byte) ([]byte, error) {
+		Handler: func(ctx *lambda.Context, input []byte) ([]byte, error) {
 			p := ctx.Proc()
 			load := env.Stage(p, "video/load")
 			if _, err := s3.Get(p, videoKey); err != nil {
@@ -41,7 +42,7 @@ func (w *Workflow) deployAWSLambda(env *core.Env) (*core.Deployment, error) {
 			detect.End(p.Now())
 			merge := env.Stage(p, "video/merge")
 			ctx.Busy(w.Spec.mergeCost(1))
-			s3.Put(p, "videos/output", make([]byte, w.Spec.TotalBytes))
+			s3.PutShared(p, "videos/output", payload.Zeros(w.Spec.TotalBytes))
 			merge.End(p.Now())
 			return []byte(`{"frames":` + fmt.Sprint(w.Spec.Frames) + `}`), nil
 		},
@@ -71,14 +72,14 @@ func (r *monoLambdaRunner) Invoke(p *sim.Proc, _ []byte) (core.RunStats, error) 
 // parallelism via the Map state.
 func (w *Workflow) deployAWSStep(env *core.Env) (*core.Deployment, error) {
 	s3 := env.AWS.S3
-	s3.Preload(videoKey, make([]byte, w.Spec.TotalBytes))
-	s3.Preload(modelKey, make([]byte, w.Spec.ModelBytes))
+	s3.PreloadShared(videoKey, payload.Zeros(w.Spec.TotalBytes))
+	s3.PreloadShared(modelKey, payload.Zeros(w.Spec.ModelBytes))
 	n := w.Workers
 
 	if _, err := env.AWS.Lambda.Register(lambda.Config{
 		Name: "video-split", MemoryMB: awsVideoMemoryMB, ConsumedMemMB: memSplit, CodeSizeMB: 28,
-		Handler: func(ctx *lambda.Context, payload []byte) ([]byte, error) {
-			m, err := parseChunk(payload)
+		Handler: func(ctx *lambda.Context, input []byte) ([]byte, error) {
+			m, err := parseChunk(input)
 			if err != nil {
 				return nil, err
 			}
@@ -90,7 +91,7 @@ func (w *Workflow) deployAWSStep(env *core.Env) (*core.Deployment, error) {
 			chunks := make([]chunkMsg, n)
 			for i := 0; i < n; i++ {
 				key := chunkKey(m.Run, i)
-				s3.Put(p, key, make([]byte, w.Spec.chunkBytes(i, n)))
+				s3.PutShared(p, key, payload.Zeros(w.Spec.chunkBytes(i, n)))
 				chunks[i] = chunkMsg{Run: m.Run, Key: key, Index: i}
 			}
 			out, err := json.Marshal(map[string]any{"run": m.Run, "chunks": chunks})
@@ -102,8 +103,8 @@ func (w *Workflow) deployAWSStep(env *core.Env) (*core.Deployment, error) {
 
 	if _, err := env.AWS.Lambda.Register(lambda.Config{
 		Name: "video-detect", MemoryMB: awsVideoMemoryMB, ConsumedMemMB: memDetect, CodeSizeMB: 34,
-		Handler: func(ctx *lambda.Context, payload []byte) ([]byte, error) {
-			m, err := parseChunk(payload)
+		Handler: func(ctx *lambda.Context, input []byte) ([]byte, error) {
+			m, err := parseChunk(input)
 			if err != nil {
 				return nil, err
 			}
@@ -116,7 +117,7 @@ func (w *Workflow) deployAWSStep(env *core.Env) (*core.Deployment, error) {
 			}
 			ctx.Busy(w.Spec.detectCost(m.Index, n, 1))
 			key := resultKey(m.Run, m.Index)
-			s3.Put(p, key, make([]byte, w.Spec.chunkBytes(m.Index, n)))
+			s3.PutShared(p, key, payload.Zeros(w.Spec.chunkBytes(m.Index, n)))
 			return marshalChunk(chunkMsg{Run: m.Run, Key: key, Index: m.Index}), nil
 		},
 	}); err != nil {
@@ -125,11 +126,11 @@ func (w *Workflow) deployAWSStep(env *core.Env) (*core.Deployment, error) {
 
 	if _, err := env.AWS.Lambda.Register(lambda.Config{
 		Name: "video-merge", MemoryMB: awsVideoMemoryMB, ConsumedMemMB: memMerge, CodeSizeMB: 28,
-		Handler: func(ctx *lambda.Context, payload []byte) ([]byte, error) {
+		Handler: func(ctx *lambda.Context, input []byte) ([]byte, error) {
 			var in struct {
 				Results []chunkMsg `json:"results"`
 			}
-			if err := json.Unmarshal(payload, &in); err != nil {
+			if err := json.Unmarshal(input, &in); err != nil {
 				return nil, err
 			}
 			p := ctx.Proc()
@@ -139,7 +140,7 @@ func (w *Workflow) deployAWSStep(env *core.Env) (*core.Deployment, error) {
 				}
 			}
 			ctx.Busy(w.Spec.mergeCost(1))
-			s3.Put(p, "videos/output", make([]byte, w.Spec.TotalBytes))
+			s3.PutShared(p, "videos/output", payload.Zeros(w.Spec.TotalBytes))
 			return []byte(fmt.Sprintf(`{"chunks":%d}`, len(in.Results))), nil
 		},
 	}); err != nil {
@@ -196,13 +197,13 @@ func (r *stepRunner) Invoke(p *sim.Proc, _ []byte) (core.RunStats, error) {
 // 204 MB).
 func (w *Workflow) deployAzFunc(env *core.Env) (*core.Deployment, error) {
 	blob := env.Azure.Blob
-	blob.Preload(videoKey, make([]byte, w.Spec.TotalBytes))
-	blob.Preload(modelKey, make([]byte, w.Spec.ModelBytes))
+	blob.PreloadShared(videoKey, payload.Zeros(w.Spec.TotalBytes))
+	blob.PreloadShared(modelKey, payload.Zeros(w.Spec.ModelBytes))
 	fnName := "video-mono"
 	speed := mlpipe.AzureSpeed
 	_, err := env.Azure.Host.Register(functions.Config{
 		Name: fnName, ConsumedMemMB: memMono,
-		Handler: func(ctx *functions.Context, payload []byte) ([]byte, error) {
+		Handler: func(ctx *functions.Context, input []byte) ([]byte, error) {
 			p := ctx.Proc()
 			load := env.Stage(p, "video/load")
 			if _, err := blob.Get(p, videoKey); err != nil {
@@ -217,7 +218,7 @@ func (w *Workflow) deployAzFunc(env *core.Env) (*core.Deployment, error) {
 			process := env.Stage(p, "video/process")
 			busy := time.Duration(float64(w.Spec.splitCost(1)+w.Spec.DetectTotal()+w.Spec.mergeCost(1)) / speed)
 			ctx.Busy(busy)
-			blob.Put(p, "videos/output", make([]byte, w.Spec.TotalBytes))
+			blob.PutShared(p, "videos/output", payload.Zeros(w.Spec.TotalBytes))
 			process.End(p.Now())
 			return []byte(fmt.Sprintf(`{"frames":%d}`, w.Spec.Frames)), nil
 		},
@@ -252,16 +253,16 @@ func (r *azFuncRunner) Invoke(p *sim.Proc, _ []byte) (core.RunStats, error) {
 // ("a single line of code" in the paper), merge activity.
 func (w *Workflow) deployAzDorch(env *core.Env) (*core.Deployment, error) {
 	blob := env.Azure.Blob
-	blob.Preload(videoKey, make([]byte, w.Spec.TotalBytes))
-	blob.Preload(modelKey, make([]byte, w.Spec.ModelBytes))
+	blob.PreloadShared(videoKey, payload.Zeros(w.Spec.TotalBytes))
+	blob.PreloadShared(modelKey, payload.Zeros(w.Spec.ModelBytes))
 	hub := env.Azure.Hub
 	n := w.Workers
 	speed := mlpipe.AzureSpeed
 	runner := &dorchRunner{env: env}
 	env.Scratch[finishScratchKey] = &runner.finishes
 
-	if err := hub.RegisterActivity("video-split", memSplit, func(ctx *functions.Context, payload []byte) ([]byte, error) {
-		m, err := parseChunk(payload)
+	if err := hub.RegisterActivity("video-split", memSplit, func(ctx *functions.Context, input []byte) ([]byte, error) {
+		m, err := parseChunk(input)
 		if err != nil {
 			return nil, err
 		}
@@ -271,15 +272,15 @@ func (w *Workflow) deployAzDorch(env *core.Env) (*core.Deployment, error) {
 		}
 		ctx.Busy(time.Duration(float64(w.Spec.splitCost(1)) / speed))
 		for i := 0; i < n; i++ {
-			blob.Put(p, chunkKey(m.Run, i), make([]byte, w.Spec.chunkBytes(i, n)))
+			blob.PutShared(p, chunkKey(m.Run, i), payload.Zeros(w.Spec.chunkBytes(i, n)))
 		}
 		return marshalChunk(chunkMsg{Run: m.Run, Index: n}), nil
 	}); err != nil {
 		return nil, err
 	}
 
-	if err := hub.RegisterActivity("video-detect", memDetect, func(ctx *functions.Context, payload []byte) ([]byte, error) {
-		m, err := parseChunk(payload)
+	if err := hub.RegisterActivity("video-detect", memDetect, func(ctx *functions.Context, input []byte) ([]byte, error) {
+		m, err := parseChunk(input)
 		if err != nil {
 			return nil, err
 		}
@@ -291,7 +292,7 @@ func (w *Workflow) deployAzDorch(env *core.Env) (*core.Deployment, error) {
 			return nil, err
 		}
 		ctx.Busy(time.Duration(float64(w.Spec.detectCost(m.Index, n, 1)) / speed))
-		blob.Put(p, resultKey(m.Run, m.Index), make([]byte, w.Spec.chunkBytes(m.Index, n)))
+		blob.PutShared(p, resultKey(m.Run, m.Index), payload.Zeros(w.Spec.chunkBytes(m.Index, n)))
 		// Record this worker's finish time relative to the run start
 		// (Table III's per-worker metric).
 		runner.finishes = append(runner.finishes, p.Now()-runner.curStart)
@@ -300,8 +301,8 @@ func (w *Workflow) deployAzDorch(env *core.Env) (*core.Deployment, error) {
 		return nil, err
 	}
 
-	if err := hub.RegisterActivity("video-merge", memMerge, func(ctx *functions.Context, payload []byte) ([]byte, error) {
-		m, err := parseChunk(payload)
+	if err := hub.RegisterActivity("video-merge", memMerge, func(ctx *functions.Context, input []byte) ([]byte, error) {
+		m, err := parseChunk(input)
 		if err != nil {
 			return nil, err
 		}
@@ -312,7 +313,7 @@ func (w *Workflow) deployAzDorch(env *core.Env) (*core.Deployment, error) {
 			}
 		}
 		ctx.Busy(time.Duration(float64(w.Spec.mergeCost(1)) / speed))
-		blob.Put(p, "videos/output", make([]byte, w.Spec.TotalBytes))
+		blob.PutShared(p, "videos/output", payload.Zeros(w.Spec.TotalBytes))
 		return []byte(fmt.Sprintf(`{"chunks":%d}`, n)), nil
 	}); err != nil {
 		return nil, err

@@ -5,6 +5,7 @@ import (
 
 	"statebench/internal/core"
 	"statebench/internal/gcp"
+	"statebench/internal/payload"
 	"statebench/internal/sim"
 )
 
@@ -34,14 +35,14 @@ const gcpVideoMemoryMB = 2048
 func (w *Workflow) deployGCPWflow(env *core.Env) (*core.Deployment, error) {
 	gc := gcp.FromEnv(env)
 	gcs := gc.GCS
-	gcs.Preload(videoKey, make([]byte, w.Spec.TotalBytes))
-	gcs.Preload(modelKey, make([]byte, w.Spec.ModelBytes))
+	gcs.PreloadShared(videoKey, payload.Zeros(w.Spec.TotalBytes))
+	gcs.PreloadShared(modelKey, payload.Zeros(w.Spec.ModelBytes))
 	n := w.Workers
 
 	if _, err := gc.Functions.Register(gcp.Config{
 		Name: "video-split", MemoryMB: gcpVideoMemoryMB, ConsumedMemMB: memSplit, CodeSizeMB: 28,
-		Handler: func(ctx *gcp.Context, payload []byte) ([]byte, error) {
-			m, err := parseChunk(payload)
+		Handler: func(ctx *gcp.Context, input []byte) ([]byte, error) {
+			m, err := parseChunk(input)
 			if err != nil {
 				return nil, err
 			}
@@ -53,7 +54,7 @@ func (w *Workflow) deployGCPWflow(env *core.Env) (*core.Deployment, error) {
 			chunks := make([]chunkMsg, n)
 			for i := 0; i < n; i++ {
 				key := chunkKey(m.Run, i)
-				gcs.Put(p, key, make([]byte, w.Spec.chunkBytes(i, n)))
+				gcs.PutShared(p, key, payload.Zeros(w.Spec.chunkBytes(i, n)))
 				chunks[i] = chunkMsg{Run: m.Run, Key: key, Index: i}
 			}
 			out, err := json.Marshal(map[string]any{"run": m.Run, "chunks": chunks})
@@ -65,8 +66,8 @@ func (w *Workflow) deployGCPWflow(env *core.Env) (*core.Deployment, error) {
 
 	if _, err := gc.Functions.Register(gcp.Config{
 		Name: "video-detect", MemoryMB: gcpVideoMemoryMB, ConsumedMemMB: memDetect, CodeSizeMB: 34,
-		Handler: func(ctx *gcp.Context, payload []byte) ([]byte, error) {
-			m, err := parseChunk(payload)
+		Handler: func(ctx *gcp.Context, input []byte) ([]byte, error) {
+			m, err := parseChunk(input)
 			if err != nil {
 				return nil, err
 			}
@@ -79,7 +80,7 @@ func (w *Workflow) deployGCPWflow(env *core.Env) (*core.Deployment, error) {
 			}
 			ctx.Busy(w.Spec.detectCost(m.Index, n, gcpSpeed))
 			key := resultKey(m.Run, m.Index)
-			gcs.Put(p, key, make([]byte, w.Spec.chunkBytes(m.Index, n)))
+			gcs.PutShared(p, key, payload.Zeros(w.Spec.chunkBytes(m.Index, n)))
 			return marshalChunk(chunkMsg{Run: m.Run, Key: key, Index: m.Index}), nil
 		},
 	}); err != nil {
@@ -88,11 +89,11 @@ func (w *Workflow) deployGCPWflow(env *core.Env) (*core.Deployment, error) {
 
 	if _, err := gc.Functions.Register(gcp.Config{
 		Name: "video-merge", MemoryMB: gcpVideoMemoryMB, ConsumedMemMB: memMerge, CodeSizeMB: 28,
-		Handler: func(ctx *gcp.Context, payload []byte) ([]byte, error) {
+		Handler: func(ctx *gcp.Context, input []byte) ([]byte, error) {
 			var in struct {
 				Results []chunkMsg `json:"results"`
 			}
-			if err := json.Unmarshal(payload, &in); err != nil {
+			if err := json.Unmarshal(input, &in); err != nil {
 				return nil, err
 			}
 			p := ctx.Proc()
@@ -102,7 +103,7 @@ func (w *Workflow) deployGCPWflow(env *core.Env) (*core.Deployment, error) {
 				}
 			}
 			ctx.Busy(w.Spec.mergeCost(gcpSpeed))
-			gcs.Put(p, "videos/output", make([]byte, w.Spec.TotalBytes))
+			gcs.PutShared(p, "videos/output", payload.Zeros(w.Spec.TotalBytes))
 			return []byte(`{"merged":true}`), nil
 		},
 	}); err != nil {
