@@ -13,8 +13,9 @@
 # fuzz     — short native-fuzzing smoke runs for the SFN JSONPath and
 #            Choice evaluators.
 # bench    — kernel micro-benchmarks, the payload alloc benchmarks,
-#            and the sequential-vs-parallel full-suite pair (the
-#            numbers behind the committed BENCH_*.json baselines).
+#            the sequential-vs-parallel full-suite pair, and the
+#            sharded-kernel/traffic-engine suite (the numbers behind
+#            the committed BENCH_*.json baselines).
 
 GO ?= go
 GOFMT ?= gofmt
@@ -23,7 +24,7 @@ GOFMT ?= gofmt
 # `make cover` fails below this.
 COVER_FLOOR ?= 75
 
-.PHONY: tier1 tier1.5 tier2 cover fuzz bench bench-kernel bench-payload bench-all fmt-check golden golden-cache-off
+.PHONY: tier1 tier1.5 tier2 cover fuzz bench bench-kernel bench-payload bench-all bench-traffic fmt-check golden golden-cache-off
 
 # fmt-check fails (listing the offenders) if any file needs gofmt.
 fmt-check:
@@ -77,4 +78,17 @@ bench-payload:
 bench-all:
 	$(GO) test -run - -bench 'SequentialAll|ParallelAll' -benchtime 1x -benchmem .
 
-bench: bench-kernel bench-payload bench-all
+# bench-traffic exercises the sharded kernel under the traffic-shaped
+# standing-population workload plus one full million-tenant open-loop
+# run; every benchmark reports events/op so cmd/benchjson -compare can
+# derive events/sec across baselines.
+# Three invocations on purpose: the storm needs the default benchtime
+# to amortize its million-timer setup across iterations, and the
+# traffic run must own the process so peak-RSS-MB is not inflated by
+# the cascade benchmarks' high-water mark.
+bench-traffic:
+	$(GO) test -run - -bench 'KernelSharded[0-9]' -benchtime 1x -benchmem -timeout 60m .
+	$(GO) test -run - -bench 'SameInstantStorm' -benchmem .
+	$(GO) test -run - -bench 'TrafficMillionTenants' -benchtime 1x -benchmem -timeout 60m .
+
+bench: bench-kernel bench-payload bench-all bench-traffic

@@ -10,9 +10,16 @@
 package statebench_test
 
 import (
+	"os"
+	"strconv"
+	"strings"
 	"testing"
+	"time"
 
+	"statebench/internal/core"
 	"statebench/internal/experiments"
+	"statebench/internal/sim"
+	"statebench/internal/traffic"
 )
 
 // benchOpts keeps per-iteration work bounded.
@@ -106,3 +113,155 @@ func BenchmarkFig13(b *testing.B)  { runSingle(b, experiments.Fig13) }
 func BenchmarkFig14(b *testing.B)  { runSingle(b, experiments.Fig14) }
 func BenchmarkFig15(b *testing.B)  { runSingle(b, experiments.Fig15) }
 func BenchmarkTable3(b *testing.B) { runSingle(b, experiments.Table3) }
+
+// kernelShardedBench is the traffic-shaped kernel workload behind the
+// BENCH_PR6.json baseline: a large standing population of
+// self-rescheduling timer events (every pop and push walks a heap
+// holding the full population) plus a same-instant continuation
+// cascade per firing (arrival -> record -> dispatch -> complete),
+// mirroring the open-loop engine's event mix. Closures are
+// preallocated per slot, as the traffic engine's arenas do, so the
+// measured cost is the kernel's, not the allocator's. The event order
+// — and thus the executed count — is byte-identical at every shard
+// count; only the storage layout changes.
+func kernelShardedBench(b *testing.B, shards int) {
+	const (
+		population = 1 << 21 // standing timers
+		horizon    = 1500 * time.Millisecond
+		meanDelay  = 500 * time.Millisecond
+		cascade    = 4 // same-instant events per firing
+	)
+	var total uint64
+	for i := 0; i < b.N; i++ {
+		k := sim.NewKernelSharded(42, shards)
+		rngs := make([]uint64, population)
+		fires := make([]func(), population)
+		noop := func() {}
+		chain := make([]func(), cascade)
+		chain[cascade-1] = noop
+		for c := cascade - 2; c >= 0; c-- {
+			next := chain[c+1]
+			chain[c] = func() { k.At(k.Now(), next) }
+		}
+		for j := 0; j < population; j++ {
+			j := j
+			rngs[j] = uint64(j)*0x9e3779b97f4a7c15 + 1
+			fires[j] = func() {
+				// xorshift64: deterministic per-slot delay chain.
+				x := rngs[j]
+				x ^= x << 13
+				x ^= x >> 7
+				x ^= x << 17
+				rngs[j] = x
+				delay := sim.Time(1 + x%(2*uint64(meanDelay)))
+				k.At(k.Now()+delay, fires[j])
+				k.At(k.Now(), chain[0])
+			}
+		}
+		for j := 0; j < population; j++ {
+			x := rngs[j]
+			k.At(sim.Time(1+x%(uint64(meanDelay))), fires[j])
+		}
+		if end := k.RunUntil(horizon); end <= 0 {
+			b.Fatal("kernel did not advance")
+		}
+		total += k.Executed()
+	}
+	b.ReportMetric(float64(total)/float64(b.N), "events/op")
+}
+
+func BenchmarkKernelSharded1(b *testing.B)  { kernelShardedBench(b, 1) }
+func BenchmarkKernelSharded4(b *testing.B)  { kernelShardedBench(b, 4) }
+func BenchmarkKernelSharded16(b *testing.B) { kernelShardedBench(b, 16) }
+
+// BenchmarkKernelSameInstantStorm measures the immediate-lane fast
+// path against a large standing heap: every event schedules a
+// same-instant follow-up (the wake(0)/After(0)/dispatch shape that
+// dominates live simulations) while a million future timers sit in
+// the shard heaps. On the pre-shard single-heap kernel each of these
+// paid two full O(log n) heap walks through the standing set; the
+// immediate lane serves them with an append and an index bump.
+func BenchmarkKernelSameInstantStorm(b *testing.B) {
+	const standing = 1 << 20
+	k := sim.NewKernelSharded(42, 16)
+	for j := 0; j < standing; j++ {
+		k.At(time.Hour+sim.Time(j), func() {})
+	}
+	n := b.N
+	i := 0
+	var step func()
+	step = func() {
+		if i < n {
+			i++
+			k.At(k.Now(), step)
+		}
+	}
+	k.At(0, step)
+	b.ResetTimer()
+	k.RunUntil(time.Minute)
+	b.ReportMetric(1, "events/op")
+}
+
+// BenchmarkTrafficMillionTenants runs the open-loop engine at
+// acceptance scale: a one-million-tenant population under a Poisson
+// stream, against the first registered provider with a traffic
+// profile. One iteration is one full run (arrive, drain, bill), so
+// size it with -benchtime 1x; events/op and peak-RSS-MB land in
+// BENCH_PR6.json via cmd/benchjson.
+func BenchmarkTrafficMillionTenants(b *testing.B) {
+	var spec *core.ProviderSpec
+	for _, s := range core.Providers() {
+		if s.Traffic != nil {
+			spec = s
+			break
+		}
+	}
+	if spec == nil {
+		b.Skip("no provider registers a traffic profile")
+	}
+	var events uint64
+	for i := 0; i < b.N; i++ {
+		res := traffic.Run(traffic.Config{
+			Tenants:    1_000_000,
+			Duration:   time.Minute,
+			Process:    traffic.Poisson{Rate: 100_000},
+			Profile:    spec.Traffic(),
+			Book:       spec.DefaultBook(),
+			CodeSizeMB: 64,
+			Shards:     8,
+			Seed:       42,
+		})
+		if res.Completions != res.Arrivals {
+			b.Fatalf("dropped work: %d arrivals, %d completions", res.Arrivals, res.Completions)
+		}
+		events += res.Events
+	}
+	b.ReportMetric(float64(events)/float64(b.N), "events/op")
+	if rss, ok := peakRSSMB(); ok {
+		b.ReportMetric(float64(rss), "peak-RSS-MB")
+	}
+}
+
+// peakRSSMB reads the process high-water resident set from
+// /proc/self/status (Linux only; absence just skips the metric).
+func peakRSSMB() (int64, bool) {
+	raw, err := os.ReadFile("/proc/self/status")
+	if err != nil {
+		return 0, false
+	}
+	for _, line := range strings.Split(string(raw), "\n") {
+		if !strings.HasPrefix(line, "VmHWM:") {
+			continue
+		}
+		f := strings.Fields(line)
+		if len(f) < 2 {
+			return 0, false
+		}
+		kb, err := strconv.ParseInt(f[1], 10, 64)
+		if err != nil {
+			return 0, false
+		}
+		return kb / 1024, true
+	}
+	return 0, false
+}

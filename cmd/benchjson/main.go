@@ -35,6 +35,19 @@ type Result struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  *int64  `json:"bytes_per_op,omitempty"`
 	AllocsPerOp *int64  `json:"allocs_per_op,omitempty"`
+	// Metrics holds custom b.ReportMetric units (e.g. "events/op",
+	// "peak-RSS-MB"), keyed by unit string.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// EventsPerSec derives throughput from the "events/op" custom metric:
+// events per op over seconds per op. Returns 0 when absent.
+func (r Result) EventsPerSec() float64 {
+	ev, ok := r.Metrics["events/op"]
+	if !ok || r.NsPerOp <= 0 {
+		return 0
+	}
+	return ev / (r.NsPerOp / 1e9)
 }
 
 // Document is the full parsed run.
@@ -173,31 +186,82 @@ func runCompare(oldPath, newPath string) error {
 	for _, r := range oldResults {
 		oldBy[r.Name] = r
 	}
+	// The events/sec columns appear only when either side carries the
+	// "events/op" custom metric, so plain baselines render unchanged.
+	events := false
+	for _, r := range append(append([]Result{}, oldResults...), newResults...) {
+		if r.EventsPerSec() > 0 {
+			events = true
+			break
+		}
+	}
 
 	w := tabwriter.NewWriter(os.Stdout, 0, 0, 2, ' ', 0)
-	fmt.Fprintf(w, "benchmark\told time/op\tnew time/op\tdelta\told allocs/op\tnew allocs/op\tdelta\n")
+	fmt.Fprintf(w, "benchmark\told time/op\tnew time/op\tdelta\told allocs/op\tnew allocs/op\tdelta")
+	if events {
+		fmt.Fprintf(w, "\told events/s\tnew events/s\tdelta")
+	}
+	fmt.Fprintln(w)
+	row := func(name string, or, nr *Result) {
+		switch {
+		case or == nil:
+			fmt.Fprintf(w, "%s\t-\t%s\t(new)\t-\t%s\t(new)",
+				name, fmtNs(nr.NsPerOp), fmtAllocs(nr.AllocsPerOp))
+			if events {
+				fmt.Fprintf(w, "\t-\t%s\t(new)", fmtEvents(nr.EventsPerSec()))
+			}
+		case nr == nil:
+			fmt.Fprintf(w, "%s\t%s\t-\t(removed)\t%s\t-\t(removed)",
+				name, fmtNs(or.NsPerOp), fmtAllocs(or.AllocsPerOp))
+			if events {
+				fmt.Fprintf(w, "\t%s\t-\t(removed)", fmtEvents(or.EventsPerSec()))
+			}
+		default:
+			fmt.Fprintf(w, "%s\t%s\t%s\t%s\t%s\t%s\t%s",
+				name,
+				fmtNs(or.NsPerOp), fmtNs(nr.NsPerOp), fmtDelta(or.NsPerOp, nr.NsPerOp),
+				fmtAllocs(or.AllocsPerOp), fmtAllocs(nr.AllocsPerOp),
+				fmtDeltaAllocs(or.AllocsPerOp, nr.AllocsPerOp))
+			if events {
+				fmt.Fprintf(w, "\t%s\t%s\t%s",
+					fmtEvents(or.EventsPerSec()), fmtEvents(nr.EventsPerSec()),
+					fmtDelta(or.EventsPerSec(), nr.EventsPerSec()))
+			}
+		}
+		fmt.Fprintln(w)
+	}
 	seen := make(map[string]bool, len(newResults))
 	for _, nr := range newResults {
+		nr := nr
 		seen[nr.Name] = true
-		or, ok := oldBy[nr.Name]
-		if !ok {
-			fmt.Fprintf(w, "%s\t-\t%s\t(new)\t-\t%s\t(new)\n",
-				nr.Name, fmtNs(nr.NsPerOp), fmtAllocs(nr.AllocsPerOp))
-			continue
+		if or, ok := oldBy[nr.Name]; ok {
+			row(nr.Name, &or, &nr)
+		} else {
+			row(nr.Name, nil, &nr)
 		}
-		fmt.Fprintf(w, "%s\t%s\t%s\t%s\t%s\t%s\t%s\n",
-			nr.Name,
-			fmtNs(or.NsPerOp), fmtNs(nr.NsPerOp), fmtDelta(or.NsPerOp, nr.NsPerOp),
-			fmtAllocs(or.AllocsPerOp), fmtAllocs(nr.AllocsPerOp),
-			fmtDeltaAllocs(or.AllocsPerOp, nr.AllocsPerOp))
 	}
 	for _, or := range oldResults {
+		or := or
 		if !seen[or.Name] {
-			fmt.Fprintf(w, "%s\t%s\t-\t(removed)\t%s\t-\t(removed)\n",
-				or.Name, fmtNs(or.NsPerOp), fmtAllocs(or.AllocsPerOp))
+			row(or.Name, &or, nil)
 		}
 	}
 	return w.Flush()
+}
+
+// fmtEvents renders an events/sec throughput ("-" when the benchmark
+// reports no events/op metric).
+func fmtEvents(v float64) string {
+	switch {
+	case v <= 0:
+		return "-"
+	case v >= 1e6:
+		return fmt.Sprintf("%.1fM", v/1e6)
+	case v >= 1e3:
+		return fmt.Sprintf("%.1fk", v/1e3)
+	default:
+		return fmt.Sprintf("%.0f", v)
+	}
 }
 
 func fmtNs(ns float64) string {
@@ -251,17 +315,24 @@ func parseLine(line string) (Result, bool) {
 	}
 	r := Result{Name: f[0], Iterations: iters, NsPerOp: ns}
 	for i := 4; i+1 < len(f); i += 2 {
-		v, err := strconv.ParseInt(f[i], 10, 64)
+		v, err := strconv.ParseFloat(f[i], 64)
 		if err != nil {
 			continue
 		}
-		switch f[i+1] {
+		switch unit := f[i+1]; unit {
 		case "B/op":
-			b := v
+			b := int64(v)
 			r.BytesPerOp = &b
 		case "allocs/op":
-			a := v
+			a := int64(v)
 			r.AllocsPerOp = &a
+		default:
+			// Custom b.ReportMetric units ("events/op", "peak-RSS-MB",
+			// ...) land in the metrics map verbatim.
+			if r.Metrics == nil {
+				r.Metrics = make(map[string]float64)
+			}
+			r.Metrics[unit] = v
 		}
 	}
 	return r, true

@@ -1,0 +1,120 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestParseLineStandard(t *testing.T) {
+	r, ok := parseLine("BenchmarkKernel-8  1000  1234 ns/op  56 B/op  7 allocs/op")
+	if !ok {
+		t.Fatal("line not parsed")
+	}
+	if r.Name != "BenchmarkKernel-8" || r.Iterations != 1000 || r.NsPerOp != 1234 {
+		t.Fatalf("parsed %+v", r)
+	}
+	if r.BytesPerOp == nil || *r.BytesPerOp != 56 || r.AllocsPerOp == nil || *r.AllocsPerOp != 7 {
+		t.Fatalf("mem stats %+v", r)
+	}
+	if len(r.Metrics) != 0 {
+		t.Fatalf("unexpected metrics %v", r.Metrics)
+	}
+}
+
+func TestParseLineCustomMetrics(t *testing.T) {
+	// b.ReportMetric emits floats; they must land in Metrics, not be
+	// dropped by integer parsing.
+	r, ok := parseLine("BenchmarkTraffic-8  3  400000000 ns/op  2500000.5 events/op  120 peak-RSS-MB  16 B/op  2 allocs/op")
+	if !ok {
+		t.Fatal("line not parsed")
+	}
+	if r.Metrics["events/op"] != 2500000.5 || r.Metrics["peak-RSS-MB"] != 120 {
+		t.Fatalf("metrics = %v", r.Metrics)
+	}
+	if r.BytesPerOp == nil || *r.BytesPerOp != 16 {
+		t.Fatalf("B/op lost: %+v", r)
+	}
+	// events/sec = events/op ÷ sec/op = 2500000.5 / 0.4
+	if got := r.EventsPerSec(); got < 6.25e6-1 || got > 6.25e6+2 {
+		t.Fatalf("events/sec = %v", got)
+	}
+}
+
+func TestParseLineRejectsNonBench(t *testing.T) {
+	if _, ok := parseLine("BenchmarkBroken-8 something"); ok {
+		t.Fatal("parsed garbage")
+	}
+}
+
+// writeDoc marshals a bare Document baseline for compare tests.
+func writeDoc(t *testing.T, dir, name string, results []Result) string {
+	t.Helper()
+	b, err := json.Marshal(Document{Results: results})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := filepath.Join(dir, name)
+	if err := os.WriteFile(p, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestCompareAddedRemovedAndEvents runs the built binary in -compare
+// mode over baselines with an added, a removed, and a changed
+// benchmark, the latter carrying the events/op metric.
+func TestCompareAddedRemovedAndEvents(t *testing.T) {
+	dir := t.TempDir()
+	oldP := writeDoc(t, dir, "old.json", []Result{
+		{Name: "BenchmarkShared-8", Iterations: 10, NsPerOp: 2e8, Metrics: map[string]float64{"events/op": 1e6}},
+		{Name: "BenchmarkGone-8", Iterations: 10, NsPerOp: 5e5},
+	})
+	newP := writeDoc(t, dir, "new.json", []Result{
+		{Name: "BenchmarkShared-8", Iterations: 10, NsPerOp: 1e8, Metrics: map[string]float64{"events/op": 1e6}},
+		{Name: "BenchmarkFresh-8", Iterations: 10, NsPerOp: 3e5},
+	})
+
+	bin := filepath.Join(dir, "benchjson")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("build: %v\n%s", err, out)
+	}
+	out, err := exec.Command(bin, "-compare", oldP, newP).CombinedOutput()
+	if err != nil {
+		t.Fatalf("compare errored: %v\n%s", err, out)
+	}
+	s := string(out)
+	for _, want := range []string{
+		"(new)", "(removed)", "BenchmarkFresh-8", "BenchmarkGone-8",
+		"events/s", // column present because events/op exists
+		"5.0M",     // old: 1e6 events / 0.2s
+		"10.0M",    // new: 1e6 events / 0.1s
+		"+100.0%",  // events/sec delta
+	} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("compare output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+// TestCompareWithoutEventsKeepsLayout: plain baselines must not grow
+// the events columns.
+func TestCompareWithoutEventsKeepsLayout(t *testing.T) {
+	dir := t.TempDir()
+	oldP := writeDoc(t, dir, "old.json", []Result{{Name: "BenchmarkA-8", Iterations: 1, NsPerOp: 100}})
+	newP := writeDoc(t, dir, "new.json", []Result{{Name: "BenchmarkA-8", Iterations: 1, NsPerOp: 90}})
+	bin := filepath.Join(dir, "benchjson")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("build: %v\n%s", err, out)
+	}
+	out, err := exec.Command(bin, "-compare", oldP, newP).CombinedOutput()
+	if err != nil {
+		t.Fatalf("compare errored: %v\n%s", err, out)
+	}
+	if strings.Contains(string(out), "events/s") {
+		t.Fatalf("events column leaked into plain compare:\n%s", out)
+	}
+}

@@ -6,6 +6,7 @@
 //	statebench [flags] [experiment...]
 //	statebench trace -impl <style> -workflow <wf> [-runs N] [-o trace.json]
 //	statebench chaos -impl <style>|all -workflow <wf> [-seed N] [-faultrate R]
+//	statebench traffic [-tenants N] [-rate R] [-duration D] [-process P] [-shards S]
 //	statebench providers
 //
 // With no arguments every experiment runs in paper order. Experiments:
@@ -24,6 +25,12 @@
 // The chaos subcommand runs one workflow under a deterministic injected
 // fault schedule and prints the reliability table (success rate,
 // retries, redeliveries, dead letters, tail/cost inflation).
+//
+// The traffic subcommand drives open-loop arrival streams (Poisson,
+// bursty MMPP, diurnal) over a large tenant population — a million by
+// default — against every registered provider's serving model, and
+// reports tail latency, cold-start rate, scale-controller backlog, and
+// per-tenant cost. Rows are byte-identical at any -shards value.
 //
 // Flags:
 //
@@ -63,6 +70,10 @@ func main() {
 	}
 	if len(os.Args) > 1 && os.Args[1] == "providers" {
 		runProviders()
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "traffic" {
+		runTraffic(os.Args[2:])
 		return
 	}
 

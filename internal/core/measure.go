@@ -25,6 +25,14 @@ type Series struct {
 	// E2E and Cold hold per-run latency and cold-start samples.
 	E2E  obs.Samples
 	Cold obs.Samples
+	// E2EHist and ColdHist are streaming mirrors of E2E/Cold,
+	// populated only when MeasureOptions.Histogram is set — the bridge
+	// between closed-loop campaigns and the open-loop traffic
+	// reports, and the in-tree cross-check that the fixed-resolution
+	// histograms track the exact sample sets within their documented
+	// error bound.
+	E2EHist  obs.Hist
+	ColdHist obs.Hist
 	// Breakdowns holds per-run queue/exec decompositions.
 	Breakdowns obs.BreakdownSet
 
@@ -101,6 +109,13 @@ type MeasureOptions struct {
 	// zero-overhead fast path: no injector is constructed and no
 	// simulated result changes.
 	Chaos *chaos.Plan
+	// Histogram additionally streams every E2E/cold observation into
+	// the Series' fixed-resolution histograms (E2EHist/ColdHist).
+	// Off by default: closed-loop campaigns retain exact samples, so
+	// the histograms are a cross-check and a bridge to the open-loop
+	// traffic reports, not a replacement. Never changes measured
+	// output.
+	Histogram bool
 	// PayloadCache is the memoization engine for real payload compute
 	// (see internal/payload). Nil keeps the Env default — the
 	// process-global payload.Shared engine; experiment suites pass a
@@ -204,6 +219,10 @@ func Measure(wf Workflow, impl Impl, opt MeasureOptions) (*Series, error) {
 			}
 			s.E2E.Add(stats.E2E)
 			s.Cold.Add(stats.ColdStart)
+			if opt.Histogram {
+				s.E2EHist.Record(stats.E2E)
+				s.ColdHist.Record(stats.ColdStart)
+			}
 			if stats.ExecTime == 0 {
 				stats.ExecTime = delta.Exec
 			}

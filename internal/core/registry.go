@@ -67,6 +67,10 @@ type ProviderSpec struct {
 	// providers are overridden by the Env's live AWSPrices/AzurePrices
 	// fields (which ablations perturb); see Env.BookFor.
 	DefaultBook func() pricing.Book
+	// Traffic returns the provider's open-loop traffic calibration
+	// (see internal/traffic). Optional: providers without a profile
+	// simply do not appear in the traffic experiment.
+	Traffic func() platform.TrafficProfile
 }
 
 var (
@@ -156,6 +160,7 @@ func init() {
 		},
 		NewBackend:  func(e *Env) Backend { return aws.New(e.K, platform.DefaultAWS()) },
 		DefaultBook: func() pricing.Book { return pricing.DefaultAWS() },
+		Traffic:     func() platform.TrafficProfile { return platform.DefaultAWS().Traffic() },
 	})
 	RegisterProvider(ProviderSpec{
 		Kind: Azure,
@@ -168,5 +173,6 @@ func init() {
 		},
 		NewBackend:  func(e *Env) Backend { return azure.New(e.K, platform.DefaultAzure()) },
 		DefaultBook: func() pricing.Book { return pricing.DefaultAzure() },
+		Traffic:     func() platform.TrafficProfile { return platform.DefaultAzure().Traffic() },
 	})
 }

@@ -48,7 +48,10 @@ func Registry() []Runner {
 // here, not in Registry, so the default run's output never changes as
 // studies (or providers) are added.
 func RegistryWithAblations() []Runner {
-	extra := append(Ablations(), Runner{"crosscloud", single(CrossCloud)})
+	extra := append(Ablations(),
+		Runner{"crosscloud", single(CrossCloud)},
+		Runner{"traffic", single(TrafficSweep)},
+	)
 	return append(Registry(), extra...)
 }
 

@@ -96,5 +96,6 @@ func init() {
 		},
 		NewBackend:  func(e *core.Env) core.Backend { return New(e.K, platform.DefaultGCP()) },
 		DefaultBook: func() pricing.Book { return pricing.DefaultGCP() },
+		Traffic:     func() platform.TrafficProfile { return platform.DefaultGCP().Traffic() },
 	})
 }

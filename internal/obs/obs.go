@@ -110,13 +110,19 @@ func (s *Samples) ensureSorted() {
 // concurrent report builders that only read.
 func (s *Samples) Sort() { s.ensureSorted() }
 
-// Quantile returns the q-quantile (0..1) with linear interpolation.
+// Quantile returns the q-quantile (0..1) with linear interpolation
+// (Hyndman–Fan type 7, the numpy/R default). Out-of-range and NaN q
+// clamp to the nearest order statistic rather than indexing out of
+// bounds: extreme quantiles like p99.9 on small collections
+// interpolate within the last gap instead of snapping to the maximum,
+// and remain the exact reference the streaming histograms are
+// cross-checked against.
 func (s *Samples) Quantile(q float64) time.Duration {
 	if len(s.vals) == 0 {
 		return 0
 	}
 	s.ensureSorted()
-	if q <= 0 {
+	if math.IsNaN(q) || q <= 0 {
 		return s.vals[0]
 	}
 	if q >= 1 {
@@ -125,8 +131,16 @@ func (s *Samples) Quantile(q float64) time.Duration {
 	idx := q * float64(len(s.vals)-1)
 	lo := int(math.Floor(idx))
 	hi := int(math.Ceil(idx))
-	if lo == hi {
-		return s.vals[lo]
+	// Guard the float edge: q just below 1 can land idx within one ulp
+	// of len-1, where Ceil would step past the last element.
+	if hi > len(s.vals)-1 {
+		hi = len(s.vals) - 1
+	}
+	if lo < 0 {
+		lo = 0
+	}
+	if lo >= hi {
+		return s.vals[hi]
 	}
 	frac := idx - float64(lo)
 	return s.vals[lo] + time.Duration(frac*float64(s.vals[hi]-s.vals[lo]))
@@ -137,6 +151,10 @@ func (s *Samples) Median() time.Duration { return s.Quantile(0.5) }
 
 // P99 returns the 99th percentile.
 func (s *Samples) P99() time.Duration { return s.Quantile(0.99) }
+
+// P999 returns the 99.9th percentile, the deep-tail statistic the
+// open-loop traffic reports lead with.
+func (s *Samples) P999() time.Duration { return s.Quantile(0.999) }
 
 // Mean returns the arithmetic mean.
 func (s *Samples) Mean() time.Duration {

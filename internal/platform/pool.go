@@ -1,6 +1,7 @@
 package platform
 
 import (
+	"sort"
 	"time"
 
 	"statebench/internal/sim"
@@ -35,7 +36,14 @@ type Pool struct {
 	// instance-pool style leave it zero.
 	KeepAlive time.Duration
 
-	warm     []sim.Time // expiry times of idle warm containers
+	// warm holds expiry times of idle warm containers. Because Release
+	// stamps now+KeepAlive and virtual time is monotone, the slice is
+	// sorted: expired entries form a prefix consumed by advancing
+	// warmHead (amortized O(1)) instead of compacting the whole slice
+	// per take — the difference between O(n) and O(1) acquisition when
+	// the open-loop traffic engine keeps millions of containers warm.
+	warm     []sim.Time
+	warmHead int
 	idle     []*Container
 	ready    int
 	starting int
@@ -74,18 +82,34 @@ func (p *Pool) ResetStats() { p.stats = PoolStats{MaxReady: p.ready} }
 
 // --- Per-request (warm-entry) style -------------------------------
 
+// expireWarm drops entries expired at now. Expiries are sorted (see
+// the warm field), so expired entries are a prefix: advance the head
+// index over them — each entry is skipped at most once in the pool's
+// lifetime — and slide the backing array down only when the dead
+// prefix dominates it.
+func (p *Pool) expireWarm(now sim.Time) {
+	h := p.warmHead
+	for h < len(p.warm) && p.warm[h] <= now {
+		h++
+	}
+	p.warmHead = h
+	switch {
+	case h == len(p.warm):
+		p.warm = p.warm[:0]
+		p.warmHead = 0
+	case h >= 64 && h > len(p.warm)/2:
+		n := copy(p.warm, p.warm[h:])
+		p.warm = p.warm[:n]
+		p.warmHead = 0
+	}
+}
+
 // TakeWarm pops one unexpired warm container, discarding expired
 // entries. The most recently released container is reused first,
-// matching Lambda's observed LIFO reuse.
+// matching Lambda's observed LIFO reuse. Amortized O(1).
 func (p *Pool) TakeWarm(now sim.Time) (sim.Time, bool) {
-	live := p.warm[:0]
-	for _, exp := range p.warm {
-		if exp > now {
-			live = append(live, exp)
-		}
-	}
-	p.warm = live
-	if len(p.warm) == 0 {
+	p.expireWarm(now)
+	if p.warmHead == len(p.warm) {
 		return 0, false
 	}
 	exp := p.warm[len(p.warm)-1]
@@ -96,17 +120,28 @@ func (p *Pool) TakeWarm(now sim.Time) (sim.Time, bool) {
 // Release returns a container to the warm pool with a fresh
 // keep-alive lease starting at now. Crashed containers must not be
 // released — the next invocation then pays a cold start.
-func (p *Pool) Release(now sim.Time) { p.warm = append(p.warm, now+p.KeepAlive) }
+//
+// Virtual time is monotone within a run, so the lease expiries arrive
+// in order; the rare out-of-order release (a provider re-leasing with
+// a backdated timestamp) falls back to a sorted insert to preserve
+// the expiry invariant.
+func (p *Pool) Release(now sim.Time) {
+	exp := now + p.KeepAlive
+	if n := len(p.warm); n > 0 && p.warm[n-1] > exp {
+		i := sort.Search(n-p.warmHead, func(i int) bool { return p.warm[p.warmHead+i] > exp }) + p.warmHead
+		p.warm = append(p.warm, 0)
+		copy(p.warm[i+1:], p.warm[i:])
+		p.warm[i] = exp
+		return
+	}
+	p.warm = append(p.warm, exp)
+}
 
 // WarmCount reports how many unexpired warm containers exist at now.
+// Amortized O(1).
 func (p *Pool) WarmCount(now sim.Time) int {
-	n := 0
-	for _, exp := range p.warm {
-		if exp > now {
-			n++
-		}
-	}
-	return n
+	p.expireWarm(now)
+	return len(p.warm) - p.warmHead
 }
 
 // RecordCold books one cold start of the given delay (per-request

@@ -91,3 +91,53 @@ func TestPoolInstanceLifecycle(t *testing.T) {
 		t.Fatalf("stats after reset = %+v", st)
 	}
 }
+
+// TestPoolWarmRingAtScale exercises the amortized-O(1) warm path the
+// traffic engine leans on: a large churn of releases and takes with
+// interleaved expiry, including the prefix-slide compaction and the
+// out-of-order-release fallback.
+func TestPoolWarmRingAtScale(t *testing.T) {
+	p := &Pool{KeepAlive: time.Minute}
+	// Phase 1: release 10k containers at 1ms spacing, then let the
+	// first half expire and verify count and LIFO take.
+	for i := 0; i < 10000; i++ {
+		p.Release(sim.Time(i) * sim.Time(time.Millisecond))
+	}
+	now := sim.Time(5000*time.Millisecond + time.Minute) // first 5001 expired
+	if got := p.WarmCount(now); got != 4999 {
+		t.Fatalf("WarmCount = %d, want 4999", got)
+	}
+	exp, ok := p.TakeWarm(now)
+	if !ok || exp != sim.Time(9999*time.Millisecond)+sim.Time(p.KeepAlive) {
+		t.Fatalf("TakeWarm = (%v, %v), want newest lease", exp, ok)
+	}
+	// Drain the rest; every take must return a strictly older lease.
+	prev := exp
+	n := 1
+	for {
+		e, ok := p.TakeWarm(now)
+		if !ok {
+			break
+		}
+		if e >= prev {
+			t.Fatalf("take %d: lease %v not older than %v (LIFO broken)", n, e, prev)
+		}
+		prev = e
+		n++
+	}
+	if n != 4999 {
+		t.Fatalf("drained %d warm containers, want 4999", n)
+	}
+	// Phase 2: out-of-order release (backdated lease) must keep the
+	// expiry ordering intact.
+	p.Release(sim.Time(time.Hour))
+	p.Release(sim.Time(time.Hour) - sim.Time(30*time.Second)) // backdated
+	if got := p.WarmCount(sim.Time(time.Hour)); got != 2 {
+		t.Fatalf("WarmCount after backdated release = %d, want 2", got)
+	}
+	first, _ := p.TakeWarm(sim.Time(time.Hour))
+	second, _ := p.TakeWarm(sim.Time(time.Hour))
+	if first < second {
+		t.Fatalf("takes out of order after backdated release: %v then %v", first, second)
+	}
+}

@@ -20,10 +20,25 @@
 // internal/parallel) and never shares a kernel, a Proc, or any
 // simulated component across host goroutines. Nothing in this package
 // locks, by design.
+//
+// # Sharded event storage
+//
+// Internally the pending-event set is split across S per-partition
+// 4-ary heaps (S is a power of two, chosen at construction; NewKernel
+// uses one) plus an O(1) FIFO lane for events due at the current
+// instant. The event loop merges across partitions by scanning a flat
+// array of cached head keys and always executing the globally minimal
+// (at, seq) pair. Because seq is assigned from a single kernel-wide
+// counter and the merge compares full keys, the execution order is
+// exactly the single-heap order for every shard count: partitioning
+// affects only which backing array an event waits in, never when it
+// runs. See DESIGN.md §11 for the full determinism argument.
 package sim
 
 import (
 	"fmt"
+	"math"
+	"math/bits"
 	"time"
 )
 
@@ -41,99 +56,222 @@ type event struct {
 	fn  func()
 }
 
-// eventQueue is a 4-ary min-heap of events ordered by (at, seq), stored
-// by value in a single backing array. Compared to container/heap with
-// boxed *event items this kills the per-At allocation (the backing
-// array is its own free list: popped slots are reused by later pushes)
-// and the 4-ary layout halves the tree depth, trading slightly wider
-// sift-down comparisons for fewer cache-missing levels — the usual win
-// for small keys.
-type eventQueue []event
-
-// less orders by (at, seq): time first, insertion order on ties.
-func (q eventQueue) less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
-	}
-	return q[i].seq < q[j].seq
+// eventKey is the 16-byte ordering key of a queued event. Keys live in
+// their own backing array so that one 4-ary sift level's four children
+// span exactly one cache line (4 × 16 B); with the closure pointers
+// inline (24-byte elements) every level touched two.
+type eventKey struct {
+	at  Time
+	seq int64
 }
+
+// before orders keys by (at, seq): time first, insertion order on ties.
+func (a eventKey) before(b eventKey) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// eventQueue is a 4-ary min-heap of events ordered by (at, seq), stored
+// structure-of-arrays: keys and closures in parallel backing slices.
+// Compared to container/heap with boxed *event items this kills the
+// per-At allocation (the backing arrays are their own free lists:
+// popped slots are reused by later pushes); the 4-ary layout halves the
+// tree depth; the key/closure split halves the cache lines per sifted
+// level — under multi-million-event pending sets the heap walk is
+// memory-bound, so lines per level is the whole cost model. Sifts move
+// a hole instead of swapping (one array write per level, not three).
+type eventQueue struct {
+	keys []eventKey
+	fns  []func()
+}
+
+// len returns the number of queued events.
+func (q *eventQueue) len() int { return len(q.keys) }
+
+// head returns the minimum key. Call only when len() > 0.
+func (q *eventQueue) head() eventKey { return q.keys[0] }
 
 // push appends e and restores the heap property.
 func (q *eventQueue) push(e event) {
-	h := append(*q, e)
-	// Sift up.
-	i := len(h) - 1
+	n := len(q.keys)
+	if n == cap(q.keys) || n == cap(q.fns) {
+		// Grow whichever array is full (caps can drift apart across
+		// size classes, so both are checked, not assumed in step).
+		q.keys = append(q.keys, eventKey{})[:n]
+		q.fns = append(q.fns, nil)[:n]
+	}
+	ks, fs := q.keys[:n+1], q.fns[:n+1]
+	q.keys, q.fns = ks, fs
+	// Sift the hole up: parents move down until e's slot is found; the
+	// new element is written exactly once, into its final slot.
+	key := eventKey{at: e.at, seq: e.seq}
+	i := n
 	for i > 0 {
 		p := (i - 1) / 4
-		if !h.less(i, p) {
+		if !key.before(ks[p]) {
 			break
 		}
-		h[i], h[p] = h[p], h[i]
+		ks[i], fs[i] = ks[p], fs[p]
 		i = p
 	}
-	*q = h
+	ks[i], fs[i] = key, e.fn
 }
 
 // pop removes and returns the minimum event.
 func (q *eventQueue) pop() event {
-	h := *q
-	top := h[0]
-	n := len(h) - 1
-	h[0] = h[n]
-	h[n] = event{} // release the fn closure to the GC
-	h = h[:n]
-	// Sift down.
-	i := 0
-	for {
-		first := 4*i + 1
-		if first >= n {
-			break
-		}
-		last := first + 4
-		if last > n {
-			last = n
-		}
-		min := i
-		for c := first; c < last; c++ {
-			if h.less(c, min) {
-				min = c
+	ks, fs := q.keys, q.fns
+	top := event{at: ks[0].at, seq: ks[0].seq, fn: fs[0]}
+	n := len(ks) - 1
+	key, fn := ks[n], fs[n]
+	ks[n], fs[n] = eventKey{}, nil // release the closure to the GC
+	ks, fs = ks[:n], fs[:n]
+	if n > 0 {
+		// Sift the hole down: the displaced last element chases it.
+		i := 0
+		for {
+			first := 4*i + 1
+			if first >= n {
+				break
 			}
+			last := first + 4
+			if last > n {
+				last = n
+			}
+			min := first
+			for c := first + 1; c < last; c++ {
+				if ks[c].before(ks[min]) {
+					min = c
+				}
+			}
+			if !ks[min].before(key) {
+				break
+			}
+			ks[i], fs[i] = ks[min], fs[min]
+			i = min
 		}
-		if min == i {
-			break
-		}
-		h[i], h[min] = h[min], h[i]
-		i = min
+		ks[i], fs[i] = key, fn
 	}
-	*q = h
+	q.keys, q.fns = ks, fs
 	return top
 }
 
+// release frees the backing arrays.
+func (q *eventQueue) release() { q.keys, q.fns = nil, nil }
+
+// headSentinel marks an empty shard in the cached head-key arrays. No
+// real event can carry it: at is clamped to the clock (≥ 0) and seq
+// starts at 1.
+const headSentinel = math.MaxInt64
+
+// maxShards bounds the shard count; beyond this the O(S) head scan per
+// pop costs more than the smaller heaps save.
+const maxShards = 1024
+
 // Kernel is a discrete-event simulation engine with a virtual clock.
-// Create one with NewKernel; it is not safe for concurrent use from
-// multiple host goroutines (all access must come from the event loop or
-// from the currently running Proc — see the package comment's
-// concurrency contract).
+// Create one with NewKernel (single event partition) or
+// NewKernelSharded; it is not safe for concurrent use from multiple
+// host goroutines (all access must come from the event loop or from
+// the currently running Proc — see the package comment's concurrency
+// contract).
 type Kernel struct {
 	now     Time
 	seq     int64
-	pq      eventQueue
 	yield   chan struct{} // signalled when the running proc parks/exits
 	seed    uint64
 	procSeq int64
 	stopped bool
 	live    int // live (started, unfinished) procs; diagnostics only
+
+	// Sharded pending-event storage. shards holds the per-partition
+	// heaps; headAt/headSeq cache each shard's minimum key (headSentinel
+	// when empty) so the cross-partition merge scans two flat int64
+	// arrays instead of chasing heap backing arrays.
+	shards  []eventQueue
+	headAt  []Time
+	headSeq []int64
+	mask    uint32 // len(shards)-1; shard routing is hash & mask
+
+	// minAt/minSeq/minSrc cache the global minimum over the shard
+	// heads. A push can only lower its shard's head, so it refreshes
+	// the cache with one compare; only a heap pop (which changed the
+	// minimum shard's head) triggers the O(shards) rescan. Immediate-
+	// lane pops never touch shard heads, so the merge step for them is
+	// O(1) at any shard count.
+	minAt  Time
+	minSeq int64
+	minSrc int32
+
+	// imm is the immediate lane: a FIFO of events due at the current
+	// instant. Entries are appended with kernel-wide increasing seq, so
+	// the lane is (at, seq)-sorted by construction, and the clock can
+	// never advance past them (their at is never in the future), so the
+	// lane never holds a stale instant. Same-instant scheduling —
+	// wake(0), After(0), future completions — dominates real workloads,
+	// and the lane serves it with an append and an index bump instead
+	// of two O(log n) heap walks.
+	imm     []event
+	immHead int
+
+	cur      uint32 // shard of the event being executed; routes At
+	pending  int
+	executed uint64
 }
 
 // NewKernel returns a kernel whose clock starts at zero. seed is the
 // master seed from which all component RNG streams are derived; the same
 // seed always reproduces the same run.
-func NewKernel(seed uint64) *Kernel {
-	return &Kernel{
-		yield: make(chan struct{}),
-		seed:  seed,
+func NewKernel(seed uint64) *Kernel { return NewKernelSharded(seed, 1) }
+
+// NewKernelSharded returns a kernel whose pending-event set is split
+// across shards partitions (rounded up to a power of two, clamped to
+// [1, 1024]). Sharding is purely an event-storage layout choice: the
+// execution order — and therefore every simulation result — is
+// byte-identical for every shard count. More shards mean smaller,
+// cache-friendlier heaps under very large pending sets (millions of
+// queued events) at the cost of an O(shards) head scan per pop.
+func NewKernelSharded(seed uint64, shards int) *Kernel {
+	if shards < 1 {
+		shards = 1
 	}
+	if shards > maxShards {
+		shards = maxShards
+	}
+	if shards&(shards-1) != 0 {
+		shards = 1 << bits.Len(uint(shards))
+	}
+	k := &Kernel{
+		yield:   make(chan struct{}),
+		seed:    seed,
+		shards:  make([]eventQueue, shards),
+		headAt:  make([]Time, shards),
+		headSeq: make([]int64, shards),
+		mask:    uint32(shards - 1),
+	}
+	for s := range k.headAt {
+		k.headAt[s] = headSentinel
+		k.headSeq[s] = headSentinel
+	}
+	k.minAt, k.minSeq, k.minSrc = headSentinel, headSentinel, -1
+	return k
 }
+
+// rescanHeads recomputes the cached global minimum over the shard
+// heads. Called after a heap pop (the popped shard's head changed) and
+// on drain.
+func (k *Kernel) rescanHeads() {
+	at, seq, src := Time(headSentinel), int64(headSentinel), int32(-1)
+	for s, ha := range k.headAt {
+		if ha < at || (ha == at && k.headSeq[s] < seq) {
+			at, seq, src = ha, k.headSeq[s], int32(s)
+		}
+	}
+	k.minAt, k.minSeq, k.minSrc = at, seq, src
+}
+
+// ShardCount returns the number of event partitions.
+func (k *Kernel) ShardCount() int { return len(k.shards) }
 
 // Now returns the current virtual time.
 func (k *Kernel) Now() Time { return k.now }
@@ -141,15 +279,57 @@ func (k *Kernel) Now() Time { return k.now }
 // Seed returns the master seed the kernel was created with.
 func (k *Kernel) Seed() uint64 { return k.seed }
 
+// push routes an event to the immediate lane if it is due at the
+// current instant, otherwise to the given shard's heap, refreshing the
+// cached head key.
+func (k *Kernel) push(shard uint32, e event) {
+	k.pending++
+	if e.at == k.now {
+		k.imm = append(k.imm, e)
+		return
+	}
+	q := &k.shards[shard]
+	q.push(e)
+	if k.mask == 0 {
+		// Single-shard kernels skip the head/min caches entirely: the
+		// one heap's head is the global minimum, read directly by
+		// RunUntil's fast path. The cache arrays stay all-sentinel.
+		return
+	}
+	h := q.head()
+	k.headAt[shard] = h.at
+	k.headSeq[shard] = h.seq
+	// A push only lowers (or keeps) its shard's head, so the cached
+	// global minimum stays valid unless this head undercuts it.
+	if h.at < k.minAt || (h.at == k.minAt && h.seq < k.minSeq) {
+		k.minAt, k.minSeq, k.minSrc = h.at, h.seq, int32(shard)
+	}
+}
+
 // At schedules fn to run at absolute virtual time t. Scheduling in the
 // past (t < Now) runs the event at the current time, after already-queued
-// events for this instant.
+// events for this instant. The event lands in the partition of the
+// event currently executing (partition 0 outside the loop); use AtKeyed
+// to pin related work to one partition.
 func (k *Kernel) At(t Time, fn func()) {
 	if t < k.now {
 		t = k.now
 	}
 	k.seq++
-	k.pq.push(event{at: t, seq: k.seq, fn: fn})
+	k.push(k.cur&k.mask, event{at: t, seq: k.seq, fn: fn})
+}
+
+// AtKeyed is At with an explicit partition affinity key: all events
+// scheduled under the same key share a shard heap, keeping a tenant's
+// (or a platform component's) timer footprint within one backing
+// array. The key changes only data layout — execution order is
+// independent of partition assignment.
+func (k *Kernel) AtKeyed(key uint64, t Time, fn func()) {
+	if t < k.now {
+		t = k.now
+	}
+	k.seq++
+	k.push(uint32(mix64(key))&k.mask, event{at: t, seq: k.seq, fn: fn})
 }
 
 // After schedules fn to run d from now. Negative d is treated as zero.
@@ -169,7 +349,7 @@ func (k *Kernel) pushUnpark(d time.Duration, p *Proc) {
 		d = 0
 	}
 	k.seq++
-	k.pq.push(event{at: k.now + d, seq: k.seq, fn: p.unparkFn})
+	k.push(p.shard&k.mask, event{at: k.now + d, seq: k.seq, fn: p.unparkFn})
 }
 
 // pushCondUnpark schedules a conditional wake-up d from now: when the
@@ -184,7 +364,7 @@ func (k *Kernel) pushCondUnpark(d time.Duration, p *Proc, gen uint64) {
 		d = 0
 	}
 	k.seq++
-	k.pq.push(event{at: k.now + d, seq: k.seq, fn: func() {
+	k.push(p.shard&k.mask, event{at: k.now + d, seq: k.seq, fn: func() {
 		if p.awaitGen == gen {
 			p.awaitGen++
 			k.pushUnpark(0, p)
@@ -201,23 +381,80 @@ func (k *Kernel) Run() Time { return k.RunUntil(-1) }
 // The clock is left at the last executed event (or at deadline, if the
 // deadline cut execution short and deadline is beyond the clock).
 func (k *Kernel) RunUntil(deadline Time) Time {
-	for len(k.pq) > 0 && !k.stopped {
-		if deadline >= 0 && k.pq[0].at > deadline {
+	single := k.mask == 0
+	for k.pending > 0 && !k.stopped {
+		// Merge: the next event is the global (at, seq) minimum across
+		// the immediate lane and the cached shard-head minimum. The lane
+		// head is a candidate only on equal at (its at is always the
+		// current instant, never ahead of a shard head's), so ties fall
+		// to seq — and the whole step is O(1): the O(shards) rescan runs
+		// only after heap pops, inside rescanHeads. Single-shard kernels
+		// read the one heap's head directly and skip the caches (and the
+		// rescan) altogether — the pre-shard kernel's exact cost model.
+		var at Time
+		var seq int64
+		var src int
+		if single {
+			at, seq, src = headSentinel, headSentinel, 0
+			if q := &k.shards[0]; len(q.keys) > 0 {
+				at, seq = q.keys[0].at, q.keys[0].seq
+			}
+		} else {
+			at, seq, src = k.minAt, k.minSeq, int(k.minSrc)
+		}
+		if k.immHead < len(k.imm) {
+			ie := &k.imm[k.immHead]
+			if ie.at < at || (ie.at == at && ie.seq < seq) {
+				at, seq, src = ie.at, ie.seq, -1
+			}
+		}
+		if deadline >= 0 && at > deadline {
 			if deadline > k.now {
 				k.now = deadline
 			}
 			return k.now
 		}
-		ev := k.pq.pop()
-		k.now = ev.at
-		ev.fn()
+		var fn func()
+		if src < 0 {
+			fn = k.imm[k.immHead].fn
+			k.imm[k.immHead] = event{} // release the closure to the GC
+			k.immHead++
+			if k.immHead == len(k.imm) {
+				k.imm = k.imm[:0] // drained: reuse the backing array
+				k.immHead = 0
+			}
+		} else {
+			q := &k.shards[src]
+			fn = q.pop().fn
+			if !single {
+				if q.len() > 0 {
+					h := q.head()
+					k.headAt[src] = h.at
+					k.headSeq[src] = h.seq
+				} else {
+					k.headAt[src] = headSentinel
+					k.headSeq[src] = headSentinel
+				}
+				k.cur = uint32(src)
+				k.rescanHeads()
+			}
+		}
+		k.pending--
+		k.executed++
+		k.now = at
+		fn()
 	}
-	if len(k.pq) == 0 {
+	if k.pending == 0 {
 		// The run drained: release the event storage. Callers routinely
 		// keep the Env (and so the kernel) alive long after a campaign
-		// for drill-downs; the queue's backing array should not be
-		// pinned with it.
-		k.pq = nil
+		// for drill-downs; the backing arrays should not be pinned with
+		// it. The head-key arrays already read all-sentinel and stay.
+		for s := range k.shards {
+			k.shards[s].release()
+		}
+		k.imm = nil
+		k.immHead = 0
+		k.minAt, k.minSeq, k.minSrc = headSentinel, headSentinel, -1
 	}
 	return k.now
 }
@@ -231,7 +468,11 @@ func (k *Kernel) Stop() { k.stopped = true }
 func (k *Kernel) Stopped() bool { return k.stopped }
 
 // Pending returns the number of queued events.
-func (k *Kernel) Pending() int { return len(k.pq) }
+func (k *Kernel) Pending() int { return k.pending }
+
+// Executed returns the total number of events the kernel has run, the
+// denominator for events/sec throughput reporting.
+func (k *Kernel) Executed() uint64 { return k.executed }
 
 // LiveProcs returns the number of spawned processes that have not yet
 // finished (parked processes count). Useful for leak detection in tests.
@@ -239,5 +480,5 @@ func (k *Kernel) LiveProcs() int { return k.live }
 
 // String implements fmt.Stringer for debugging.
 func (k *Kernel) String() string {
-	return fmt.Sprintf("sim.Kernel{now: %v, pending: %d, procs: %d}", k.now, len(k.pq), k.live)
+	return fmt.Sprintf("sim.Kernel{now: %v, pending: %d, procs: %d}", k.now, k.pending, k.live)
 }

@@ -475,12 +475,21 @@ func TestRunReleasesEventStorage(t *testing.T) {
 	for i := 0; i < 4096; i++ {
 		k.After(time.Duration(i)*time.Millisecond, func() {})
 	}
-	if cap(k.pq) == 0 {
+	queued := 0
+	for s := range k.shards {
+		queued += cap(k.shards[s].keys)
+	}
+	if queued == 0 {
 		t.Fatal("queue unexpectedly empty before Run")
 	}
 	k.Run()
-	if k.pq != nil {
-		t.Fatalf("event storage retained after drain: cap %d", cap(k.pq))
+	for s := range k.shards {
+		if k.shards[s].keys != nil || k.shards[s].fns != nil {
+			t.Fatalf("shard %d storage retained after drain: cap %d", s, cap(k.shards[s].keys))
+		}
+	}
+	if k.imm != nil {
+		t.Fatalf("immediate-lane storage retained after drain: cap %d", cap(k.imm))
 	}
 	// The kernel must stay usable after the release.
 	ran := false

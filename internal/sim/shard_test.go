@@ -1,0 +1,214 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// shardCounts are the partition counts the equivalence suite runs at,
+// per the tier-2 determinism gate: 1 is the reference single heap.
+var shardCounts = []int{1, 4, 16}
+
+// scheduleTrace runs a mixed workload — timer events, keyed events,
+// immediate events scheduled from inside handlers, sleeping procs,
+// future completions — on a kernel with the given shard count and
+// returns the full execution trace (time, label) in order.
+func scheduleTrace(shards int, delays []uint16) []string {
+	k := NewKernelSharded(42, shards)
+	var log []string
+	record := func(tag string, i int) {
+		log = append(log, fmt.Sprintf("%d:%s%d", k.Now(), tag, i))
+	}
+	for i, d := range delays {
+		i := i
+		at := time.Duration(d) * time.Millisecond
+		switch i % 4 {
+		case 0:
+			k.At(at, func() {
+				record("at", i)
+				// Same-instant follow-up: exercises the immediate lane.
+				k.After(0, func() { record("imm", i) })
+			})
+		case 1:
+			k.AtKeyed(uint64(i), at, func() { record("key", i) })
+		case 2:
+			k.SpawnAfter(at, "p", func(p *Proc) {
+				record("spawn", i)
+				p.Sleep(time.Duration(i%3) * time.Millisecond)
+				record("woke", i)
+			})
+		default:
+			f := NewFuture[int](k)
+			k.At(at, func() { f.Complete(i, nil) })
+			k.Spawn("w", func(p *Proc) {
+				v, _ := f.Await(p)
+				record("await", v)
+			})
+		}
+	}
+	k.Run()
+	return log
+}
+
+// TestShardEquivalence proves the sharding determinism claim: the
+// execution order of an arbitrary schedule is byte-identical across
+// shard counts {1, 4, 16}. Partitioning must never reorder events.
+func TestShardEquivalence(t *testing.T) {
+	f := func(delays []uint16) bool {
+		if len(delays) == 0 {
+			return true
+		}
+		if len(delays) > 256 {
+			delays = delays[:256]
+		}
+		ref := scheduleTrace(1, delays)
+		for _, s := range shardCounts[1:] {
+			got := scheduleTrace(s, delays)
+			if len(got) != len(ref) {
+				return false
+			}
+			for i := range ref {
+				if got[i] != ref[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestShardEquivalenceDense pins the equivalence on a dense, collision
+// heavy schedule (many same-instant ties across partitions) where a
+// merge that compared anything short of the full (at, seq) key would
+// be caught immediately.
+func TestShardEquivalenceDense(t *testing.T) {
+	delays := make([]uint16, 300)
+	for i := range delays {
+		delays[i] = uint16(i % 7) // 7 distinct instants, ~43 ties each
+	}
+	ref := scheduleTrace(1, delays)
+	for _, s := range shardCounts[1:] {
+		got := scheduleTrace(s, delays)
+		if len(got) != len(ref) {
+			t.Fatalf("shards=%d: %d events, want %d", s, len(got), len(ref))
+		}
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatalf("shards=%d: event %d = %q, want %q", s, i, got[i], ref[i])
+			}
+		}
+	}
+}
+
+// TestShardCountRounding checks construction clamps and rounding.
+func TestShardCountRounding(t *testing.T) {
+	cases := []struct{ in, want int }{
+		{-3, 1}, {0, 1}, {1, 1}, {2, 2}, {3, 4}, {4, 4}, {5, 8},
+		{16, 16}, {17, 32}, {1 << 20, maxShards},
+	}
+	for _, c := range cases {
+		if got := NewKernelSharded(1, c.in).ShardCount(); got != c.want {
+			t.Errorf("NewKernelSharded(_, %d).ShardCount() = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+// TestExecutedCounter checks the events/sec denominator.
+func TestExecutedCounter(t *testing.T) {
+	k := NewKernelSharded(1, 4)
+	const n = 100
+	for i := 0; i < n; i++ {
+		k.At(time.Duration(i%5)*time.Millisecond, func() {})
+	}
+	k.Run()
+	if k.Executed() != n {
+		t.Fatalf("Executed() = %d, want %d", k.Executed(), n)
+	}
+	if k.Pending() != 0 {
+		t.Fatalf("Pending() = %d after drain", k.Pending())
+	}
+}
+
+// TestShardedRunUntilDeadline checks the deadline cut consults the
+// global minimum, not a single partition's head.
+func TestShardedRunUntilDeadline(t *testing.T) {
+	k := NewKernelSharded(9, 4)
+	var ran []int
+	for i := 0; i < 40; i++ {
+		i := i
+		k.AtKeyed(uint64(i), time.Duration(i)*time.Second, func() { ran = append(ran, i) })
+	}
+	k.RunUntil(19 * time.Second)
+	if len(ran) != 20 {
+		t.Fatalf("ran %d events before deadline, want 20", len(ran))
+	}
+	for i, v := range ran {
+		if v != i {
+			t.Fatalf("slot %d ran event %d", i, v)
+		}
+	}
+	if k.Pending() != 20 {
+		t.Fatalf("Pending() = %d, want 20", k.Pending())
+	}
+	if k.Now() != 19*time.Second {
+		t.Fatalf("Now() = %v, want 19s", k.Now())
+	}
+	k.Run()
+	if len(ran) != 40 || k.Pending() != 0 {
+		t.Fatalf("resume after deadline: ran=%d pending=%d", len(ran), k.Pending())
+	}
+}
+
+// TestArenaRecycle checks handle stability and free-list reuse,
+// including the no-zeroing contract that keeps slot-lifetime closures
+// alive across recycling.
+func TestArenaRecycle(t *testing.T) {
+	type rec struct {
+		n    int
+		fire func()
+	}
+	var a Arena[rec]
+	fired := 0
+	h1, r1 := a.Alloc()
+	r1.n = 7
+	r1.fire = func() { fired += a.At(h1).n }
+	h2, r2 := a.Alloc()
+	r2.n = 100
+	if a.InUse() != 2 {
+		t.Fatalf("InUse = %d, want 2", a.InUse())
+	}
+	a.Free(h1)
+	h3, r3 := a.Alloc()
+	if h3 != h1 {
+		t.Fatalf("free-list reuse: got handle %d, want %d", h3, h1)
+	}
+	if r3.fire == nil {
+		t.Fatal("slot closure wiped on recycle")
+	}
+	r3.n = 5
+	r3.fire()
+	if fired != 5 {
+		t.Fatalf("recycled closure read %d, want 5", fired)
+	}
+	a.Free(h2)
+	a.Free(h3)
+	if a.InUse() != 0 {
+		t.Fatalf("InUse = %d after frees, want 0", a.InUse())
+	}
+	// Cross a chunk boundary; pointers must stay stable.
+	ptrs := make(map[int32]*rec)
+	for i := 0; i < 3*arenaChunkSize; i++ {
+		h, r := a.Alloc()
+		ptrs[h] = r
+	}
+	for h, p := range ptrs {
+		if a.At(h) != p {
+			t.Fatalf("handle %d moved", h)
+		}
+	}
+}

@@ -1,0 +1,220 @@
+package traffic
+
+import (
+	"testing"
+	"time"
+
+	"statebench/internal/platform"
+	"statebench/internal/pricing"
+	"statebench/internal/sim"
+)
+
+func perRequestCfg(shards int) Config {
+	return Config{
+		Tenants:  5000,
+		Duration: 2 * time.Minute,
+		Process:  Poisson{Rate: 400},
+		Profile:  platform.DefaultAWS().Traffic(),
+		Book:     pricing.DefaultAWS(),
+		ExecTime: sim.LogNormalDist{Median: 60 * time.Millisecond, Sigma: 0.4, Max: 5 * time.Second},
+
+		CodeSizeMB:      64,
+		HotTenantShare:  0.1,
+		HotTrafficShare: 0.9,
+		Shards:          shards,
+		Seed:            7,
+	}
+}
+
+func instancePoolCfg(shards int) Config {
+	return Config{
+		Tenants:  500,
+		Duration: 2 * time.Minute,
+		Process: &MMPP2{
+			BaseRate: 100, BurstRate: 900,
+			BaseDwell: 20 * time.Second, BurstDwell: 5 * time.Second,
+		},
+		Profile:  platform.DefaultAzure().Traffic(),
+		Book:     pricing.DefaultAzure(),
+		ExecTime: sim.LogNormalDist{Median: 150 * time.Millisecond, Sigma: 0.4, Max: 5 * time.Second},
+
+		HotTenantShare:  0.1,
+		HotTrafficShare: 0.9,
+		Shards:          shards,
+		Seed:            11,
+	}
+}
+
+// results must be byte-identical at every shard count: same counters,
+// same histograms bucket for bucket, same bill.
+func assertIdentical(t *testing.T, ref, got *Result, label string) {
+	t.Helper()
+	if got.Arrivals != ref.Arrivals || got.Completions != ref.Completions ||
+		got.ColdStarts != ref.ColdStarts || got.SimEnd != ref.SimEnd {
+		t.Fatalf("%s: counters diverge: %+v vs %+v", label, got, ref)
+	}
+	if got.PeakBacklog != ref.PeakBacklog || got.MeanBacklog != ref.MeanBacklog ||
+		got.PeakInFlight != ref.PeakInFlight {
+		t.Fatalf("%s: backlog stats diverge", label)
+	}
+	if got.TotalBill != ref.TotalBill || got.BilledTenants != ref.BilledTenants {
+		t.Fatalf("%s: bill diverges: %v vs %v", label, got.TotalBill, ref.TotalBill)
+	}
+	hists := []struct {
+		name     string
+		got, ref interface {
+			Count() uint64
+			Sum() time.Duration
+			Quantile(float64) time.Duration
+		}
+	}{
+		{"E2E", &got.E2E, &ref.E2E},
+		{"ColdWait", &got.ColdWait, &ref.ColdWait},
+		{"QueueWait", &got.QueueWait, &ref.QueueWait},
+		{"TenantCost", &got.TenantCost, &ref.TenantCost},
+	}
+	for _, h := range hists {
+		if h.got.Count() != h.ref.Count() || h.got.Sum() != h.ref.Sum() {
+			t.Fatalf("%s: %s count/sum diverge", label, h.name)
+		}
+		for _, q := range []float64{0.5, 0.99, 0.999} {
+			if h.got.Quantile(q) != h.ref.Quantile(q) {
+				t.Fatalf("%s: %s q%v = %v, want %v", label, h.name, q, h.got.Quantile(q), h.ref.Quantile(q))
+			}
+		}
+	}
+}
+
+// TestRunShardInvariance is the engine-level half of the determinism
+// gate: the full open-loop result — both serving styles — is
+// byte-identical at shard counts {1, 4, 16}.
+func TestRunShardInvariance(t *testing.T) {
+	for name, mk := range map[string]func(int) Config{
+		"per-request":   perRequestCfg,
+		"instance-pool": instancePoolCfg,
+	} {
+		ref := Run(mk(1))
+		if ref.Arrivals == 0 || ref.Completions != ref.Arrivals {
+			t.Fatalf("%s: bad reference run: %+v", name, ref)
+		}
+		for _, shards := range []int{4, 16} {
+			got := Run(mk(shards))
+			assertIdentical(t, ref, got, name)
+		}
+	}
+}
+
+// TestRunReproducible: same config, same seed, same result.
+func TestRunReproducible(t *testing.T) {
+	a, b := Run(perRequestCfg(4)), Run(perRequestCfg(4))
+	assertIdentical(t, a, b, "rerun")
+	c := Run(perRequestCfg(4))
+	c2 := perRequestCfg(4)
+	c2.Seed++
+	d := Run(c2)
+	if c.Arrivals == d.Arrivals && c.E2E.Sum() == d.E2E.Sum() {
+		t.Fatal("different seeds produced identical runs")
+	}
+}
+
+// TestPerRequestColdWarm checks the warm-entry model: a hot single
+// tenant reuses containers (low cold rate), a cold sparse population
+// pays cold starts nearly every time.
+func TestPerRequestColdWarm(t *testing.T) {
+	hot := perRequestCfg(1)
+	hot.Tenants = 1
+	hot.HotTenantShare = 0
+	hot.Process = Poisson{Rate: 50}
+	r := Run(hot)
+	if r.Completions != r.Arrivals || r.Arrivals == 0 {
+		t.Fatalf("conservation broken: %+v", r)
+	}
+	if rate := r.ColdRate(); rate > 0.05 {
+		t.Fatalf("single hot tenant cold rate = %.3f, want near 0", rate)
+	}
+	// E2E must sit above exec alone (RTT + entry overhead).
+	if r.E2E.Median() < 60*time.Millisecond {
+		t.Fatalf("median E2E %v below exec median", r.E2E.Median())
+	}
+
+	sparse := perRequestCfg(1)
+	sparse.Tenants = 200000
+	sparse.Process = Poisson{Rate: 50}
+	sparse.Duration = time.Minute
+	sparse.HotTenantShare = 0 // uniform: each tenant sees ~one request
+	r2 := Run(sparse)
+	if rate := r2.ColdRate(); rate < 0.9 {
+		t.Fatalf("sparse population cold rate = %.3f, want near 1", rate)
+	}
+	if r2.ColdWait.Count() != r2.ColdStarts {
+		t.Fatalf("cold hist count %d != cold starts %d", r2.ColdWait.Count(), r2.ColdStarts)
+	}
+}
+
+// TestInstancePoolBacklog checks the rate-limited scale controller:
+// bursty load on a cold app queues (backlog, queue waits), instances
+// come up over multiple evaluations, and everything drains.
+func TestInstancePoolBacklog(t *testing.T) {
+	r := Run(instancePoolCfg(1))
+	if r.Completions != r.Arrivals || r.Arrivals == 0 {
+		t.Fatalf("conservation broken: arrivals=%d completions=%d", r.Arrivals, r.Completions)
+	}
+	if r.PeakBacklog == 0 {
+		t.Fatal("bursty load never built scale-controller backlog")
+	}
+	if r.QueueWait.Count() != r.Completions {
+		t.Fatalf("queue-wait hist %d entries, want %d", r.QueueWait.Count(), r.Completions)
+	}
+	// Scheduling delay must show the controller's rate limit: p99 well
+	// above the p50 (most requests dispatch immediately once scaled).
+	if r.QueueWait.P99() < r.QueueWait.Median() {
+		t.Fatal("queue wait distribution degenerate")
+	}
+	if r.ColdStarts == 0 {
+		t.Fatal("no instance starts recorded")
+	}
+	if r.MeanBacklog <= 0 {
+		t.Fatalf("mean backlog = %v, want > 0", r.MeanBacklog)
+	}
+}
+
+// TestBilling checks per-tenant billing: only active tenants billed,
+// totals positive, per-tenant cost distribution populated, and the
+// hot set visible in the cost tail.
+func TestBilling(t *testing.T) {
+	r := Run(perRequestCfg(1))
+	if r.BilledTenants == 0 || r.BilledTenants > 5000 {
+		t.Fatalf("billed tenants = %d", r.BilledTenants)
+	}
+	if uint64(r.TenantCost.Count()) != uint64(r.BilledTenants) {
+		t.Fatalf("cost hist %d entries, want %d", r.TenantCost.Count(), r.BilledTenants)
+	}
+	if r.TotalBill.Total() <= 0 {
+		t.Fatalf("total bill = %v", r.TotalBill)
+	}
+	// Hot tenants carry ~90% of traffic across 10% of the population:
+	// the p99 tenant must cost well above the median tenant.
+	if r.TenantCost.P99() < 2*r.TenantCost.Median() {
+		t.Fatalf("cost skew missing: p99 %v median %v", r.TenantCost.P99(), r.TenantCost.Median())
+	}
+	nb := perRequestCfg(1)
+	nb.Book = nil
+	r2 := Run(nb)
+	if r2.BilledTenants != 0 || r2.TotalBill.Total() != 0 {
+		t.Fatal("nil book still billed")
+	}
+}
+
+// TestArenaBounded checks the perf contract behind the arenas: record
+// storage is bounded by peak concurrency, not arrivals.
+func TestArenaBounded(t *testing.T) {
+	cfg := perRequestCfg(1)
+	cfg.Duration = time.Minute
+	r := Run(cfg)
+	if r.PeakInFlight <= 0 {
+		t.Fatal("no in-flight tracking")
+	}
+	if uint64(r.PeakInFlight) >= r.Arrivals {
+		t.Fatalf("peak in-flight %d not bounded below arrivals %d", r.PeakInFlight, r.Arrivals)
+	}
+}
