@@ -24,7 +24,7 @@ GOFMT ?= gofmt
 # `make cover` fails below this.
 COVER_FLOOR ?= 75
 
-.PHONY: tier1 tier1.5 tier2 cover fuzz bench bench-kernel bench-payload bench-all bench-traffic fmt-check golden golden-cache-off
+.PHONY: tier1 tier1.5 tier2 cover fuzz bench bench-kernel bench-payload bench-all bench-traffic fmt-check golden golden-cache-off timeline-determinism
 
 # fmt-check fails (listing the offenders) if any file needs gofmt.
 fmt-check:
@@ -55,8 +55,20 @@ tier2:
 	$(GO) vet ./...
 	$(GO) test -race -timeout 20m ./...
 	$(GO) test -run 'TestTracingPreservesDeterminism|TestTracingDoesNotChangeResults|TestChaosPreservesDeterminism' -count=1 . ./internal/core/
+	$(MAKE) timeline-determinism
 	$(MAKE) fuzz
 	$(MAKE) cover
+
+# timeline-determinism is the windowed-telemetry gate: the per-window
+# CSV must be byte-identical across kernel shard counts {1,4,16}
+# (engine level), across -parallel {1,8} (campaign level, including the
+# anomaly log pinned by the timeline golden), and the -live endpoints
+# must serve the same bytes as the file exports.
+timeline-determinism:
+	$(GO) test -run 'TestTimelineShardInvariance|TestTimelineObservationOnly' -count=1 ./internal/traffic/
+	$(GO) test -run 'TestTimelineWorkersInvariant|TestMergeCommutative' -count=1 ./internal/experiments/ ./internal/obs/tseries/
+	$(GO) test -run 'TestTimelineQuickMatchesGolden' -count=1 ./cmd/statebench/
+	$(GO) test -run 'TestServeLive' -count=1 ./internal/obs/tseries/
 
 cover:
 	$(GO) test -count=1 -coverprofile=cover.out ./internal/...

@@ -18,6 +18,7 @@ import (
 
 	"statebench/internal/core"
 	"statebench/internal/experiments"
+	"statebench/internal/obs/tseries"
 	"statebench/internal/sim"
 	"statebench/internal/traffic"
 )
@@ -202,13 +203,15 @@ func BenchmarkKernelSameInstantStorm(b *testing.B) {
 	b.ReportMetric(1, "events/op")
 }
 
-// BenchmarkTrafficMillionTenants runs the open-loop engine at
-// acceptance scale: a one-million-tenant population under a Poisson
-// stream, against the first registered provider with a traffic
-// profile. One iteration is one full run (arrive, drain, bill), so
-// size it with -benchtime 1x; events/op and peak-RSS-MB land in
-// BENCH_PR6.json via cmd/benchjson.
-func BenchmarkTrafficMillionTenants(b *testing.B) {
+// trafficMillionTenants is one full open-loop run (arrive, drain,
+// bill) at acceptance scale: a one-million-tenant population under a
+// Poisson stream, against the first registered provider with a traffic
+// profile. timeline toggles windowed telemetry, so the plain/Timeline
+// benchmark pair measures the instrumentation's overhead (the disabled
+// nil-*Series fast path must stay within noise of the pre-telemetry
+// engine).
+func trafficMillionTenants(b *testing.B, timeline bool) {
+	b.Helper()
 	var spec *core.ProviderSpec
 	for _, s := range core.Providers() {
 		if s.Traffic != nil {
@@ -219,9 +222,9 @@ func BenchmarkTrafficMillionTenants(b *testing.B) {
 	if spec == nil {
 		b.Skip("no provider registers a traffic profile")
 	}
-	var events uint64
+	var events, windows uint64
 	for i := 0; i < b.N; i++ {
-		res := traffic.Run(traffic.Config{
+		cfg := traffic.Config{
 			Tenants:    1_000_000,
 			Duration:   time.Minute,
 			Process:    traffic.Poisson{Rate: 100_000},
@@ -230,17 +233,30 @@ func BenchmarkTrafficMillionTenants(b *testing.B) {
 			CodeSizeMB: 64,
 			Shards:     8,
 			Seed:       42,
-		})
+		}
+		if timeline {
+			cfg.Timeline = tseries.New(0)
+		}
+		res := traffic.Run(cfg)
 		if res.Completions != res.Arrivals {
 			b.Fatalf("dropped work: %d arrivals, %d completions", res.Arrivals, res.Completions)
 		}
 		events += res.Events
+		windows += uint64(cfg.Timeline.Len())
 	}
 	b.ReportMetric(float64(events)/float64(b.N), "events/op")
+	if timeline {
+		b.ReportMetric(float64(windows)/float64(b.N), "windows/op")
+	}
 	if rss, ok := peakRSSMB(); ok {
 		b.ReportMetric(float64(rss), "peak-RSS-MB")
 	}
 }
+
+// One iteration is one full run, so size both with -benchtime 1x;
+// events/op and peak-RSS-MB land in BENCH_PR*.json via cmd/benchjson.
+func BenchmarkTrafficMillionTenants(b *testing.B)         { trafficMillionTenants(b, false) }
+func BenchmarkTrafficMillionTenantsTimeline(b *testing.B) { trafficMillionTenants(b, true) }
 
 // peakRSSMB reads the process high-water resident set from
 // /proc/self/status (Linux only; absence just skips the metric).

@@ -40,22 +40,29 @@
 //	-seed N       simulation master seed
 //	-parallel N   campaign worker pool size (0 = GOMAXPROCS, 1 = sequential)
 //	-metrics FILE collect runtime metrics, write Prometheus text to FILE
+//	-timeline FILE collect windowed telemetry, write per-window CSV
+//	              (JSON when FILE ends in .json) to FILE
+//	-live ADDR    serve live telemetry (Prometheus /metrics, per-window
+//	              /timeseries.csv, /progress) on ADDR while the run is up
+//	-pprof MODE   write a runtime profile: cpu|heap|mutex
 //	-payload-cache on|off  memoize workload payload computation (default on)
 //	-list         list experiment IDs and exit
 //
 // Campaign seeds derive from -seed alone, so -parallel changes
 // wall-clock time only: the rendered output is byte-identical at any
-// worker count — including the contents of -metrics FILE, whose
-// aggregation is commutative.
+// worker count — including the contents of -metrics FILE and
+// -timeline FILE, whose aggregation is commutative.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"statebench/internal/experiments"
 	"statebench/internal/obs/metrics"
+	"statebench/internal/obs/tseries"
 	"statebench/internal/payload"
 )
 
@@ -84,6 +91,9 @@ func main() {
 	list := flag.Bool("list", false, "list experiment IDs and exit")
 	csv := flag.Bool("csv", false, "emit CSV instead of text tables")
 	metricsOut := flag.String("metrics", "", "collect runtime metrics and write Prometheus text to this file")
+	timelineOut := flag.String("timeline", "", "collect windowed telemetry and write per-window CSV (JSON when the name ends in .json) to this file")
+	liveAddr := flag.String("live", "", "serve live telemetry on this address while the run is up (e.g. :8080 or 127.0.0.1:0)")
+	pprofMode := flag.String("pprof", "", "write a runtime profile: cpu|heap|mutex (statebench.<mode>.pprof)")
 	payloadCache := flag.String("payload-cache", "on", "memoize workload payload computation: on|off (off recomputes every payload; output is byte-identical either way)")
 	flag.Parse()
 
@@ -119,13 +129,41 @@ func main() {
 		reg = metrics.NewRegistry()
 		opts.Metrics = reg
 	}
-	flushMetrics := func() {
-		if reg == nil {
-			return
-		}
-		if err := writeMetricsFile(*metricsOut, reg); err != nil {
+
+	stopProfile, err := startProfile(*pprofMode)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "statebench:", err)
+		os.Exit(2)
+	}
+	defer stopProfile()
+
+	var tlc *tseries.Collector
+	if *timelineOut != "" || *liveAddr != "" {
+		tlc = tseries.NewCollector(0)
+		opts.Timeline = tlc
+	}
+	if *liveAddr != "" {
+		live, err := tseries.ServeLive(*liveAddr, tlc.Snapshot)
+		if err != nil {
 			fmt.Fprintln(os.Stderr, "statebench:", err)
 			os.Exit(1)
+		}
+		defer live.Close()
+		fmt.Fprintf(os.Stderr, "statebench: live telemetry on http://%s/\n", live.Addr())
+	}
+
+	flushMetrics := func() {
+		if reg != nil {
+			if err := writeMetricsFile(*metricsOut, reg); err != nil {
+				fmt.Fprintln(os.Stderr, "statebench:", err)
+				os.Exit(1)
+			}
+		}
+		if tlc != nil && *timelineOut != "" {
+			if err := writeTimelineFile(*timelineOut, tlc); err != nil {
+				fmt.Fprintln(os.Stderr, "statebench:", err)
+				os.Exit(1)
+			}
 		}
 	}
 
@@ -170,4 +208,23 @@ func main() {
 		}
 	}
 	flushMetrics()
+}
+
+// writeTimelineFile renders the collector's merged per-window series,
+// as CSV by default or JSON when the file name says so.
+func writeTimelineFile(path string, c *tseries.Collector) error {
+	s, _ := c.Snapshot()
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	werr := s.WriteCSV
+	if strings.HasSuffix(path, ".json") {
+		werr = s.WriteJSON
+	}
+	if err := werr(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

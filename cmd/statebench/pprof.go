@@ -1,0 +1,69 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// startProfile begins the profile selected by -pprof and returns the
+// function that finalizes it at exit. Modes:
+//
+//	cpu    statebench.cpu.pprof, sampled for the whole run
+//	heap   statebench.heap.pprof, an end-of-run allocation snapshot
+//	mutex  statebench.mutex.pprof, contention sampled at 1/5
+//
+// The empty mode is the disabled fast path: no file, no sampling, and
+// the returned stop is a no-op.
+func startProfile(mode string) (stop func(), err error) {
+	noop := func() {}
+	switch mode {
+	case "":
+		return noop, nil
+	case "cpu":
+		f, err := os.Create("statebench.cpu.pprof")
+		if err != nil {
+			return noop, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return noop, err
+		}
+		return func() {
+			pprof.StopCPUProfile()
+			f.Close()
+			fmt.Fprintln(os.Stderr, "statebench: wrote statebench.cpu.pprof")
+		}, nil
+	case "heap":
+		return func() {
+			writeProfile("heap", "statebench.heap.pprof")
+		}, nil
+	case "mutex":
+		runtime.SetMutexProfileFraction(5)
+		return func() {
+			writeProfile("mutex", "statebench.mutex.pprof")
+			runtime.SetMutexProfileFraction(0)
+		}, nil
+	default:
+		return noop, fmt.Errorf("-pprof must be cpu, heap, or mutex, got %q", mode)
+	}
+}
+
+// writeProfile snapshots a named runtime profile to path.
+func writeProfile(name, path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "statebench:", err)
+		return
+	}
+	defer f.Close()
+	if name == "heap" {
+		runtime.GC() // live objects, not a stale heap
+	}
+	if err := pprof.Lookup(name).WriteTo(f, 0); err != nil {
+		fmt.Fprintln(os.Stderr, "statebench:", err)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "statebench: wrote %s\n", path)
+}

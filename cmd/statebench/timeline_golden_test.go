@@ -1,0 +1,45 @@
+package main
+
+import (
+	"bytes"
+	"testing"
+
+	"statebench/internal/experiments"
+)
+
+// renderTimeline reproduces `statebench -quick -parallel N timeline`:
+// resolve the runner, run it through the same pool as the CLI, render
+// the report.
+func renderTimeline(t *testing.T, workers int) string {
+	t.Helper()
+	runner, err := experiments.Find("timeline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reports, err := experiments.RunAll([]experiments.Runner{runner}, quickOpts(workers))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	for _, r := range reports {
+		buf.WriteString(r.String())
+		buf.WriteByte('\n')
+	}
+	return buf.String()
+}
+
+// TestTimelineQuickMatchesGolden pins the timeline experiment — window
+// totals, every anomaly row (rule, window, magnitude, linked traces) —
+// to the checked-in golden, at -parallel 1 and 8. This is the
+// acceptance gate that the anomaly detector keeps flagging the known
+// fan-out and burst pathologies, byte-for-byte, at any worker count.
+func TestTimelineQuickMatchesGolden(t *testing.T) {
+	skipUnderRace(t)
+	want := golden(t, "timeline_quick.txt")
+	if got := renderTimeline(t, 1); got != want {
+		t.Fatalf("timeline output diverged from the golden (-parallel 1):\n%s", got)
+	}
+	if got := renderTimeline(t, 8); got != want {
+		t.Fatal("timeline output at -parallel 8 diverged from the golden")
+	}
+}

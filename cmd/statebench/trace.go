@@ -11,6 +11,7 @@ import (
 	"statebench/internal/obs"
 	"statebench/internal/obs/metrics"
 	"statebench/internal/obs/span"
+	"statebench/internal/obs/tseries"
 	"statebench/internal/workloads/mlinfer"
 	"statebench/internal/workloads/mlpipe"
 	"statebench/internal/workloads/mltrain"
@@ -63,6 +64,9 @@ func runTrace(args []string) {
 	opt.Iters = *runs
 	opt.Seed = *seed
 	opt.Tracing = true
+	// Windowed telemetry feeds the counter tracks ("ph":"C" events)
+	// rendered above the span lanes in the trace viewer.
+	opt.Timeline = tseries.NewCollector(0)
 	var reg *metrics.Registry
 	if *metricsOut != "" {
 		reg = metrics.NewRegistry()
@@ -80,7 +84,7 @@ func runTrace(args []string) {
 		fmt.Fprintln(os.Stderr, "statebench trace:", err)
 		os.Exit(1)
 	}
-	if err := span.WriteChromeTrace(f, s.Trace.Spans()); err == nil {
+	if err := span.WriteChromeTraceWith(f, s.Trace.Spans(), s.Timeline.CounterTracks()); err == nil {
 		err = f.Close()
 	} else {
 		f.Close()

@@ -11,6 +11,8 @@ import (
 	"statebench/internal/core"
 	"statebench/internal/experiments"
 	"statebench/internal/obs"
+	"statebench/internal/obs/tseries"
+	"statebench/internal/sim"
 	"statebench/internal/traffic"
 )
 
@@ -33,7 +35,29 @@ func runTraffic(args []string) {
 	seed := fs.Uint64("seed", 42, "simulation seed")
 	codeMB := fs.Float64("codesize", 64, "deployment package size (MB), paid on per-request cold starts")
 	csv := fs.Bool("csv", false, "emit CSV instead of a text table")
+	timelineOut := fs.String("timeline", "", "record windowed telemetry and write per-window CSV (JSON when the name ends in .json) to this file")
+	liveAddr := fs.String("live", "", "serve live telemetry on this address while the run is up; snapshots publish at every window boundary")
 	_ = fs.Parse(args)
+
+	// Windowed telemetry: each run records into a private series; the
+	// live endpoint sees finished runs plus a rolling snapshot of the
+	// current one, published at window boundaries by the engine's
+	// OnWindow hook (outside the event order, so results are unchanged).
+	var tlc *tseries.Collector
+	var done *tseries.Series
+	if *timelineOut != "" || *liveAddr != "" {
+		tlc = tseries.NewCollector(0)
+		done = tseries.New(tlc.Interval())
+	}
+	if *liveAddr != "" {
+		live, err := tseries.ServeLive(*liveAddr, tlc.Snapshot)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "statebench traffic:", err)
+			os.Exit(1)
+		}
+		defer live.Close()
+		fmt.Fprintf(os.Stderr, "statebench traffic: live telemetry on http://%s/\n", live.Addr())
+	}
 
 	procs := map[string]func() traffic.ArrivalProcess{
 		"poisson": func() traffic.ArrivalProcess { return traffic.Poisson{Rate: *rate} },
@@ -96,10 +120,34 @@ func runTraffic(args []string) {
 				Shards:     *shards,
 				Seed:       *seed + uint64(campaign),
 			}
+			if tlc != nil {
+				tl := tseries.New(tlc.Interval())
+				cfg.Timeline = tl
+				runPhase := fmt.Sprintf("%s/%s", spec.Name, name)
+				cfg.OnWindow = func(boundary sim.Time) {
+					snap := done.Clone()
+					snap.Merge(tl)
+					tlc.Replace(snap)
+					arr, comp, _, _ := snap.Totals()
+					tlc.SetProgress(tseries.Progress{
+						Phase:       runPhase,
+						Done:        campaign,
+						Total:       len(specs) * len(procNames),
+						VirtualTime: boundary,
+						VirtualEnd:  *window,
+						Arrivals:    arr,
+						Completions: comp,
+					})
+				}
+			}
 			campaign++
 			start := time.Now()
 			res := traffic.Run(cfg)
 			wall := time.Since(start)
+			if tlc != nil {
+				done.Merge(cfg.Timeline)
+				tlc.Replace(done.Clone())
+			}
 			res.Cloud = spec.Name
 			totalEvents += res.Events
 			mevs := float64(res.Events) / 1e6 / wall.Seconds()
@@ -130,6 +178,12 @@ func runTraffic(args []string) {
 		fmt.Print(r.CSV())
 	} else {
 		fmt.Println(r)
+	}
+	if tlc != nil && *timelineOut != "" {
+		if err := writeTimelineFile(*timelineOut, tlc); err != nil {
+			fmt.Fprintln(os.Stderr, "statebench traffic:", err)
+			os.Exit(1)
+		}
 	}
 }
 

@@ -9,6 +9,7 @@ import (
 	"statebench/internal/chaos"
 	"statebench/internal/cloud/blob"
 	"statebench/internal/obs/span"
+	"statebench/internal/obs/tseries"
 	"statebench/internal/platform"
 	"statebench/internal/pricing"
 	"statebench/internal/sim"
@@ -43,6 +44,12 @@ func (c *Cloud) SetTracer(tr *span.Tracer) {
 func (c *Cloud) SetChaos(inj *chaos.Injector) {
 	c.Lambda.Chaos = inj
 	c.SFN.Chaos = inj
+}
+
+// SetTimeline enables per-window warm-pool occupancy gauges on the
+// Lambda container pools (Step Functions holds no instances).
+func (c *Cloud) SetTimeline(s *tseries.Series) {
+	c.Lambda.SetTimeline(s)
 }
 
 // ResetMeters zeroes billing meters and storage stats across services,

@@ -11,6 +11,7 @@ import (
 
 	"statebench/internal/chaos"
 	"statebench/internal/obs/span"
+	"statebench/internal/obs/tseries"
 	"statebench/internal/platform"
 	"statebench/internal/sim"
 	"statebench/internal/trace"
@@ -125,6 +126,9 @@ type Service struct {
 	// kill the executing container mid-invoke (the warm container is
 	// lost), or stretch execution past the configured timeout.
 	Chaos *chaos.Injector
+	// timeline, when non-nil, receives warm-pool occupancy gauges from
+	// every function's container pool (pure observation).
+	timeline *tseries.Series
 }
 
 // New creates a Lambda service with the given calibration parameters.
@@ -134,6 +138,15 @@ func New(k *sim.Kernel, params platform.AWSParams) *Service {
 
 // Params returns the service's calibration parameters.
 func (s *Service) Params() platform.AWSParams { return s.params }
+
+// SetTimeline enables per-window warm-pool occupancy gauges on every
+// registered function's container pool, existing and future.
+func (s *Service) SetTimeline(tl *tseries.Series) {
+	s.timeline = tl
+	for _, f := range s.fns {
+		f.pool.Timeline = tl
+	}
+}
 
 // Register adds a function. It validates the memory configuration.
 func (s *Service) Register(cfg Config) (*Function, error) {
@@ -157,6 +170,7 @@ func (s *Service) Register(cfg Config) (*Function, error) {
 	}
 	f := &Function{cfg: cfg, svc: s, slots: sim.NewResource(s.k, s.params.BurstConcurrency)}
 	f.pool.KeepAlive = s.params.KeepAlive
+	f.pool.Timeline = s.timeline
 	s.fns[cfg.Name] = f
 	return f, nil
 }

@@ -11,6 +11,7 @@ import (
 	"statebench/internal/cloud/blob"
 	"statebench/internal/cloud/queue"
 	"statebench/internal/obs/span"
+	"statebench/internal/obs/tseries"
 	"statebench/internal/platform"
 	"statebench/internal/pricing"
 	"statebench/internal/sim"
@@ -66,6 +67,12 @@ func (c *Cloud) SetChaos(inj *chaos.Injector) {
 	for _, q := range c.ManualQueues {
 		q.Chaos = inj
 	}
+}
+
+// SetTimeline enables per-window telemetry gauges on the function app:
+// dispatch-queue depth and ready-instance occupancy.
+func (c *Cloud) SetTimeline(s *tseries.Series) {
+	c.Host.SetTimeline(s)
 }
 
 // NewQueue creates a manually managed storage queue (Az-Queue style)

@@ -14,6 +14,7 @@ import (
 	"statebench/internal/chaos"
 	"statebench/internal/cloud/queue"
 	"statebench/internal/obs/span"
+	"statebench/internal/obs/tseries"
 	"statebench/internal/platform"
 	"statebench/internal/sim"
 	"statebench/internal/trace"
@@ -133,6 +134,10 @@ type Host struct {
 	// fresh (possibly cold) instance retries it.
 	Chaos *chaos.Injector
 
+	// timeline, when non-nil, receives dispatch-queue depth and (via the
+	// instance pool) ready-instance occupancy gauges (pure observation).
+	timeline *tseries.Series
+
 	// scaledFromZeroAt records when the app last left the
 	// scaled-to-zero state; queue listeners activating shortly after
 	// pay the ColdPollPhase.
@@ -177,6 +182,14 @@ func (h *Host) Stats() Stats {
 	s.ColdStarts = ps.ColdStarts
 	s.MaxReady = ps.MaxReady
 	return s
+}
+
+// SetTimeline enables per-window telemetry gauges: dispatch-queue depth
+// on every Submit/requeue, plus the instance pool's ready-instance
+// occupancy. Pure observation — no events, no RNG draws.
+func (h *Host) SetTimeline(tl *tseries.Series) {
+	h.timeline = tl
+	h.pool.Timeline = tl
 }
 
 // ReadyInstances returns the number of started instances.
@@ -251,6 +264,7 @@ func (h *Host) SubmitCtx(fn string, payload []byte, ctx sim.TraceContext) (*sim.
 		cb()
 	}
 	h.pending = append(h.pending, wi)
+	h.timeline.ObserveQueueDepth(h.k.Now(), int64(len(h.pending)))
 	h.dispatch()
 	if h.pool.Provisioning() == 0 {
 		h.startInstance()
@@ -326,6 +340,7 @@ func (h *Host) run(inst *platform.Container, wi *workItem) {
 				h.Chaos.NoteRedispatch()
 				wi.cold = false
 				h.pending = append(h.pending, wi)
+				h.timeline.ObserveQueueDepth(p.Now(), int64(len(h.pending)))
 				h.dispatch()
 				if h.pool.Provisioning() == 0 {
 					h.startInstance()

@@ -35,6 +35,7 @@ import (
 
 	"statebench/internal/obs/metrics"
 	"statebench/internal/obs/span"
+	"statebench/internal/obs/tseries"
 	"statebench/internal/sim"
 )
 
@@ -201,6 +202,10 @@ type Injector struct {
 	Tracer *span.Tracer
 	// Metrics, when non-nil, counts faults per component and kind.
 	Metrics *metrics.Registry
+	// Timeline, when non-nil, books each injected fault into its
+	// virtual-time window. Fed here rather than via the fault span so
+	// windowed fault counts work with tracing off and are never doubled.
+	Timeline *tseries.Series
 }
 
 // NewInjector builds an injector for plan on kernel k. Returns nil for
@@ -336,6 +341,7 @@ func (in *Injector) record(ctx sim.TraceContext, component, name string, idx int
 	}
 	now := in.k.Now()
 	in.events = append(in.events, Event{At: now, Component: component, Name: name, Index: idx, Kind: k})
+	in.Timeline.AddFault(now)
 	if in.Tracer.Enabled() {
 		in.Tracer.Emit(span.KindFault, "chaos/"+component+"/"+name, now, now, ctx,
 			span.A("fault", string(k)))

@@ -8,6 +8,7 @@ import (
 	"statebench/internal/chaos"
 	"statebench/internal/obs"
 	"statebench/internal/obs/span"
+	"statebench/internal/obs/tseries"
 	"statebench/internal/payload"
 	"statebench/internal/platform"
 	"statebench/internal/pricing"
@@ -52,6 +53,12 @@ type Env struct {
 	// Chaos is non-nil once EnableChaos has been called; all platform
 	// services of this Env then consult it for fault injection.
 	Chaos *chaos.Injector
+
+	// Timeline is non-nil once EnableTimeline has been called; platform
+	// services of this Env then record per-window occupancy gauges into
+	// it (counters ride in via the span tracer's window sink and the
+	// chaos injector).
+	Timeline *tseries.Series
 
 	// Payload is the memoization engine workload deployments use for
 	// real payload compute (mlpipe training, video detection). Defaults
@@ -106,6 +113,9 @@ func (e *Env) Backend(kind CloudKind) Backend {
 	}
 	if e.Chaos != nil {
 		be.SetChaos(e.Chaos)
+	}
+	if e.Timeline != nil {
+		be.SetTimeline(e.Timeline)
 	}
 	e.backends[kind] = be
 	return be
@@ -177,6 +187,25 @@ func (e *Env) EnableChaos(plan *chaos.Plan) *chaos.Injector {
 		}
 	}
 	return e.Chaos
+}
+
+// EnableTimeline wires windowed telemetry through every platform
+// service of this Env (idempotent; a nil series leaves everything
+// untouched). Call before deploying workloads. Like tracing, windowed
+// telemetry is pure observation — no events, no RNG draws — so
+// enabling it does not change any simulated result. Backends
+// constructed later inherit the series at construction.
+func (e *Env) EnableTimeline(s *tseries.Series) *tseries.Series {
+	if s == nil {
+		return e.Timeline
+	}
+	if e.Timeline == nil {
+		e.Timeline = s
+		for _, kind := range sortedBackendKinds(e.backends) {
+			e.backends[kind].SetTimeline(s)
+		}
+	}
+	return e.Timeline
 }
 
 // Stage opens an application-level stage span (ML pipeline step, video

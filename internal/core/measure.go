@@ -8,6 +8,7 @@ import (
 	"statebench/internal/obs"
 	"statebench/internal/obs/metrics"
 	"statebench/internal/obs/span"
+	"statebench/internal/obs/tseries"
 	"statebench/internal/parallel"
 	"statebench/internal/payload"
 	"statebench/internal/pricing"
@@ -64,6 +65,13 @@ type Series struct {
 	// Faults aggregates the campaign's injected faults and recovery
 	// activity. Zero unless MeasureOptions.Chaos was set.
 	Faults chaos.Stats
+
+	// Timeline is the campaign's windowed telemetry (arrivals,
+	// completions, cold starts, scheduling delays, faults, occupancy
+	// gauges per virtual-time window). Populated only when
+	// MeasureOptions.Timeline is set; the same series has then also been
+	// merged into the shared collector.
+	Timeline *tseries.Series
 }
 
 // MeasureOptions tunes a measurement campaign.
@@ -116,6 +124,15 @@ type MeasureOptions struct {
 	// traffic reports, not a replacement. Never changes measured
 	// output.
 	Histogram bool
+	// Timeline, when non-nil, enables windowed telemetry: the campaign
+	// records into a private per-campaign tseries.Series (at the
+	// collector's window interval) and merges it into the collector when
+	// the campaign finishes. Implies Tracing's wiring — windowed
+	// counters derive from the span stream — plus chaos-fault and
+	// warm-pool instrumentation. Merging is commutative, so collector
+	// contents are byte-identical at any Workers count. Never changes
+	// measured output.
+	Timeline *tseries.Collector
 	// PayloadCache is the memoization engine for real payload compute
 	// (see internal/payload). Nil keeps the Env default — the
 	// process-global payload.Shared engine; experiment suites pass a
@@ -145,15 +162,22 @@ func Measure(wf Workflow, impl Impl, opt MeasureOptions) (*Series, error) {
 	if opt.PayloadCache != nil {
 		env.Payload = opt.PayloadCache
 	}
+	var tl *tseries.Series
+	if opt.Timeline != nil {
+		tl = tseries.New(opt.Timeline.Interval())
+		env.EnableTimeline(tl)
+	}
 	var tr *span.Tracer
-	if opt.Tracing || opt.Metrics != nil {
+	if opt.Tracing || opt.Metrics != nil || tl != nil {
 		tr = env.EnableTracing()
 		tr.Metrics = opt.Metrics
+		tr.Windows = tl
 	}
 	inj := env.EnableChaos(opt.Chaos)
 	if inj != nil {
 		inj.Tracer = tr
 		inj.Metrics = opt.Metrics
+		inj.Timeline = tl
 	}
 	be := env.BackendFor(impl)
 	if be == nil {
@@ -249,6 +273,11 @@ func Measure(wf Workflow, impl Impl, opt MeasureOptions) (*Series, error) {
 	s.MeanTxns = txns / n
 	s.SuccessRate = float64(opt.Iters-s.Errors) / n
 	s.Faults = inj.Stats()
+	if tl != nil {
+		s.Timeline = tl
+		opt.Timeline.Merge(tl)
+		opt.Timeline.AddDone(0)
+	}
 	return s, nil
 }
 

@@ -8,6 +8,7 @@ import (
 	"statebench/internal/azure"
 	"statebench/internal/chaos"
 	"statebench/internal/obs/span"
+	"statebench/internal/obs/tseries"
 	"statebench/internal/platform"
 	"statebench/internal/pricing"
 )
@@ -28,6 +29,9 @@ type Backend interface {
 	SetTracer(tr *span.Tracer)
 	// SetChaos enables fault injection on every service of the backend.
 	SetChaos(inj *chaos.Injector)
+	// SetTimeline enables per-window telemetry gauges (warm-pool and
+	// scheduler-backlog occupancy) on every service of the backend.
+	SetTimeline(s *tseries.Series)
 	// Usage reports cumulative billable consumption. stateful selects
 	// the provider's stateful billing mode (e.g. Azure deployments
 	// without the durable extension are not billed for task-hub

@@ -51,6 +51,7 @@ func RegistryWithAblations() []Runner {
 	extra := append(Ablations(),
 		Runner{"crosscloud", single(CrossCloud)},
 		Runner{"traffic", single(TrafficSweep)},
+		Runner{"timeline", single(Timeline)},
 	)
 	return append(Registry(), extra...)
 }

@@ -12,6 +12,7 @@ import (
 	"statebench/internal/core"
 	"statebench/internal/obs"
 	"statebench/internal/obs/metrics"
+	"statebench/internal/obs/tseries"
 	"statebench/internal/payload"
 )
 
@@ -85,6 +86,14 @@ type Options struct {
 	// are deterministic at any Workers setting. Report output is
 	// byte-identical with or without it.
 	Metrics *metrics.Registry
+	// Timeline, when non-nil, enables windowed telemetry inside every
+	// measurement campaign: each campaign records per-window counters
+	// and gauges into a private series and merges it into this shared
+	// collector on completion. Merging is commutative, so collector
+	// contents are deterministic at any Workers setting; report output
+	// is byte-identical with or without it. The CLI's -live and
+	// -timeline flags set it.
+	Timeline *tseries.Collector
 	// PayloadCache is the payload-compute memoization engine shared by
 	// every campaign of the run. Nil makes RunAll create a fresh engine
 	// per invocation, so each suite run is uniformly cache-cold inside
@@ -132,6 +141,7 @@ func applyObs(o Options, m *core.MeasureOptions) {
 		m.Metrics = o.Metrics
 		m.Tracing = true
 	}
+	m.Timeline = o.Timeline
 	m.PayloadCache = o.payloadCache()
 }
 

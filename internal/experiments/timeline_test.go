@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"statebench/internal/obs/tseries"
+)
+
+func timelineRun(t *testing.T, workers int) (string, string) {
+	t.Helper()
+	o := tiny()
+	o.Workers = workers
+	c := tseries.NewCollector(0)
+	o.Timeline = c
+	r, err := Timeline(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, _ := c.Snapshot()
+	var buf bytes.Buffer
+	if err := s.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return r.String(), buf.String()
+}
+
+// TestTimelineWorkersInvariant is the campaign-level half of the
+// windowed determinism gate: the rendered report AND the collector's
+// merged per-window CSV are byte-identical at -parallel 1 and 8 (the
+// scenarios merge commutatively into the shared collector).
+func TestTimelineWorkersInvariant(t *testing.T) {
+	rep1, csv1 := timelineRun(t, 1)
+	rep8, csv8 := timelineRun(t, 8)
+	if rep1 != rep8 {
+		t.Fatalf("timeline report diverged across workers:\n%s\nvs\n%s", rep1, rep8)
+	}
+	if csv1 != csv8 {
+		t.Fatal("collector CSV diverged across workers")
+	}
+	if len(strings.Split(strings.TrimSpace(csv1), "\n")) < 10 {
+		t.Fatalf("suspiciously small merged timeline:\n%s", csv1)
+	}
+}
+
+// The detector must re-find the paper's pathologies at tiny scale: the
+// fan-out scenario's scheduling-delay spike (the Fig 13 controller-lag
+// signature) and the burst scenario's cold-surge/backlog anomalies,
+// each cross-linked to at least one trace.
+func TestTimelineFlagsKnownPathologies(t *testing.T) {
+	rep, _ := timelineRun(t, 0)
+	if !strings.Contains(rep, tseries.RuleSchedSpike) {
+		t.Fatalf("no sched-spike row in:\n%s", rep)
+	}
+	if !strings.Contains(rep, "cold-surge") {
+		t.Fatalf("no cold-surge row in:\n%s", rep)
+	}
+	if !strings.Contains(rep, "video-20/Az-Dorch") || !strings.Contains(rep, "burst/Azure-traffic") {
+		t.Fatalf("missing scenario rows in:\n%s", rep)
+	}
+}
+
+// Timeline runs without a collector too (opt.Timeline nil): the
+// scenarios fall back to a private collector and still report.
+func TestTimelineWithoutCollector(t *testing.T) {
+	r, err := Timeline(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Table.Rows) == 0 {
+		t.Fatal("no rows without a collector")
+	}
+}

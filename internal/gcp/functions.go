@@ -14,6 +14,7 @@ import (
 
 	"statebench/internal/chaos"
 	"statebench/internal/obs/span"
+	"statebench/internal/obs/tseries"
 	"statebench/internal/platform"
 	"statebench/internal/sim"
 )
@@ -119,6 +120,9 @@ type Functions struct {
 	// Chaos, when non-nil, can fail invocations with transient errors or
 	// kill the executing instance mid-invoke (component "gcf").
 	Chaos *chaos.Injector
+	// timeline, when non-nil, receives warm-pool occupancy gauges from
+	// every function's instance pool (pure observation).
+	timeline *tseries.Series
 }
 
 // NewFunctions creates a Cloud Functions service.
@@ -128,6 +132,15 @@ func NewFunctions(k *sim.Kernel, params platform.GCPParams) *Functions {
 
 // Params returns the service's calibration parameters.
 func (s *Functions) Params() platform.GCPParams { return s.params }
+
+// SetTimeline enables per-window warm-pool occupancy gauges on every
+// registered function's instance pool, existing and future.
+func (s *Functions) SetTimeline(tl *tseries.Series) {
+	s.timeline = tl
+	for _, f := range s.fns {
+		f.pool.Timeline = tl
+	}
+}
 
 // Register adds a function, validating the memory tier.
 func (s *Functions) Register(cfg Config) (*Function, error) {
@@ -151,6 +164,7 @@ func (s *Functions) Register(cfg Config) (*Function, error) {
 	}
 	f := &Function{cfg: cfg, svc: s, slots: sim.NewResource(s.k, s.params.BurstConcurrency)}
 	f.pool.KeepAlive = s.params.KeepAlive
+	f.pool.Timeline = s.timeline
 	s.fns[cfg.Name] = f
 	return f, nil
 }

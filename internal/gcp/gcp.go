@@ -5,6 +5,7 @@ import (
 	"statebench/internal/cloud/blob"
 	"statebench/internal/core"
 	"statebench/internal/obs/span"
+	"statebench/internal/obs/tseries"
 	"statebench/internal/platform"
 	"statebench/internal/pricing"
 	"statebench/internal/sim"
@@ -57,6 +58,12 @@ func (c *Cloud) SetTracer(tr *span.Tracer) {
 func (c *Cloud) SetChaos(inj *chaos.Injector) {
 	c.Functions.Chaos = inj
 	c.Workflows.Chaos = inj
+}
+
+// SetTimeline enables per-window warm-pool occupancy gauges on the
+// Cloud Functions instance pools (Workflows holds no instances).
+func (c *Cloud) SetTimeline(s *tseries.Series) {
+	c.Functions.SetTimeline(s)
 }
 
 // ResetMeters zeroes billing meters and storage stats across services,

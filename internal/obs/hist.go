@@ -189,6 +189,29 @@ func (h *Hist) Quantile(q float64) time.Duration {
 	return h.max
 }
 
+// CountAbove returns the number of observations strictly greater than
+// d, to bucket resolution: observations sharing d's bucket count as
+// not-above (so the result can undercount by at most the one bucket's
+// population, within the documented 1/128 relative error). Exact when
+// d >= Max (0) or d < Min (Count). Used for SLO-violation accounting.
+func (h *Hist) CountAbove(d time.Duration) uint64 {
+	if h.count == 0 || d >= h.max {
+		return 0
+	}
+	if d < h.min {
+		return h.count
+	}
+	if d < 0 {
+		d = 0
+	}
+	idx := histIdx(int64(d))
+	var above uint64
+	for i := idx + 1; i < len(h.counts); i++ {
+		above += h.counts[i]
+	}
+	return above
+}
+
 // Median returns the 50th percentile.
 func (h *Hist) Median() time.Duration { return h.Quantile(0.5) }
 

@@ -193,6 +193,133 @@ func TestHistZeroAndEdgeCases(t *testing.T) {
 	}
 }
 
+// TestHistOctaveBoundaryQuantiles pins quantile behavior at the exact
+// values where the bucket geometry changes: 63→64 is the exact-to-
+// approximate crossover, and every power of two afterwards starts a new
+// octave with doubled bucket width. A quantile landing in a boundary
+// bucket must stay inside that bucket's [lo, hi] and inside the
+// histogram's exact [Min, Max].
+func TestHistOctaveBoundaryQuantiles(t *testing.T) {
+	boundaries := []int64{63, 64, 65, 127, 128, 129, 255, 256, 1 << 16, 1<<16 + 1, 1 << 40}
+	for _, v := range boundaries {
+		var h Hist
+		h.Record(time.Duration(v))
+		// A single observation: every quantile is clamped to it exactly,
+		// whatever bucket midpoint the geometry would suggest.
+		for _, q := range []float64{0.01, 0.5, 0.99, 1} {
+			if got := h.Quantile(q); got != time.Duration(v) {
+				t.Fatalf("single obs %d: Quantile(%v) = %d", v, q, got)
+			}
+		}
+	}
+	// Adjacent boundary values in one histogram: the median must fall in
+	// the right bucket and respect the 1/128 relative error bound.
+	var h Hist
+	for _, v := range boundaries {
+		h.Record(time.Duration(v))
+	}
+	for i, q := range []float64{0.05, 0.15, 0.25, 0.35, 0.45, 0.55, 0.65, 0.75, 0.85, 0.95} {
+		got := float64(h.Quantile(q))
+		want := float64(boundaries[i])
+		if rel := math.Abs(got-want) / want; rel > 1.0/128 {
+			t.Fatalf("q=%v: %v vs boundary %d (rel err %.5f)", q, time.Duration(got), boundaries[i], rel)
+		}
+	}
+	// Exactly at an octave edge the bucket is [edge, edge+width-1]; its
+	// midpoint must never be reported below the edge itself.
+	var e Hist
+	e.Record(128)
+	e.Record(1 << 20)
+	if m := e.Median(); m < 128 {
+		t.Fatalf("median %d below the octave edge it was recorded at", m)
+	}
+}
+
+// TestHistMergeMinMaxEdges covers the merge paths the deterministic
+// cross-check cannot reach: min/max adoption into empty receivers,
+// one-sided updates, and the zero-min corner where "empty" and "min
+// really is 0" must not be confused.
+func TestHistMergeMinMaxEdges(t *testing.T) {
+	mk := func(vals ...time.Duration) *Hist {
+		var h Hist
+		for _, v := range vals {
+			h.Record(v)
+		}
+		return &h
+	}
+	// Empty receiver adopts o's min even when it is larger than the
+	// receiver's zero-valued min field.
+	var h Hist
+	h.Merge(mk(5*time.Second, 9*time.Second))
+	if h.Min() != 5*time.Second || h.Max() != 9*time.Second {
+		t.Fatalf("adopting merge: min/max = %v/%v", h.Min(), h.Max())
+	}
+	// One-sided: o extends only the max.
+	h.Merge(mk(7*time.Second, 20*time.Second))
+	if h.Min() != 5*time.Second || h.Max() != 20*time.Second {
+		t.Fatalf("max-extending merge: min/max = %v/%v", h.Min(), h.Max())
+	}
+	// One-sided: o extends only the min — including min 0, which must
+	// beat the receiver's positive min despite being the zero value.
+	h.Merge(mk(0, 6*time.Second))
+	if h.Min() != 0 || h.Max() != 20*time.Second {
+		t.Fatalf("zero-min merge: min/max = %v/%v", h.Min(), h.Max())
+	}
+	// o strictly inside [min, max]: nothing moves.
+	h.Merge(mk(time.Second, 2*time.Second))
+	if h.Min() != 0 || h.Max() != 20*time.Second || h.Count() != 8 {
+		t.Fatalf("interior merge: min/max/count = %v/%v/%d", h.Min(), h.Max(), h.Count())
+	}
+	// Self-merge doubles counts and leaves min/max alone.
+	s := mk(time.Millisecond, time.Minute)
+	s.Merge(s)
+	if s.Count() != 4 || s.Min() != time.Millisecond || s.Max() != time.Minute {
+		t.Fatalf("self-merge: count/min/max = %d/%v/%v", s.Count(), s.Min(), s.Max())
+	}
+}
+
+// TestHistCountAbove pins the SLO-violation counter: exact at and
+// beyond the extremes, bucket-resolution in between (observations in
+// d's own bucket count as not-above).
+func TestHistCountAbove(t *testing.T) {
+	var h Hist
+	if h.CountAbove(0) != 0 {
+		t.Fatal("empty CountAbove != 0")
+	}
+	for _, v := range []time.Duration{10, 20, 30, time.Second, time.Minute} {
+		h.Record(v)
+	}
+	cases := []struct {
+		d    time.Duration
+		want uint64
+	}{
+		{-time.Second, 5}, // below min (after clamp): everything above
+		{5, 5},
+		{10, 4}, // exact small values: own bucket not counted
+		{25, 3},
+		{30, 2},
+		{time.Second, 1},
+		{time.Minute, 0}, // d >= max: exactly 0
+		{2 * time.Minute, 0},
+	}
+	for _, c := range cases {
+		if got := h.CountAbove(c.d); got != c.want {
+			t.Fatalf("CountAbove(%v) = %d, want %d", c.d, got, c.want)
+		}
+	}
+	// Bucket resolution: two values sharing one octave bucket are
+	// indistinguishable — CountAbove(lower) may not count the higher
+	// one's bucket-mates, but values in strictly higher buckets always
+	// count.
+	var o Hist
+	o.Record(1 << 20)
+	o.Record(1<<20 + 1) // same bucket (width 2^14 at this octave)
+	o.Record(1 << 21)   // strictly higher bucket
+	if got := o.CountAbove(1 << 20); got != 1 {
+		t.Fatalf("bucket-mates counted as above: got %d, want 1", got)
+	}
+}
+
 // TestSamplesP999SmallN is the satellite regression test: extreme
 // quantiles on small collections must interpolate within the last gap
 // (Hyndman–Fan type 7), never snap to the maximum, and never index

@@ -105,6 +105,16 @@ type MetricsSink interface {
 	SpanFinished(kind, name string, seconds float64)
 }
 
+// WindowSink receives one notification per finished span, with virtual
+// start/end times, for windowed (time-series) telemetry. Implemented by
+// internal/obs/tseries (wired up in core.Env) without this package
+// depending on it.
+type WindowSink interface {
+	// SpanWindowed is called once per emitted span with its kind, name,
+	// and virtual start/end times.
+	SpanWindowed(kind, name string, start, end time.Duration)
+}
+
 // Tracer collects spans for one Env. A nil *Tracer is valid and makes
 // every operation a no-op — the disabled fast path.
 type Tracer struct {
@@ -113,6 +123,10 @@ type Tracer struct {
 
 	// Metrics, when non-nil, is fed one observation per finished span.
 	Metrics MetricsSink
+
+	// Windows, when non-nil, is fed each finished span's virtual time
+	// range for per-window telemetry.
+	Windows WindowSink
 }
 
 // New returns an empty tracer.
@@ -224,6 +238,9 @@ func (t *Tracer) emit(s Span) {
 	t.spans = append(t.spans, s)
 	if t.Metrics != nil {
 		t.Metrics.SpanFinished(string(s.Kind), s.Name, s.Duration().Seconds())
+	}
+	if t.Windows != nil {
+		t.Windows.SpanWindowed(string(s.Kind), s.Name, s.Start, s.End)
 	}
 }
 

@@ -1,0 +1,43 @@
+package tseries
+
+import (
+	"statebench/internal/obs/span"
+)
+
+// CounterTracks renders the series as Chrome trace counter tracks, one
+// point per non-empty window at the window's start time: a "rates"
+// track (arrivals/completions/colds/faults per window), a "backlog"
+// track (peak queue depth and warm-pool occupancy), and a "latency_ms"
+// track (E2E and scheduling p99, milliseconds). Loaded next to the span
+// lanes, the viewer graphs the run's time-varying behavior — the
+// backlog ramp and cold-start storm render as the paper's figures do.
+func (s *Series) CounterTracks() []span.CounterTrack {
+	if s == nil || s.Len() == 0 {
+		return nil
+	}
+	rates := span.CounterTrack{Name: "rates"}
+	backlog := span.CounterTrack{Name: "backlog"}
+	latency := span.CounterTrack{Name: "latency_ms"}
+	for _, idx := range s.Indices() {
+		w := s.windows[idx]
+		if w.empty() {
+			continue
+		}
+		ts := s.Start(idx)
+		rates.Points = append(rates.Points, span.CounterPoint{Ts: ts, Values: map[string]float64{
+			"arrivals":    float64(w.Arrivals),
+			"completions": float64(w.Completions),
+			"colds":       float64(w.Colds),
+			"faults":      float64(w.Faults),
+		}})
+		backlog.Points = append(backlog.Points, span.CounterPoint{Ts: ts, Values: map[string]float64{
+			"queue_depth": float64(w.QueueDepth),
+			"warm_pool":   float64(w.WarmPool),
+		}})
+		latency.Points = append(latency.Points, span.CounterPoint{Ts: ts, Values: map[string]float64{
+			"e2e_p99":   float64(w.E2E.P99().Microseconds()) / 1e3,
+			"sched_p99": float64(w.Sched.P99().Microseconds()) / 1e3,
+		}})
+	}
+	return []span.CounterTrack{rates, backlog, latency}
+}

@@ -4,6 +4,7 @@ import (
 	"sort"
 	"time"
 
+	"statebench/internal/obs/tseries"
 	"statebench/internal/sim"
 )
 
@@ -35,6 +36,13 @@ type Pool struct {
 	// (the per-request-scaling keep-alive policy). Providers using the
 	// instance-pool style leave it zero.
 	KeepAlive time.Duration
+
+	// Timeline, when non-nil, receives warm-pool occupancy gauge
+	// observations (live warm containers per Release, ready instances
+	// per FinishStart) into their virtual-time windows. Observation
+	// only: the pool never reads the series, so enabling it cannot
+	// change any lifecycle decision.
+	Timeline *tseries.Series
 
 	// warm holds expiry times of idle warm containers. Because Release
 	// stamps now+KeepAlive and virtual time is monotone, the slice is
@@ -132,9 +140,13 @@ func (p *Pool) Release(now sim.Time) {
 		p.warm = append(p.warm, 0)
 		copy(p.warm[i+1:], p.warm[i:])
 		p.warm[i] = exp
-		return
+	} else {
+		p.warm = append(p.warm, exp)
 	}
-	p.warm = append(p.warm, exp)
+	if p.Timeline.Enabled() {
+		p.expireWarm(now)
+		p.Timeline.ObserveWarmPool(now, int64(len(p.warm)-p.warmHead))
+	}
 }
 
 // WarmCount reports how many unexpired warm containers exist at now.
@@ -181,6 +193,7 @@ func (p *Pool) FinishStart(now sim.Time) *Container {
 	if p.ready > p.stats.MaxReady {
 		p.stats.MaxReady = p.ready
 	}
+	p.Timeline.ObserveWarmPool(now, int64(p.ready))
 	p.nextID++
 	return &Container{ID: p.nextID, IdleSince: now}
 }

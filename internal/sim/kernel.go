@@ -217,6 +217,17 @@ type Kernel struct {
 	cur      uint32 // shard of the event being executed; routes At
 	pending  int
 	executed uint64
+
+	// Tick listener: a passive observer of clock advancement, invoked by
+	// the run loop whenever the clock crosses a tickEvery boundary —
+	// before the boundary-crossing event's callback runs, so the
+	// listener sees the pre-event state of the instant it is told about.
+	// The listener is not an event: it draws no sequence number,
+	// schedules nothing, and therefore cannot perturb execution order —
+	// simulation results are byte-identical with or without one.
+	tickFn    func(boundary Time)
+	tickEvery Time
+	tickNext  Time
 }
 
 // NewKernel returns a kernel whose clock starts at zero. seed is the
@@ -442,6 +453,14 @@ func (k *Kernel) RunUntil(deadline Time) Time {
 		k.pending--
 		k.executed++
 		k.now = at
+		if k.tickFn != nil && at >= k.tickNext {
+			// Coalesce: after an idle gap the listener is told only the
+			// last boundary at or before the clock, not every skipped one
+			// (windowed telemetry has nothing to say about empty windows).
+			b := at - at%k.tickEvery
+			k.tickNext = b + k.tickEvery
+			k.tickFn(b)
+		}
 		fn()
 	}
 	if k.pending == 0 {
@@ -457,6 +476,24 @@ func (k *Kernel) RunUntil(deadline Time) Time {
 		k.minAt, k.minSeq, k.minSrc = headSentinel, headSentinel, -1
 	}
 	return k.now
+}
+
+// SetTickListener registers fn to be called by the run loop each time
+// the clock reaches or crosses a multiple of every, passing the
+// boundary crossed (ticks skipped while no events fire are coalesced
+// into the most recent boundary). The listener is passive: it runs
+// outside the event order, draws no sequence numbers, and must not
+// schedule events or otherwise mutate simulation state — it exists so
+// telemetry can observe window boundaries without perturbing the run.
+// The first tick fires at `every`, not at 0. A nil fn (or every <= 0)
+// removes the listener, restoring the zero-cost path.
+func (k *Kernel) SetTickListener(every Time, fn func(boundary Time)) {
+	if fn == nil || every <= 0 {
+		k.tickFn, k.tickEvery, k.tickNext = nil, 0, 0
+		return
+	}
+	k.tickFn, k.tickEvery = fn, every
+	k.tickNext = (k.now/every)*every + every
 }
 
 // Stop halts the event loop after the current event completes. Parked

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"statebench/internal/obs"
+	"statebench/internal/obs/tseries"
 	"statebench/internal/platform"
 	"statebench/internal/pricing"
 	"statebench/internal/sim"
@@ -48,6 +49,23 @@ type Config struct {
 	Shards int
 	// Seed drives every RNG stream of the run.
 	Seed uint64
+
+	// Timeline, when non-nil, receives per-window telemetry: arrivals,
+	// completions, cold starts (attributed at the provisioning
+	// decision), scheduling delays at dispatch, and population-wide
+	// backlog / warm-capacity max-gauges maintained incrementally (O(1)
+	// per event, never an O(Tenants) scan). Recording is pure
+	// observation — no events, no RNG draws — so results are
+	// byte-identical with it on or off, and the series itself is
+	// byte-identical at any shard count.
+	Timeline *tseries.Series
+	// OnWindow, when non-nil (requires Timeline), is invoked by the run
+	// loop each time the virtual clock crosses a Timeline window
+	// boundary, with the boundary just crossed. It runs outside the
+	// event order (no sequence numbers are drawn) and must not mutate
+	// simulation state; it exists for wall-clock side effects like
+	// publishing a snapshot to a live endpoint.
+	OnWindow func(boundary sim.Time)
 }
 
 // Result is the outcome of one open-loop run. All latency aggregates
@@ -178,6 +196,19 @@ type engine struct {
 	backlogSum   uint64
 
 	coldFetch sim.Time // per-request code-fetch addend
+
+	// Windowed-telemetry state. tl aliases cfg.Timeline (nil when
+	// disabled; every record method is nil-safe). totBacklog/totWarm are
+	// population-wide running totals — queued records and live warm
+	// containers (per-request) or ready instances (instance-pool) —
+	// maintained incrementally at the places the per-tenant counters
+	// change, so gauge observation is O(1) per event. totWarm counts
+	// not-known-expired warm leases: lazily-expired containers are
+	// subtracted only when their tenant's next cold start discovers
+	// them, the same approximation the serving model itself makes.
+	tl         *tseries.Series
+	totBacklog int64
+	totWarm    int64
 }
 
 // Run executes one open-loop run to completion and returns its result.
@@ -209,6 +240,11 @@ func Run(cfg Config) *Result {
 
 		execNano: make([]int64, cfg.Tenants),
 		reqCnt:   make([]uint32, cfg.Tenants),
+
+		tl: cfg.Timeline,
+	}
+	if cfg.Timeline.Enabled() && cfg.OnWindow != nil {
+		k.SetTickListener(cfg.Timeline.Interval(), cfg.OnWindow)
 	}
 	e.hot = int(cfg.HotTenantShare * float64(cfg.Tenants))
 	if e.hot < 1 {
@@ -289,6 +325,7 @@ func (e *engine) arrival() {
 	e.reqCnt[t]++
 	e.res.Arrivals++
 	now := e.k.Now()
+	e.tl.AddArrival(now)
 
 	h, r := e.alloc()
 	r.tenant = t
@@ -305,13 +342,16 @@ func (e *engine) arrival() {
 		var entry sim.Time
 		if e.warmCnt[t] > 0 && e.warmExp[t] > now {
 			e.warmCnt[t]--
+			e.totWarm--
 			entry = e.cfg.Profile.WarmStart.Sample(e.svcRNG)
 		} else {
 			r.cold = true
+			e.totWarm -= int64(e.warmCnt[t]) // lazily-expired leases surface here
 			e.warmCnt[t] = 0
 			e.res.ColdStarts++
 			entry = e.cfg.Profile.ColdStart.Sample(e.svcRNG) + e.coldFetch
 			e.res.ColdWait.Record(entry)
+			e.tl.AddCold(now, entry)
 		}
 		e.k.AtKeyed(uint64(t), now+r.rtt+entry+r.exec, r.fire)
 		return
@@ -333,6 +373,8 @@ func (e *engine) arrival() {
 	if int(e.backlogN[t]) > e.res.PeakBacklog {
 		e.res.PeakBacklog = int(e.backlogN[t])
 	}
+	e.totBacklog++
+	e.tl.ObserveQueueDepth(now, e.totBacklog)
 	if e.ctrl[t]&ctrlArmed == 0 {
 		e.ctrl[t] |= ctrlArmed
 		e.armTev(t, tevScaleEval, e.cfg.Profile.ScaleEvalInterval)
@@ -346,6 +388,7 @@ func (e *engine) dispatch(r *rec) {
 	now := e.k.Now()
 	e.busy[t]++
 	e.res.QueueWait.Record(now - r.start)
+	e.tl.AddSched(now, now-r.start)
 	disp := e.cfg.Profile.WarmStart.Sample(e.svcRNG)
 	e.k.AtKeyed(uint64(t), now+disp+r.exec, r.fire)
 }
@@ -358,6 +401,7 @@ func (e *engine) complete(h int32) {
 	now := e.k.Now()
 	e.res.Completions++
 	e.res.E2E.Record(now - r.start + r.rtt)
+	e.tl.AddCompletion(now, now-r.start+r.rtt)
 	e.execNano[t] += int64(r.exec)
 	e.inFlight--
 
@@ -365,6 +409,8 @@ func (e *engine) complete(h int32) {
 	case platform.ServePerRequest:
 		if e.warmCnt[t] < ^uint16(0) {
 			e.warmCnt[t]++
+			e.totWarm++
+			e.tl.ObserveWarmPool(now, e.totWarm)
 		}
 		e.warmExp[t] = now + e.cfg.Profile.KeepAlive
 		e.recs.Free(h)
@@ -378,6 +424,7 @@ func (e *engine) complete(h int32) {
 				e.blTail[t] = noRec
 			}
 			e.backlogN[t]--
+			e.totBacklog--
 			e.dispatch(qr)
 		} else if e.busy[t] == 0 {
 			e.lastIdle[t] = now
@@ -424,6 +471,7 @@ func (e *engine) control(h int32) {
 				e.res.ColdStarts++
 				up := p.ColdStart.Sample(e.svcRNG)
 				e.res.ColdWait.Record(up)
+				e.tl.AddCold(e.k.Now(), up)
 				e.armTev(t, tevInstanceUp, up)
 			}
 		}
@@ -435,6 +483,8 @@ func (e *engine) control(h int32) {
 	case tevInstanceUp:
 		e.starting[t]--
 		e.ready[t]++
+		e.totWarm++
+		e.tl.ObserveWarmPool(e.k.Now(), e.totWarm)
 		for int(e.busy[t]) < int(e.ready[t])*p.ConcurrencyPerInstance && e.blHead[t] != noRec {
 			qh := e.blHead[t]
 			qr := e.recs.At(qh)
@@ -443,6 +493,7 @@ func (e *engine) control(h int32) {
 				e.blTail[t] = noRec
 			}
 			e.backlogN[t]--
+			e.totBacklog--
 			e.dispatch(qr)
 		}
 		if e.busy[t] == 0 && e.blHead[t] == noRec {
@@ -459,6 +510,7 @@ func (e *engine) control(h int32) {
 		if e.busy[t] == 0 && e.backlogN[t] == 0 && e.starting[t] == 0 {
 			idleFor := e.k.Now() - e.lastIdle[t]
 			if idleFor >= p.IdleInstanceTimeout {
+				e.totWarm -= int64(e.ready[t])
 				e.ready[t] = 0
 				e.ctrl[t] &^= reapArmed
 				return

@@ -1,0 +1,114 @@
+package traffic
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"statebench/internal/obs/tseries"
+	"statebench/internal/sim"
+)
+
+func timelineCSV(t *testing.T, cfg Config) string {
+	t.Helper()
+	cfg.Timeline = tseries.New(0)
+	Run(cfg)
+	var buf bytes.Buffer
+	if err := cfg.Timeline.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+// TestTimelineShardInvariance is the engine-level half of the windowed
+// determinism gate: the per-window CSV — counters, gauges, and every
+// histogram quantile column — is byte-identical at kernel shard counts
+// {1, 4, 16} for both serving styles.
+func TestTimelineShardInvariance(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		cfg  func(shards int) Config
+	}{
+		{"per-request", perRequestCfg},
+		{"instance-pool", instancePoolCfg},
+	} {
+		ref := timelineCSV(t, tc.cfg(1))
+		if len(ref) < 100 {
+			t.Fatalf("%s: suspiciously empty timeline:\n%s", tc.name, ref)
+		}
+		for _, shards := range []int{4, 16} {
+			if got := timelineCSV(t, tc.cfg(shards)); got != ref {
+				t.Fatalf("%s: timeline CSV diverged at %d shards", tc.name, shards)
+			}
+		}
+	}
+}
+
+// The engine must book observable occupancy: a bursty instance-pool
+// run shows backlog (queue depth) and warm-pool gauges, and totals
+// that agree with the engine's own result counters.
+func TestTimelineContents(t *testing.T) {
+	cfg := instancePoolCfg(4)
+	tl := tseries.New(0)
+	cfg.Timeline = tl
+	res := Run(cfg)
+	arr, comp, colds, _ := tl.Totals()
+	if arr != res.Arrivals || comp != res.Completions || colds != res.ColdStarts {
+		t.Fatalf("timeline totals %d/%d/%d disagree with result %d/%d/%d",
+			arr, comp, colds, res.Arrivals, res.Completions, res.ColdStarts)
+	}
+	var peakQ, peakW int64
+	for _, idx := range tl.Indices() {
+		w := tl.At(idx)
+		if w.QueueDepth > peakQ {
+			peakQ = w.QueueDepth
+		}
+		if w.WarmPool > peakW {
+			peakW = w.WarmPool
+		}
+	}
+	if peakQ == 0 || peakW == 0 {
+		t.Fatalf("gauges never observed: peak queue %d, peak warm %d", peakQ, peakW)
+	}
+	// The timeline gauge is the total backlog across tenants; the
+	// engine's PeakBacklog is the worst single tenant's — total can
+	// never be below it.
+	if peakQ < int64(res.PeakBacklog) {
+		t.Fatalf("windowed total backlog peak %d below per-tenant peak %d", peakQ, res.PeakBacklog)
+	}
+}
+
+// OnWindow fires at window boundaries in virtual-time order and — being
+// a passive tick listener — must not change the run's results.
+func TestTimelineOnWindowPassive(t *testing.T) {
+	base := Run(instancePoolCfg(4))
+
+	cfg := instancePoolCfg(4)
+	cfg.Timeline = tseries.New(0)
+	var boundaries []sim.Time
+	cfg.OnWindow = func(b sim.Time) { boundaries = append(boundaries, b) }
+	got := Run(cfg)
+
+	assertIdentical(t, base, got, "with OnWindow")
+	if len(boundaries) == 0 {
+		t.Fatal("OnWindow never fired")
+	}
+	for i := 1; i < len(boundaries); i++ {
+		if boundaries[i] <= boundaries[i-1] {
+			t.Fatalf("boundaries not increasing: %v", boundaries)
+		}
+		if boundaries[i]%cfg.Timeline.Interval() != 0 {
+			t.Fatalf("boundary %v not a window multiple", boundaries[i])
+		}
+	}
+}
+
+// A disabled (nil) timeline leaves results identical to an enabled one
+// — telemetry observes, never steers.
+func TestTimelineObservationOnly(t *testing.T) {
+	plain := Run(perRequestCfg(4))
+	cfg := perRequestCfg(4)
+	cfg.Timeline = tseries.New(time.Second)
+	instrumented := Run(cfg)
+	assertIdentical(t, plain, instrumented, "timeline on vs off")
+}
