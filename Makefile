@@ -24,7 +24,7 @@ GOFMT ?= gofmt
 # `make cover` fails below this.
 COVER_FLOOR ?= 75
 
-.PHONY: tier1 tier1.5 tier2 cover fuzz bench bench-kernel bench-payload bench-all bench-traffic fmt-check golden golden-cache-off timeline-determinism
+.PHONY: tier1 tier1.5 tier2 cover fuzz bench bench-kernel bench-payload bench-all bench-traffic bench-netherite fmt-check golden golden-cache-off timeline-determinism netherite-determinism
 
 # fmt-check fails (listing the offenders) if any file needs gofmt.
 fmt-check:
@@ -56,6 +56,7 @@ tier2:
 	$(GO) test -race -timeout 20m ./...
 	$(GO) test -run 'TestTracingPreservesDeterminism|TestTracingDoesNotChangeResults|TestChaosPreservesDeterminism' -count=1 . ./internal/core/
 	$(MAKE) timeline-determinism
+	$(MAKE) netherite-determinism
 	$(MAKE) fuzz
 	$(MAKE) cover
 
@@ -69,6 +70,17 @@ timeline-determinism:
 	$(GO) test -run 'TestTimelineWorkersInvariant|TestMergeCommutative' -count=1 ./internal/experiments/ ./internal/obs/tseries/
 	$(GO) test -run 'TestTimelineQuickMatchesGolden' -count=1 ./cmd/statebench/
 	$(GO) test -run 'TestServeLive' -count=1 ./internal/obs/tseries/
+
+# netherite-determinism is the task-hub backend gate: every conformance
+# scenario must produce identical results on the classic and Netherite
+# hubs, and Netherite transcripts must be byte-identical across
+# partition counts {1,4,8} (fault-free and under the default chaos
+# plan), across repeated runs, and at -parallel {1,8} — including the
+# campaign-level reports at any worker count.
+netherite-determinism:
+	$(GO) test -run 'TestConformanceAcrossHubs|TestByteIdenticalAcrossPartitionCounts|TestRepeatedRunsByteIdentical' -count=1 -parallel 1 ./internal/azure/netherite/
+	$(GO) test -run 'TestConformanceAcrossHubs|TestByteIdenticalAcrossPartitionCounts|TestRepeatedRunsByteIdentical' -count=1 -parallel 8 ./internal/azure/netherite/
+	$(GO) test -run 'TestNetheriteWorkersInvariant' -count=1 ./internal/experiments/
 
 cover:
 	$(GO) test -count=1 -coverprofile=cover.out ./internal/...
@@ -103,4 +115,11 @@ bench-traffic:
 	$(GO) test -run - -bench 'SameInstantStorm' -benchmem .
 	$(GO) test -run - -bench 'TrafficMillionTenants' -benchtime 1x -benchmem -timeout 60m .
 
-bench: bench-kernel bench-payload bench-all bench-traffic
+# bench-netherite is the classic-vs-Netherite episode-throughput pair
+# behind BENCH_PR8.json: each benchmark reports episodes/vsec (virtual
+# time, deterministic) alongside the simulator's own wall-clock cost,
+# and TestNetheriteEpisodeThroughputTarget pins the >=5x target in CI.
+bench-netherite:
+	$(GO) test -run - -bench 'HubEpisodeThroughput' -benchmem ./internal/azure/netherite/
+
+bench: bench-kernel bench-payload bench-all bench-traffic bench-netherite

@@ -189,7 +189,7 @@ func (c *Client) SignalEntity(p *sim.Proc, e EntityID, op string, input []byte) 
 // state directly with a billed table read, mirroring the status-query
 // API cost.
 func (c *Client) ReadEntityState(p *sim.Proc, e EntityID) ([]byte, bool) {
-	return c.hub.instances.Read(p, e.instanceID(), "state")
+	return c.hub.store.QueryEntityState(p, e.instanceID())
 }
 
 // Handle returns the handle for an instance ID, if known.

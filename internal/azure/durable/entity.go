@@ -121,9 +121,8 @@ func (h *Hub) entityEpisodeHandler(name string) functions.Handler {
 		p := fctx.Proc()
 		fn := h.entities[name]
 
-		// Rehydrate state (billed table read + state access latency).
-		stateRow, exists := h.instances.Read(p, id, "state")
-		p.Sleep(h.params.EntityStateRTT.Sample(h.rng))
+		// Rehydrate state (store-specific read cost + access latency).
+		stateRow, exists := h.store.ReadEntityState(p, id)
 
 		ectx := &EntityContext{hub: h, fctx: fctx, id: EntityID{Name: est.name, Key: est.key}, state: stateRow, exists: exists}
 		for _, m := range ops {
@@ -151,9 +150,9 @@ func (h *Hub) entityEpisodeHandler(name string) functions.Handler {
 			}
 		}
 
-		// Persist state (billed) if modified.
+		// Persist state if modified.
 		if ectx.dirty {
-			h.instances.Write(p, id, "state", ectx.state)
+			h.store.WriteEntityState(p, id, ectx.state)
 		}
 
 		if len(est.inbox) > 0 {
@@ -183,7 +182,7 @@ func splitEntityInstance(id string) (name, key string, ok bool) {
 // EntityStateSize returns the persisted state size of an entity, or -1
 // if the entity has no state. Control-plane helper for tests/reports.
 func (h *Hub) EntityStateSize(e EntityID) int {
-	row, ok := h.instances.Peek(e.instanceID(), "state")
+	row, ok := h.store.PeekEntityState(e.instanceID())
 	if !ok {
 		return -1
 	}

@@ -1,21 +1,19 @@
 package durable
 
 import (
-	"encoding/json"
 	"fmt"
 	"strconv"
 	"time"
 
 	"statebench/internal/azure/functions"
 	"statebench/internal/chaos"
-	"statebench/internal/cloud/table"
 	"statebench/internal/obs/span"
 	"statebench/internal/sim"
 )
 
 // This file implements orchestration episodes: each time messages
 // arrive for an instance, the orchestrator function is executed *from
-// the beginning* on a host instance, consulting the history table to
+// the beginning* on a host instance, consulting the history store to
 // skip completed work (replay). Awaiting an incomplete task ends the
 // episode — the orchestrator is unloaded until results arrive.
 
@@ -32,7 +30,7 @@ func (h *Hub) activateOrch(st *orchState) {
 
 // handleControlMessage routes one control-queue message, activating the
 // target orchestration or entity.
-func (h *Hub) handleControlMessage(p *sim.Proc, m message) {
+func (h *Hub) handleControlMessage(m message) {
 	if len(m.Instance) > 0 && m.Instance[0] == '@' {
 		h.handleEntityMessage(m)
 		return
@@ -47,7 +45,7 @@ func (h *Hub) handleControlMessage(p *sim.Proc, m message) {
 
 // handleWorkItem executes one activity work item on the function app
 // and posts the completion back to the orchestration's control queue.
-func (h *Hub) handleWorkItem(p *sim.Proc, m message) {
+func (h *Hub) handleWorkItem(m message) {
 	fnName, ok := h.activities[m.Name]
 	if !ok {
 		_ = h.send(message{Kind: kindTaskFailed, Instance: m.Instance, TaskID: m.TaskID, Name: m.Name,
@@ -128,15 +126,9 @@ func (h *Hub) episodeHandler(name string) functions.Handler {
 			}
 		}
 
-		// 1. Load persisted history (a billed table query every episode).
-		rows := h.history.Query(p, instance)
-		events := make([]histEvent, 0, len(rows)+len(msgs))
-		for _, r := range rows {
-			var ev histEvent
-			if err := json.Unmarshal(r.Data, &ev); err == nil {
-				events = append(events, ev)
-			}
-		}
+		// 1. Load persisted history (a billed table query per episode on
+		// the classic store; an in-memory read on Netherite).
+		events := h.store.LoadHistory(p, instance)
 		h.ReplayEvents += int64(len(events))
 		replayed = len(events)
 
@@ -202,7 +194,7 @@ func (h *Hub) episodeHandler(name string) functions.Handler {
 
 		// ContinueAsNew: purge history, restart with fresh input.
 		if restarted {
-			h.history.DeletePartition(p, instance)
+			h.store.PurgeHistory(p, instance)
 			st.inbox = append([]message{stamped(message{Kind: kindExecutionStarted, Instance: instance, Input: restartInput}, st.tctx)}, st.inbox...)
 			if _, err := h.host.SubmitCtx(st.name, []byte(st.id), st.tctx); err != nil {
 				st.active = false
@@ -232,24 +224,25 @@ func (h *Hub) episodeHandler(name string) functions.Handler {
 				addEvent(histEvent{Kind: evExecutionCompleted, Data: out})
 			}
 		}
-		if len(newEvents) > 0 {
-			ents := make([]table.Entity, len(newEvents))
-			for i, ev := range newEvents {
-				data, err := json.Marshal(ev)
-				if err != nil {
-					return nil, err
-				}
-				ents[i] = table.Entity{PK: instance, RK: fmt.Sprintf("%06d", ev.Seq), Data: data}
-			}
-			h.history.WriteBatch(p, instance, ents)
+		verdict, settle := h.store.CommitEpisode(p, instance, name, st.tctx, newEvents)
+		if verdict == CommitLost {
+			// A chaos-injected crash lost the uncommitted batch: every
+			// speculative result of this episode is void. Nothing was
+			// dispatched yet, so abort is a pure discard — re-inbox the
+			// unacknowledged messages and replay from durable state.
+			st.inbox = append(msgs, st.inbox...)
+			h.redeliverEpisode(st)
+			return nil, &chaos.FaultError{Kind: chaos.Crash, Component: "netherite", Name: name}
 		}
 
-		// 6. Execute side effects for newly scheduled work.
+		// 6. Execute side effects for newly scheduled work. On a
+		// speculative store this happens before the batch is externally
+		// durable — downstream episodes run against uncommitted state.
 		for _, act := range octx.actions {
 			h.dispatchAction(instance, act)
 		}
 
-		if crashAfter {
+		if crashAfter || verdict == CommitCrashAfter {
 			// Crash after history persistence and action dispatch, but
 			// before the triggering messages are acknowledged: they
 			// redeliver, the episode re-runs, and replay deduplicates
@@ -266,26 +259,7 @@ func (h *Hub) episodeHandler(name string) functions.Handler {
 		if completed {
 			st.done = true
 			st.active = false
-			st.handle.complete(p.Now(), out, runErr)
-			if st.orchSpan.Live() {
-				attrs := []span.Attr{}
-				if runErr != nil {
-					attrs = append(attrs, span.A("error", runErr.Error()))
-				}
-				st.orchSpan.End(p.Now(), attrs...)
-			}
-			if st.parent != "" {
-				kind, errStr := kindSubOrchCompleted, ""
-				if runErr != nil {
-					kind, errStr = kindSubOrchFailed, runErr.Error()
-				}
-				// Completion hops route back under the parent's span.
-				pctx := sim.TraceContext{}
-				if pst, ok := h.orchs[st.parent]; ok {
-					pctx = pst.tctx
-				}
-				_ = h.send(stamped(message{Kind: kind, Instance: st.parent, TaskID: st.parentTask, Name: name, Result: out, Error: errStr}, pctx))
-			}
+			h.completeOrch(st, p.Now(), settle, name, out, runErr)
 			return nil, nil
 		}
 		if len(st.inbox) > 0 {
@@ -297,6 +271,41 @@ func (h *Hub) episodeHandler(name string) functions.Handler {
 		}
 		st.active = false
 		return nil, nil
+	}
+}
+
+// completeOrch performs completion bookkeeping for a finished
+// orchestration. The parent notification is speculative — it flows
+// immediately, so downstream orchestrations progress against
+// uncommitted state — while the client-visible handle settles only
+// after the store's commit becomes durable (settle is zero on the
+// classic store, where WriteBatch is synchronous).
+func (h *Hub) completeOrch(st *orchState, now sim.Time, settle time.Duration, name string, out []byte, runErr error) {
+	if settle <= 0 {
+		st.handle.complete(now, out, runErr)
+	} else {
+		h.k.After(settle, func() {
+			st.handle.complete(h.k.Now(), out, runErr)
+		})
+	}
+	if st.orchSpan.Live() {
+		attrs := []span.Attr{}
+		if runErr != nil {
+			attrs = append(attrs, span.A("error", runErr.Error()))
+		}
+		st.orchSpan.End(now, attrs...)
+	}
+	if st.parent != "" {
+		kind, errStr := kindSubOrchCompleted, ""
+		if runErr != nil {
+			kind, errStr = kindSubOrchFailed, runErr.Error()
+		}
+		// Completion hops route back under the parent's span.
+		pctx := sim.TraceContext{}
+		if pst, ok := h.orchs[st.parent]; ok {
+			pctx = pst.tctx
+		}
+		_ = h.send(stamped(message{Kind: kind, Instance: st.parent, TaskID: st.parentTask, Name: name, Result: out, Error: errStr}, pctx))
 	}
 }
 

@@ -10,12 +10,15 @@
 // item queue polling bills transactions even when idle (Fig 11c, 15),
 // and every activity execution rides the function app's rate-limited
 // scale controller (Fig 12/14).
+//
+// Storage and transport live behind the Store seam (store.go): the
+// classic Azure Storage task hub above is the default, and
+// internal/azure/netherite plugs in a partitioned, group-committed,
+// speculative log behind the same orchestration semantics.
 package durable
 
 import (
-	"encoding/json"
 	"fmt"
-	"hash/fnv"
 	"time"
 
 	"statebench/internal/azure/functions"
@@ -65,6 +68,9 @@ type message struct {
 func (m message) traceCtx() sim.TraceContext {
 	return sim.TraceContext{TraceID: m.TraceID, SpanID: m.SpanID}
 }
+
+// TraceCtx is the exported form of traceCtx for Store implementations.
+func (m message) TraceCtx() sim.TraceContext { return m.traceCtx() }
 
 // stamped returns m carrying ctx, unless m already has a context.
 func stamped(m message, ctx sim.TraceContext) message {
@@ -119,7 +125,7 @@ type orchState struct {
 }
 
 // entityState is the runtime record of one entity (its durable state
-// lives in the instances table; this tracks the operation queue).
+// lives in the store; this tracks the operation queue).
 type entityState struct {
 	id     string
 	name   string
@@ -128,17 +134,16 @@ type entityState struct {
 	active bool
 }
 
-// Hub is a simulated task hub bound to one function app.
+// Hub is a simulated task hub bound to one function app. Its storage
+// and transport are a pluggable Store; orchestration semantics
+// (episodes, replay, entities, clients) are shared across stores.
 type Hub struct {
 	k      *sim.Kernel
 	rng    *sim.RNG
 	host   *functions.Host
 	params platform.AzureParams
 
-	control   []*queue.Queue
-	workItems *queue.Queue
-	history   *table.Table
-	instances *table.Table
+	store Store
 
 	orchestrators map[string]OrchestratorFn
 	activities    map[string]string // activity name -> host function name
@@ -146,9 +151,6 @@ type Hub struct {
 
 	orchs map[string]*orchState
 	ents  map[string]*entityState
-
-	kickers []*kicker
-	wiKick  *kicker
 
 	nextInstance int64
 
@@ -166,110 +168,113 @@ type Hub struct {
 	Chaos *chaos.Injector
 }
 
-// NewHub creates a task hub on host, wiring its control and work-item
-// queues, history table, and listeners.
+// NewHub creates a task hub on host with the classic Azure Storage
+// store: billed control/work-item queues, history table, and polling
+// listeners.
 func NewHub(k *sim.Kernel, host *functions.Host, name string) *Hub {
-	params := host.Params()
+	return NewHubWithStore(k, host, name, newClassicStore(k, name, host.Params()))
+}
+
+// NewHubWithStore creates a task hub on host backed by an arbitrary
+// Store implementation (the Netherite backend plugs in here).
+func NewHubWithStore(k *sim.Kernel, host *functions.Host, name string, store Store) *Hub {
 	h := &Hub{
 		k:             k,
 		rng:           k.Stream("durable/" + name),
 		host:          host,
-		params:        params,
-		workItems:     queue.New(k, name+"-workitems", durableQueueParams(params)),
-		history:       table.New(k, name+"-history", table.DefaultParams()),
-		instances:     table.New(k, name+"-instances", table.DefaultParams()),
+		params:        host.Params(),
+		store:         store,
 		orchestrators: make(map[string]OrchestratorFn),
 		activities:    make(map[string]string),
 		entities:      make(map[string]EntityFn),
 		orchs:         make(map[string]*orchState),
 		ents:          make(map[string]*entityState),
 	}
-	for i := 0; i < params.ControlQueuePartitions; i++ {
-		h.control = append(h.control, queue.New(k, fmt.Sprintf("%s-control-%02d", name, i), durableQueueParams(params)))
-		h.kickers = append(h.kickers, newKicker(k))
-	}
-	h.wiKick = newKicker(k)
 	host.OnHTTPActivity(h.KickAll)
-	h.startListeners()
+	store.Start(h)
 	return h
 }
 
-func durableQueueParams(p platform.AzureParams) queue.Params {
-	qp := queue.DefaultParams()
-	qp.MaxPayload = p.QueuePayloadLimit
-	// The Durable Task Framework never poisons its own control or
-	// work-item messages — it redelivers until the episode succeeds —
-	// so dead-lettering is disabled on task-hub queues (liveness:
-	// a dead-lettered control message would strand its orchestration).
-	qp.MaxDequeueCount = 0
-	return qp
-}
-
-// SetTracer enables span emission on the hub and its queues. Call
+// SetTracer enables span emission on the hub and its store. Call
 // before running workloads (core.Env.EnableTracing does).
 func (h *Hub) SetTracer(tr *span.Tracer) {
 	h.Tracer = tr
-	h.workItems.Tracer = tr
-	for _, q := range h.control {
-		q.Tracer = tr
-	}
+	h.store.SetTracer(tr)
 }
 
 // SetChaos enables fault injection on the hub's episode execution and
-// on its queues. Call before running workloads (core.Env.EnableChaos
+// on its store. Call before running workloads (core.Env.EnableChaos
 // does).
 func (h *Hub) SetChaos(inj *chaos.Injector) {
 	h.Chaos = inj
-	h.workItems.Chaos = inj
-	for _, q := range h.control {
-		q.Chaos = inj
-	}
+	h.store.SetChaos(inj)
 }
 
 // Host returns the function app this hub runs on.
 func (h *Hub) Host() *functions.Host { return h.host }
 
-// HistoryTable exposes the history table (for transaction accounting).
-func (h *Hub) HistoryTable() *table.Table { return h.history }
+// Kernel returns the simulation kernel the hub runs on.
+func (h *Hub) Kernel() *sim.Kernel { return h.k }
 
-// InstancesTable exposes the instances table.
-func (h *Hub) InstancesTable() *table.Table { return h.instances }
+// Params returns the hub's platform calibration.
+func (h *Hub) Params() platform.AzureParams { return h.params }
 
-// ControlQueues exposes the control queues (for transaction accounting).
-func (h *Hub) ControlQueues() []*queue.Queue { return h.control }
+// Store returns the hub's storage/transport backend.
+func (h *Hub) Store() Store { return h.store }
 
-// WorkItemQueue exposes the work-item queue.
-func (h *Hub) WorkItemQueue() *queue.Queue { return h.workItems }
+// classic returns the classic store, or nil when the hub runs on a
+// different Store implementation (the table/queue accessors below are
+// classic-only surfaces kept for transaction-accounting tests).
+func (h *Hub) classic() *classicStore {
+	cs, _ := h.store.(*classicStore)
+	return cs
+}
+
+// HistoryTable exposes the classic store's history table (for
+// transaction accounting); nil for non-classic stores.
+func (h *Hub) HistoryTable() *table.Table {
+	if cs := h.classic(); cs != nil {
+		return cs.history
+	}
+	return nil
+}
+
+// InstancesTable exposes the classic store's instances table; nil for
+// non-classic stores.
+func (h *Hub) InstancesTable() *table.Table {
+	if cs := h.classic(); cs != nil {
+		return cs.instances
+	}
+	return nil
+}
+
+// ControlQueues exposes the classic store's control queues (for
+// transaction accounting); nil for non-classic stores.
+func (h *Hub) ControlQueues() []*queue.Queue {
+	if cs := h.classic(); cs != nil {
+		return cs.control
+	}
+	return nil
+}
+
+// WorkItemQueue exposes the classic store's work-item queue; nil for
+// non-classic stores.
+func (h *Hub) WorkItemQueue() *queue.Queue {
+	if cs := h.classic(); cs != nil {
+		return cs.workItems
+	}
+	return nil
+}
 
 // StorageTransactions sums billable storage transactions across the
-// hub's queues and tables — the stateful cost component of Azure.
-func (h *Hub) StorageTransactions() int64 {
-	total := h.workItems.Stats().Transactions()
-	for _, q := range h.control {
-		total += q.Stats().Transactions()
-	}
-	total += h.history.Stats().Transactions()
-	total += h.instances.Stats().Transactions()
-	return total
-}
+// hub's store — the stateful cost component of Azure.
+func (h *Hub) StorageTransactions() int64 { return h.store.Transactions() }
 
-// ResetStorageStats zeroes queue and table transaction counters.
-func (h *Hub) ResetStorageStats() {
-	h.workItems.ResetStats()
-	for _, q := range h.control {
-		q.ResetStats()
-	}
-	h.history.ResetStats()
-	h.instances.ResetStats()
-}
+// ResetStorageStats zeroes the store's transaction counters.
+func (h *Hub) ResetStorageStats() { h.store.ResetStats() }
 
 // KickAll resets all listener poll back-offs (called on HTTP activity).
-func (h *Hub) KickAll() {
-	for _, kk := range h.kickers {
-		kk.Kick()
-	}
-	h.wiKick.Kick()
-}
+func (h *Hub) KickAll() { h.store.Kick() }
 
 // RegisterOrchestrator adds an orchestrator function. Episodes are
 // billed as executions of a host function with the same name.
@@ -321,57 +326,17 @@ func (h *Hub) RegisterEntity(name string, consumedMemMB int, fn EntityFn) error 
 	return nil
 }
 
-// partitionOf maps an instance ID onto a control-queue partition.
-func (h *Hub) partitionOf(instance string) int {
-	f := fnv.New32a()
-	_, _ = f.Write([]byte(instance))
-	return int(f.Sum32()) % len(h.control)
-}
+// send enqueues a control message (from kernel or callback context).
+func (h *Hub) send(m message) error { return h.store.SendControl(m) }
 
-// send enqueues a control message (from kernel or callback context) and
-// kicks the partition's listener. The hop span parents to the context
-// stamped on the message.
-func (h *Hub) send(m message) error {
-	body, err := json.Marshal(m)
-	if err != nil {
-		return err
-	}
-	p := h.partitionOf(m.Instance)
-	if err := h.control[p].EnqueueFromKernelCtx(body, m.traceCtx()); err != nil {
-		return err
-	}
-	h.kickers[p].Kick()
-	return nil
-}
-
-// sendFromProc enqueues a control message, charging queue latency to p.
+// sendFromProc enqueues a control message, charging send latency to p.
 // Unstamped messages pick up p's ambient trace context.
 func (h *Hub) sendFromProc(p *sim.Proc, m message) error {
-	m = stamped(m, p.TraceCtx)
-	body, err := json.Marshal(m)
-	if err != nil {
-		return err
-	}
-	part := h.partitionOf(m.Instance)
-	if err := h.control[part].Enqueue(p, body); err != nil {
-		return err
-	}
-	h.kickers[part].Kick()
-	return nil
+	return h.store.SendControlFromProc(p, stamped(m, p.TraceCtx))
 }
 
 // sendWorkItem enqueues an activity work item.
-func (h *Hub) sendWorkItem(m message) error {
-	body, err := json.Marshal(m)
-	if err != nil {
-		return err
-	}
-	if err := h.workItems.EnqueueFromKernelCtx(body, m.traceCtx()); err != nil {
-		return err
-	}
-	h.wiKick.Kick()
-	return nil
-}
+func (h *Hub) sendWorkItem(m message) error { return h.store.SendWork(m) }
 
 // kicker lets a polling listener be woken early when a message is
 // enqueued locally, while idle polling still happens (and is billed) at
@@ -400,50 +365,4 @@ func (kk *kicker) Wait(p *sim.Proc, d time.Duration) bool {
 		kk.fut = sim.NewFuture[struct{}](kk.k)
 	}
 	return kicked
-}
-
-// startListeners launches the control-queue and work-item pollers. They
-// poll with adaptive back-off — every poll is a billed transaction, the
-// idle-cost mechanism the paper highlights — and stop with the host.
-func (h *Hub) startListeners() {
-	stop := h.host.StopSignal()
-	for i := range h.control {
-		i := i
-		h.k.Spawn(fmt.Sprintf("durable/control-%d", i), func(p *sim.Proc) {
-			h.pollLoop(p, h.control[i], h.kickers[i], stop, h.handleControlMessage)
-		})
-	}
-	h.k.Spawn("durable/workitems", func(p *sim.Proc) {
-		h.pollLoop(p, h.workItems, h.wiKick, stop, h.handleWorkItem)
-	})
-}
-
-// pollLoop drains q, backing off while idle, waking early on kicks.
-func (h *Hub) pollLoop(p *sim.Proc, q *queue.Queue, kk *kicker, stop *sim.Future[struct{}], handle func(*sim.Proc, message)) {
-	interval := 100 * time.Millisecond
-	maxPoll := h.params.DurableMaxPoll
-	if maxPoll <= 0 {
-		maxPoll = 30 * time.Second
-	}
-	for {
-		if stop.Done() {
-			return
-		}
-		if m, ok := q.TryDequeue(p); ok {
-			interval = 100 * time.Millisecond
-			var msg message
-			if err := json.Unmarshal(m.Body, &msg); err == nil {
-				handle(p, msg)
-			}
-			continue
-		}
-		if kk.Wait(p, interval) {
-			interval = 100 * time.Millisecond
-		} else {
-			interval *= 2
-			if interval > maxPoll {
-				interval = maxPoll
-			}
-		}
-	}
 }

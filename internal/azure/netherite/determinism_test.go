@@ -1,0 +1,128 @@
+package netherite_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"statebench/internal/azure/durable"
+	"statebench/internal/chaos"
+	"statebench/internal/sim"
+)
+
+// runTranscript runs a mixed Durable workload (activity chain plus
+// entity signal folds) on a Netherite hub and renders everything
+// observable — outputs, handle timings, billed commits, log and chaos
+// accounting — into one string. Byte-equality of transcripts is the
+// determinism property the tier-2 gate enforces.
+func runTranscript(t *testing.T, seed uint64, partitions int, plan *chaos.Plan) string {
+	t.Helper()
+	e := netheriteEnv(seed, partitions, plan)
+	registerChain(t, e.hub)
+	registerCounter(t, e.hub)
+
+	var b strings.Builder
+	e.drive(func(p *sim.Proc) {
+		out, hd, err := e.client.Run(p, "chain", []byte("0"))
+		if err != nil {
+			t.Errorf("chain: %v", err)
+			return
+		}
+		fmt.Fprintf(&b, "chain out=%s status=%s cold=%v e2e=%v\n", out, hd.Status(), hd.ColdStart(), hd.E2E())
+
+		id := durable.EntityID{Name: "Counter", Key: "c1"}
+		for _, v := range []int{5, 7, 11} {
+			in, _ := json.Marshal(v)
+			if err := e.client.SignalEntity(p, id, "add", in); err != nil {
+				t.Errorf("signal: %v", err)
+				return
+			}
+			p.Sleep(50 * time.Millisecond)
+		}
+		p.Sleep(2 * time.Minute) // past any chaos redelivery window
+		state, ok := e.client.ReadEntityState(p, id)
+		fmt.Fprintf(&b, "entity state=%s ok=%v now=%v\n", state, ok, p.Now())
+	})
+
+	fmt.Fprintf(&b, "store txns=%d appended=%d lost=%d droppedDup=%d\n",
+		e.store.Transactions(), e.store.AppendedRecords(), e.store.LostRecords(), e.store.DroppedDuplicates())
+	var total int64
+	for _, n := range e.store.PartitionRecords() {
+		total += n
+	}
+	fmt.Fprintf(&b, "log total=%d\n", total)
+	if e.inj != nil {
+		st := e.inj.Stats()
+		fmt.Fprintf(&b, "chaos injected=%d crashes=%d dups=%d wasted=%d recovery=%v\n",
+			st.Injected, st.Crashes, st.Duplicates, st.WastedWork, st.RecoveryDelay)
+	}
+	return b.String()
+}
+
+// netheritePlan is DefaultPlan at paper rate, which since PR 8 includes
+// the netherite commit-crash and transport-duplicate rules.
+func netheritePlan() *chaos.Plan { return chaos.DefaultPlan(0.05) }
+
+// TestByteIdenticalAcrossPartitionCounts is the tentpole determinism
+// property: for any seed, partition counts 1, 4, and 8 must produce
+// byte-identical transcripts — partitioning shards the log, it never
+// changes results, timings, or billing.
+func TestByteIdenticalAcrossPartitionCounts(t *testing.T) {
+	for _, seed := range []uint64{1, 7, 42} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed-%d", seed), func(t *testing.T) {
+			t.Parallel()
+			ref := runTranscript(t, seed, 1, nil)
+			for _, parts := range []int{4, 8} {
+				got := runTranscript(t, seed, parts, nil)
+				if got != ref {
+					t.Fatalf("partitions=%d diverged from partitions=1:\n--- p=1 ---\n%s--- p=%d ---\n%s", parts, ref, parts, got)
+				}
+			}
+		})
+	}
+}
+
+// TestByteIdenticalAcrossPartitionCountsUnderChaos repeats the property
+// with the full default fault plan active: chaos decisions key on
+// instance and orchestrator names, never partition identity, so even
+// fault schedules are partition-count invariant.
+func TestByteIdenticalAcrossPartitionCountsUnderChaos(t *testing.T) {
+	for _, seed := range []uint64{1, 7, 42} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed-%d", seed), func(t *testing.T) {
+			t.Parallel()
+			ref := runTranscript(t, seed, 1, netheritePlan())
+			if !strings.Contains(ref, "chaos injected=") {
+				t.Fatal("chaos transcript missing injector stats")
+			}
+			for _, parts := range []int{4, 8} {
+				got := runTranscript(t, seed, parts, netheritePlan())
+				if got != ref {
+					t.Fatalf("under chaos, partitions=%d diverged from partitions=1:\n--- p=1 ---\n%s--- p=%d ---\n%s", parts, ref, parts, got)
+				}
+			}
+		})
+	}
+}
+
+// TestRepeatedRunsByteIdentical pins run-to-run determinism at a fixed
+// partition count — the property that makes the cross-partition
+// comparisons above meaningful. The parallel subtests also make the
+// suite itself exercise -parallel sensitivity: transcripts computed
+// concurrently must equal transcripts computed alone.
+func TestRepeatedRunsByteIdentical(t *testing.T) {
+	for _, parts := range []int{1, 4, 8} {
+		parts := parts
+		t.Run(fmt.Sprintf("partitions-%d", parts), func(t *testing.T) {
+			t.Parallel()
+			a := runTranscript(t, 9, parts, netheritePlan())
+			b := runTranscript(t, 9, parts, netheritePlan())
+			if a != b {
+				t.Fatalf("same seed, same partitions, different transcripts:\n--- run 1 ---\n%s--- run 2 ---\n%s", a, b)
+			}
+		})
+	}
+}

@@ -72,7 +72,8 @@ const (
 // any component or resource.
 type Rule struct {
 	// Component selects an injection site: "lambda", "sfn", "queue",
-	// "azfunc", or "durable". "" matches all.
+	// "azfunc", "durable", "netherite" (commit-batch loss), or
+	// "netherite-transport" (duplicate ghost deliveries). "" matches all.
 	Component string
 	// Name selects a resource (function, queue, state, orchestrator)
 	// within the component. "" matches all.
@@ -131,6 +132,9 @@ func DefaultPlan(rate float64) *Plan {
 			{Component: "durable", Kind: CrashAfterPersist, Rate: rate / 2},
 			{Component: "gcf", Kind: TransientError, Rate: rate},
 			{Component: "gwf", Kind: TransientError, Rate: rate},
+			{Component: "netherite", Kind: Crash, Rate: rate / 2},
+			{Component: "netherite", Kind: CrashAfterPersist, Rate: rate / 2},
+			{Component: "netherite-transport", Kind: Duplicate, Rate: rate},
 		},
 	}
 }
@@ -170,6 +174,10 @@ type Stats struct {
 	// RecoveryDelay is total added virtual time spent waiting on
 	// recovery: retry backoff, visibility timeouts, redelivery delays.
 	RecoveryDelay time.Duration
+	// WastedWork counts speculative history records discarded because a
+	// crash lost their uncommitted batch (Netherite-style speculation:
+	// the episode's work was real, billed, and thrown away).
+	WastedWork int64
 }
 
 // FaultError is the error surfaced by an injected invocation fault.
@@ -381,6 +389,16 @@ func (in *Injector) NoteDeadLetter(ctx sim.TraceContext, name string) {
 		in.Tracer.Emit(span.KindFault, "deadletter/"+name, now, now, ctx)
 	}
 	in.Metrics.Inc("statebench_chaos_deadletters_total", 1, metrics.L("queue", name))
+}
+
+// NoteWastedWork books n speculative history records discarded because
+// a crash lost their uncommitted batch.
+func (in *Injector) NoteWastedWork(n int) {
+	if in == nil {
+		return
+	}
+	in.stats.WastedWork += int64(n)
+	in.Metrics.Inc("statebench_chaos_wasted_speculation_total", float64(n))
 }
 
 // NoteRecovery books added virtual time spent waiting on recovery

@@ -59,13 +59,16 @@ func TestAblationMapConcurrency(t *testing.T) {
 }
 
 func TestRegistryWithAblations(t *testing.T) {
-	if len(RegistryWithAblations()) != 22 {
+	if len(RegistryWithAblations()) != 23 {
 		t.Fatalf("size = %d", len(RegistryWithAblations()))
 	}
 	if _, err := Find("ablation-memory"); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := Find("reliability"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Find("netherite"); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -52,6 +52,7 @@ func RegistryWithAblations() []Runner {
 		Runner{"crosscloud", single(CrossCloud)},
 		Runner{"traffic", single(TrafficSweep)},
 		Runner{"timeline", single(Timeline)},
+		Runner{"netherite", NetheriteHubs},
 	)
 	return append(Registry(), extra...)
 }

@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func netheriteRun(t *testing.T, workers int) (closed, open *Report) {
+	t.Helper()
+	o := tiny()
+	o.Workers = workers
+	reports, err := NetheriteHubs(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 2 {
+		t.Fatalf("reports = %d, want 2 (closed-loop + open-loop)", len(reports))
+	}
+	return reports[0], reports[1]
+}
+
+// TestNetheriteCoversBothHubs is the registry seam's acceptance check
+// for the task-hub comparison: the driver names no provider, yet both
+// the classic Azure styles and the init-registered Netherite styles
+// must appear, and the Netherite rows must show the group-commit
+// transaction reduction.
+func TestNetheriteCoversBothHubs(t *testing.T) {
+	closed, open := netheriteRun(t, 0)
+
+	txns := map[string]float64{}
+	for _, row := range closed.Table.Rows {
+		v, err := strconv.ParseFloat(row[6], 64)
+		if err != nil {
+			t.Fatalf("unparseable txns column in row %v: %v", row, err)
+		}
+		txns[row[1]] = v // style -> stateful txns/run
+	}
+	for _, style := range []string{"Az-Dorch", "Az-Dent", "Az-Dorch-N", "Az-Dent-N"} {
+		if _, ok := txns[style]; !ok {
+			t.Fatalf("closed-loop table missing style %s; got %v", style, txns)
+		}
+	}
+	// The order-of-magnitude claim: group commits must cut stateful
+	// transactions by far more than noise — at least 5x on both styles.
+	if txns["Az-Dorch-N"]*5 > txns["Az-Dorch"] {
+		t.Fatalf("orchestrator txns/run: netherite %.0f vs classic %.0f, want >= 5x reduction", txns["Az-Dorch-N"], txns["Az-Dorch"])
+	}
+	if txns["Az-Dent-N"]*5 > txns["Az-Dent"] {
+		t.Fatalf("entity txns/run: netherite %.0f vs classic %.0f, want >= 5x reduction", txns["Az-Dent-N"], txns["Az-Dent"])
+	}
+
+	// Open loop: both hubs replay the identical arrival schedule, so
+	// the rows must agree on arrivals and episodes while the classic
+	// hub bills far more storage transactions.
+	if len(open.Table.Rows) != 2 {
+		t.Fatalf("open-loop rows = %d, want 2", len(open.Table.Rows))
+	}
+	classic, neth := open.Table.Rows[0], open.Table.Rows[1]
+	if classic[0] != "Azure" || neth[0] != "Netherite" {
+		t.Fatalf("unexpected hub order: %v / %v", classic[0], neth[0])
+	}
+	if classic[2] != neth[2] {
+		t.Fatalf("arrival counts diverged (%s vs %s): the hubs did not replay the same schedule", classic[2], neth[2])
+	}
+	if classic[5] != neth[5] {
+		t.Fatalf("episode counts diverged (%s vs %s): the hubs ran different work", classic[5], neth[5])
+	}
+	ct, _ := strconv.ParseInt(classic[6], 10, 64)
+	nt, _ := strconv.ParseInt(neth[6], 10, 64)
+	if ct == 0 || nt == 0 || nt*5 > ct {
+		t.Fatalf("open-loop storage txns: netherite %d vs classic %d, want >= 5x reduction", nt, ct)
+	}
+}
+
+// TestNetheriteWorkersInvariant is the campaign half of the
+// netherite-determinism gate: the rendered reports are byte-identical
+// at -parallel 1 and 8 (campaign seeds derive from position, never
+// from scheduling).
+func TestNetheriteWorkersInvariant(t *testing.T) {
+	c1, o1 := netheriteRun(t, 1)
+	c8, o8 := netheriteRun(t, 8)
+	if c1.String() != c8.String() {
+		t.Fatalf("closed-loop report diverged across workers:\n%s\nvs\n%s", c1.String(), c8.String())
+	}
+	if o1.String() != o8.String() {
+		t.Fatalf("open-loop report diverged across workers:\n%s\nvs\n%s", o1.String(), o8.String())
+	}
+	if !strings.Contains(c1.String(), "Netherite") {
+		t.Fatalf("report missing Netherite rows:\n%s", c1.String())
+	}
+}

@@ -6,17 +6,36 @@ import (
 
 	"statebench/internal/azure/durable"
 	"statebench/internal/azure/functions"
+	"statebench/internal/cloud/blob"
 	"statebench/internal/core"
 	"statebench/internal/payload"
 	"statebench/internal/sim"
 	"statebench/internal/workloads/mlpipe"
 )
 
+// durableTarget is the task-hub bundle a durable deployment installs
+// into: the classic Azure Storage hub by default, or the Netherite hub
+// contributed by netherite.go. Same orchestrations, same activities,
+// same entities — only the store behind the hub differs.
+type durableTarget struct {
+	hub    *durable.Hub
+	client *durable.Client
+	blob   *blob.Store
+	// costsPrefix namespaces the deployment's cost-model RNG streams so
+	// classic and Netherite deployments draw independently.
+	costsPrefix string
+}
+
+// classicTarget is the paper's deployment target (env.Azure).
+func classicTarget(env *core.Env) durableTarget {
+	return durableTarget{hub: env.Azure.Hub, client: env.Azure.Client, blob: env.Azure.Blob, costsPrefix: "az-mltrain"}
+}
+
 // durableRunner starts one orchestration per run and reads the paper's
 // durable latency metrics off the handle (Pending→Running cold start,
 // Running→Completed end-to-end).
 type durableRunner struct {
-	env     *core.Env
+	client  *durable.Client
 	orch    string
 	nextRun int64
 }
@@ -25,7 +44,7 @@ type durableRunner struct {
 func (r *durableRunner) Invoke(p *sim.Proc, _ []byte) (core.RunStats, error) {
 	r.nextRun++
 	input := marshalMsg(stepMsg{Run: r.nextRun})
-	out, hd, err := r.env.Azure.Client.Run(p, r.orch, input)
+	out, hd, err := r.client.Run(p, r.orch, input)
 	stats := core.RunStats{Output: out, Err: err}
 	if hd != nil {
 		stats.E2E = hd.E2E()
@@ -42,10 +61,16 @@ func (r *durableRunner) Invoke(p *sim.Proc, _ []byte) (core.RunStats, error) {
 // activities, fanning out one training activity per algorithm, and a
 // final select activity.
 func deployAzDorch(env *core.Env, size mlpipe.DatasetSize, arts *mlpipe.Artifacts) (*core.Deployment, error) {
-	costs := mlpipe.NewCosts(env.K, "az-mltrain-dorch", mlpipe.AzureSpeed)
-	blob := env.Azure.Blob
+	return deployDurableOrch(env, classicTarget(env), size, arts)
+}
+
+// deployDurableOrch installs the orchestrator style onto any durable
+// target hub.
+func deployDurableOrch(env *core.Env, tgt durableTarget, size mlpipe.DatasetSize, arts *mlpipe.Artifacts) (*core.Deployment, error) {
+	costs := mlpipe.NewCosts(env.K, tgt.costsPrefix+"-dorch", mlpipe.AzureSpeed)
+	blob := tgt.blob
 	blob.Preload(datasetKey(size), arts.DatasetCSV)
-	hub := env.Azure.Hub
+	hub := tgt.hub
 	sfx := "-" + string(size)
 
 	if err := hub.RegisterActivity("dorch-prep"+sfx, mlpipe.MemPrep, func(ctx *functions.Context, input []byte) ([]byte, error) {
@@ -172,7 +197,7 @@ func deployAzDorch(env *core.Env, size mlpipe.DatasetSize, arts *mlpipe.Artifact
 	}
 
 	return &core.Deployment{
-		Runner:     &durableRunner{env: env, orch: orchName},
+		Runner:     &durableRunner{client: tgt.client, orch: orchName},
 		FuncCount:  6,
 		CodeSizeMB: 304,
 	}, nil
@@ -184,10 +209,16 @@ func deployAzDorch(env *core.Env, size mlpipe.DatasetSize, arts *mlpipe.Artifact
 // forest) and entities (kneighbors, lasso), and a ModelSelection
 // collector entity holding the best fit — the Fig 3/Fig 4 structure.
 func deployAzDent(env *core.Env, size mlpipe.DatasetSize, arts *mlpipe.Artifacts) (*core.Deployment, error) {
-	costs := mlpipe.NewCosts(env.K, "az-mltrain-dent", mlpipe.AzureSpeed)
-	blob := env.Azure.Blob
+	return deployDurableEnt(env, classicTarget(env), size, arts)
+}
+
+// deployDurableEnt installs the entities style onto any durable target
+// hub.
+func deployDurableEnt(env *core.Env, tgt durableTarget, size mlpipe.DatasetSize, arts *mlpipe.Artifacts) (*core.Deployment, error) {
+	costs := mlpipe.NewCosts(env.K, tgt.costsPrefix+"-dent", mlpipe.AzureSpeed)
+	blob := tgt.blob
 	blob.Preload(datasetKey(size), arts.DatasetCSV)
-	hub := env.Azure.Hub
+	hub := tgt.hub
 	sfx := "-" + string(size)
 
 	// Encoding entity: fits/holds the one-hot encoder, emits the
@@ -419,7 +450,7 @@ func deployAzDent(env *core.Env, size mlpipe.DatasetSize, arts *mlpipe.Artifacts
 	}
 
 	return &core.Deployment{
-		Runner:     &durableRunner{env: env, orch: orchName},
+		Runner:     &durableRunner{client: tgt.client, orch: orchName},
 		FuncCount:  7,
 		CodeSizeMB: 304,
 	}, nil

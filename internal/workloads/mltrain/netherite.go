@@ -1,0 +1,34 @@
+package mltrain
+
+import (
+	"statebench/internal/azure/netherite"
+	"statebench/internal/core"
+	"statebench/internal/workloads/mlpipe"
+)
+
+// This file contributes the Netherite task-hub styles to the ML
+// training workload, wired entirely from init like gcp.go: the same
+// orchestrations and entities as Az-Dorch/Az-Dent, deployed onto a hub
+// whose store is a partitioned, group-committed, speculative log
+// instead of storage queues. The dispatch table and ExtraImpls in
+// mltrain.go never mention Netherite.
+
+func init() {
+	deployers[netherite.Dorch] = deployNethDorch
+	deployers[netherite.Dent] = deployNethDent
+	extraImpls = append(extraImpls, netherite.Dorch, netherite.Dent)
+}
+
+// netheriteTarget deploys onto the Env's Netherite backend.
+func netheriteTarget(env *core.Env) durableTarget {
+	nc := netherite.FromEnv(env)
+	return durableTarget{hub: nc.Hub, client: nc.Client, blob: nc.Blob, costsPrefix: "az-mltrain-n"}
+}
+
+func deployNethDorch(env *core.Env, size mlpipe.DatasetSize, arts *mlpipe.Artifacts) (*core.Deployment, error) {
+	return deployDurableOrch(env, netheriteTarget(env), size, arts)
+}
+
+func deployNethDent(env *core.Env, size mlpipe.DatasetSize, arts *mlpipe.Artifacts) (*core.Deployment, error) {
+	return deployDurableEnt(env, netheriteTarget(env), size, arts)
+}
