@@ -24,7 +24,7 @@ GOFMT ?= gofmt
 # `make cover` fails below this.
 COVER_FLOOR ?= 75
 
-.PHONY: tier1 tier1.5 tier2 cover fuzz bench bench-kernel bench-payload bench-all bench-traffic bench-netherite fmt-check golden golden-cache-off timeline-determinism netherite-determinism
+.PHONY: tier1 tier1.5 tier2 cover fuzz bench bench-kernel bench-payload bench-all bench-traffic bench-netherite fmt-check golden golden-cache-off timeline-determinism netherite-determinism flow-conformance
 
 # fmt-check fails (listing the offenders) if any file needs gofmt.
 fmt-check:
@@ -57,6 +57,7 @@ tier2:
 	$(GO) test -run 'TestTracingPreservesDeterminism|TestTracingDoesNotChangeResults|TestChaosPreservesDeterminism' -count=1 . ./internal/core/
 	$(MAKE) timeline-determinism
 	$(MAKE) netherite-determinism
+	$(MAKE) flow-conformance
 	$(MAKE) fuzz
 	$(MAKE) cover
 
@@ -81,6 +82,16 @@ netherite-determinism:
 	$(GO) test -run 'TestConformanceAcrossHubs|TestByteIdenticalAcrossPartitionCounts|TestRepeatedRunsByteIdentical' -count=1 -parallel 1 ./internal/azure/netherite/
 	$(GO) test -run 'TestConformanceAcrossHubs|TestByteIdenticalAcrossPartitionCounts|TestRepeatedRunsByteIdentical' -count=1 -parallel 8 ./internal/azure/netherite/
 	$(GO) test -run 'TestNetheriteWorkersInvariant' -count=1 ./internal/experiments/
+
+# flow-conformance is the workflow-IR gate: every IR-defined workload's
+# observable behaviour on every registered style is pinned byte for
+# byte against the pre-refactor baseline (testdata/golden/flowconf.txt)
+# at -parallel 1 and 8, the lowered programs and graph-command output
+# are pinned against their goldens, and the IR validation/lint suite
+# runs — including the cross-style MapReduce answer-equality proof.
+flow-conformance:
+	$(GO) test -run 'TestFlowConformance|TestGraph' -count=1 ./cmd/statebench/
+	$(GO) test -count=1 ./internal/flow/ ./internal/workloads/mapreduce/
 
 cover:
 	$(GO) test -count=1 -coverprofile=cover.out ./internal/...

@@ -1,0 +1,142 @@
+package main
+
+// Flow-conformance gate: pins the observable behaviour of every
+// IR-defined workload on every registered style, byte for byte. The
+// golden (testdata/golden/flowconf.txt) was generated from the
+// pre-refactor per-provider deploy code, so these tests prove the
+// rebase of mltrain/mlinfer/videoproc onto internal/flow changed
+// nothing a campaign can see: latency distributions, cold starts,
+// span-derived exec times, billing, fault recovery, and deployment
+// metadata (function count, package size), at -parallel 1 and 8.
+//
+// Regenerate with:
+//
+//	STATEBENCH_FLOWCONF_REGEN=1 go test ./cmd/statebench -run TestFlowConformance
+//
+// Run via `make flow-conformance` (part of tier2).
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"statebench/internal/chaos"
+	"statebench/internal/core"
+	"statebench/internal/experiments"
+	"statebench/internal/parallel"
+	"statebench/internal/payload"
+	"statebench/internal/workloads/mlinfer"
+	"statebench/internal/workloads/mlpipe"
+	"statebench/internal/workloads/mltrain"
+	"statebench/internal/workloads/videoproc"
+)
+
+const flowconfGolden = "flowconf.txt"
+
+type confCampaign struct {
+	wf    core.Workflow
+	impl  core.Impl
+	iters int
+}
+
+// confCampaigns enumerates workload x style exactly like the
+// crosscloud experiment does: from the provider registry, so a style
+// added by any provider package lands in the gate automatically.
+func confCampaigns() []confCampaign {
+	var out []confCampaign
+	add := func(wf core.Workflow, iters int) {
+		for _, impl := range core.RegisteredImpls() {
+			if core.SupportsImpl(wf, impl) {
+				out = append(out, confCampaign{wf, impl, iters})
+			}
+		}
+	}
+	add(mltrain.New(mlpipe.Small), 3)
+	add(mlinfer.New(mlpipe.Small), 3)
+	add(videoproc.New(4), 2)
+	return out
+}
+
+// renderConformance measures every campaign under span tracing and the
+// crosscloud fault schedule and renders one line per campaign. The
+// worker count fans campaigns like the -parallel flag fans experiments;
+// every campaign seeds its own environment, so output is byte-identical
+// at any worker count.
+func renderConformance(workers int) (string, error) {
+	plan := chaos.DefaultPlan(experiments.DefaultFaultRate)
+	campaigns := confCampaigns()
+	eng := payload.NewEngine()
+	rows, err := parallel.Map(workers, len(campaigns), func(i int) (string, error) {
+		c := campaigns[i]
+
+		// Deployment metadata from a throwaway env: pins function
+		// count and code package size per style.
+		menv := core.NewEnv(99)
+		menv.Payload = eng
+		d, err := c.wf.Deploy(menv, c.impl)
+		if err != nil {
+			return "", fmt.Errorf("%s/%s: deploy: %w", c.wf.Name(), c.impl, err)
+		}
+		menv.Stop()
+
+		opt := core.MeasureOptions{
+			Iters:        c.iters,
+			Seed:         1234,
+			Workers:      workers,
+			Tracing:      true,
+			Chaos:        plan,
+			PayloadCache: eng,
+		}
+		s, err := core.Measure(c.wf, c.impl, opt)
+		if err != nil {
+			return "", fmt.Errorf("%s/%s: measure: %w", c.wf.Name(), c.impl, err)
+		}
+		sb := s.SpanBreakdowns.AtQuantile(0.5)
+		return fmt.Sprintf("%s | %s | ok=%.4f p50=%s p99=%s cold=%s exec=%s cost=%.8f err=%d inj=%d | funcs=%d code=%.1fMB",
+			c.wf.Name(), c.impl, s.SuccessRate,
+			s.E2E.Median(), s.E2E.P99(), s.Cold.Median(), sb.ExecTime,
+			s.MeanBill.Total(), s.Errors, s.Faults.Injected,
+			d.FuncCount, d.CodeSizeMB), nil
+	})
+	if err != nil {
+		return "", err
+	}
+	return strings.Join(rows, "\n") + "\n", nil
+}
+
+func TestFlowConformance(t *testing.T) {
+	skipUnderRace(t)
+	got, err := renderConformance(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if os.Getenv("STATEBENCH_FLOWCONF_REGEN") == "1" {
+		path := filepath.Join("..", "..", "testdata", "golden", flowconfGolden)
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("regenerated %s", path)
+		return
+	}
+	want := golden(t, flowconfGolden)
+	if got != want {
+		t.Fatalf("flow conformance drifted from pre-refactor baseline\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+func TestFlowConformanceParallelInvariant(t *testing.T) {
+	skipUnderRace(t)
+	if os.Getenv("STATEBENCH_FLOWCONF_REGEN") == "1" {
+		t.Skip("regen runs in TestFlowConformance")
+	}
+	got, err := renderConformance(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := golden(t, flowconfGolden)
+	if got != want {
+		t.Fatalf("flow conformance output varies with worker count\n--- got (workers=8) ---\n%s\n--- want ---\n%s", got, want)
+	}
+}

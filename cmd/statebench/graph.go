@@ -1,0 +1,132 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"statebench/internal/core"
+	"statebench/internal/flow"
+)
+
+// runGraph implements "statebench graph <workload>": render the
+// workload's provider-neutral IR as Graphviz DOT, then one line per
+// registered style summarizing how (or why not) the IR lowers to it,
+// followed by the static payload lint. The style list comes from the
+// lowerer registry, so a provider added later shows up with no edit
+// here.
+//
+// The DOT goes to -o (stdout by default); the summary goes to stdout
+// when -o is a file and to stderr otherwise, so `statebench graph X |
+// dot -Tsvg` stays valid.
+func runGraph(args []string) {
+	fs := flag.NewFlagSet("graph", flag.ExitOnError)
+	out := fs.String("o", "-", "DOT output file (- = stdout)")
+	fs.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: statebench graph [-o FILE] <workload>\nworkloads: %s\n", traceWorkflowNames())
+		fs.PrintDefaults()
+	}
+	_ = fs.Parse(args)
+	if fs.NArg() != 1 {
+		fs.Usage()
+		os.Exit(2)
+	}
+	build, ok := traceWorkflows[fs.Arg(0)]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "statebench graph: unknown workload %q (want %s)\n", fs.Arg(0), traceWorkflowNames())
+		os.Exit(1)
+	}
+	fd, ok := build().(interface {
+		FlowDef() (*flow.Definition, error)
+	})
+	if !ok {
+		fmt.Fprintf(os.Stderr, "statebench graph: workload %q exposes no flow definition\n", fs.Arg(0))
+		os.Exit(1)
+	}
+	def, err := fd.FlowDef()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "statebench graph:", err)
+		os.Exit(1)
+	}
+
+	dot := flow.DOT(def)
+	summary := os.Stdout
+	if *out == "-" {
+		fmt.Print(dot)
+		summary = os.Stderr
+	} else {
+		if err := os.WriteFile(*out, []byte(dot), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "statebench graph:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(summary, "wrote %s\n", *out)
+	}
+	writeLoweringSummary(summary, def)
+}
+
+// writeLoweringSummary prints one line per registered style: its graph
+// class, the provider caps it enforces, and either the size of the
+// deterministic compiled program or the reason the style is excluded.
+func writeLoweringSummary(w io.Writer, def *flow.Definition) {
+	fmt.Fprintf(w, "lowering %s:\n", def.Name)
+	for _, impl := range core.RegisteredImpls() {
+		l, ok := flow.LowererFor(impl)
+		if !ok {
+			fmt.Fprintf(w, "  %-12s no lowerer registered\n", impl)
+			continue
+		}
+		class := string(l.Class())
+		if v := l.Variant(); v != "" {
+			class += "/" + v
+		}
+		line := fmt.Sprintf("  %-12s %-13s caps[%s]", impl, class, capsLabel(l.Caps()))
+		switch {
+		case flow.Supports(def, impl):
+			prog, err := l.Program(def)
+			if err != nil {
+				fmt.Fprintf(w, "%s program error: %v\n", line, err)
+				continue
+			}
+			fmt.Fprintf(w, "%s program %d B\n", line, len(prog))
+		default:
+			fmt.Fprintf(w, "%s excluded (%s)\n", line, excludeReason(def, l))
+		}
+	}
+	fmt.Fprint(w, "payload lint:\n")
+	for _, fl := range strings.Split(strings.TrimSuffix(flow.LintReport(def), "\n"), "\n") {
+		fmt.Fprintf(w, "  %s\n", fl)
+	}
+}
+
+func capsLabel(c flow.Caps) string {
+	payload := "payload -"
+	if c.PayloadBytes > 0 {
+		payload = fmt.Sprintf("payload %dKB", c.PayloadBytes/1024)
+	}
+	task := "task -"
+	if c.MaxTaskSeconds > 0 {
+		task = fmt.Sprintf("task %gs", c.MaxTaskSeconds)
+	}
+	return payload + ", " + task
+}
+
+// excludeReason explains why flow.Supports said no.
+func excludeReason(def *flow.Definition, l flow.Lowerer) string {
+	g, ok := def.Graphs[l.Class()]
+	if !ok {
+		return fmt.Sprintf("no %s graph", l.Class())
+	}
+	allowed := l.Variant() == "" && g.Variants == nil
+	for _, v := range g.Variants {
+		if v == l.Variant() {
+			allowed = true
+		}
+	}
+	if !allowed {
+		return fmt.Sprintf("graph does not opt into variant %q", l.Variant())
+	}
+	speed := def.SpeedFor(flow.ProviderNameOf(l.Impl()))
+	return fmt.Sprintf("an execution estimate exceeds %gs at speed %.2f", l.Caps().MaxTaskSeconds, speed)
+}

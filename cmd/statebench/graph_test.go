@@ -1,0 +1,129 @@
+package main
+
+// Tests for the graph subcommand and the lowering determinism
+// property: the compiled orchestration artifacts (ASL JSON, Workflows
+// programs, registration plans) are pure functions of the IR. Goldens
+// pin them across runs; within-run double-compilation pins them
+// against accidental map-order or pointer-identity leaks. (-parallel
+// cannot affect them: Program never touches an Env or a kernel.)
+//
+// Regenerate with:
+//
+//	STATEBENCH_GRAPH_REGEN=1 go test ./cmd/statebench -run TestGraph
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"statebench/internal/core"
+	"statebench/internal/flow"
+)
+
+// flowDefOf resolves a trace-map workload's IR definition.
+func flowDefOf(t *testing.T, name string) *flow.Definition {
+	t.Helper()
+	fd, ok := traceWorkflows[name]().(interface {
+		FlowDef() (*flow.Definition, error)
+	})
+	if !ok {
+		t.Fatalf("workload %q exposes no FlowDef", name)
+	}
+	def, err := fd.FlowDef()
+	if err != nil {
+		t.Fatalf("FlowDef(%s): %v", name, err)
+	}
+	return def
+}
+
+// checkGolden compares got against a golden file, regenerating it when
+// STATEBENCH_GRAPH_REGEN=1.
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("..", "..", "testdata", "golden", name)
+	if os.Getenv("STATEBENCH_GRAPH_REGEN") == "1" {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("regenerated %s", path)
+		return
+	}
+	if want := golden(t, name); got != want {
+		t.Fatalf("%s drifted\n--- got ---\n%s\n--- want ---\n%s", name, got, want)
+	}
+}
+
+func TestGraphDOTGolden(t *testing.T) {
+	checkGolden(t, "graph_mapreduce.dot", flow.DOT(flowDefOf(t, "mapreduce")))
+}
+
+func TestGraphSummaryGolden(t *testing.T) {
+	var buf bytes.Buffer
+	writeLoweringSummary(&buf, flowDefOf(t, "mapreduce"))
+	checkGolden(t, "graph_mapreduce_summary.txt", buf.String())
+}
+
+// TestGraphProgramsGolden pins every style's compiled program for the
+// mapreduce workload, separated by headers, as one golden file.
+func TestGraphProgramsGolden(t *testing.T) {
+	def := flowDefOf(t, "mapreduce")
+	var buf bytes.Buffer
+	for _, impl := range core.RegisteredImpls() {
+		l, ok := flow.LowererFor(impl)
+		if !ok || !flow.Supports(def, impl) {
+			continue
+		}
+		prog, err := l.Program(def)
+		if err != nil {
+			t.Fatalf("%s: Program: %v", impl, err)
+		}
+		fmt.Fprintf(&buf, "==== %s ====\n%s\n", impl, prog)
+	}
+	checkGolden(t, "programs_mapreduce.txt", buf.String())
+}
+
+// TestGraphLoweringIsDeterministic compiles every workload's IR twice
+// per supported style and demands byte-identical programs.
+func TestGraphLoweringIsDeterministic(t *testing.T) {
+	names := make([]string, 0, len(traceWorkflows))
+	for n := range traceWorkflows {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		def := flowDefOf(t, name)
+		for _, impl := range core.RegisteredImpls() {
+			l, ok := flow.LowererFor(impl)
+			if !ok || !flow.Supports(def, impl) {
+				continue
+			}
+			p1, err := l.Program(def)
+			if err != nil {
+				t.Fatalf("%s/%s: Program: %v", name, impl, err)
+			}
+			if p1 == "" {
+				t.Fatalf("%s/%s: empty program", name, impl)
+			}
+			p2, err := l.Program(def)
+			if err != nil {
+				t.Fatalf("%s/%s: Program (second compile): %v", name, impl, err)
+			}
+			if p1 != p2 {
+				t.Fatalf("%s/%s: two compilations of the same IR differ", name, impl)
+			}
+		}
+	}
+}
+
+// TestGraphCommandRejectsUnknownWorkload covers the CLI error path.
+func TestGraphCommandRenderedDOTParsesAsNonEmpty(t *testing.T) {
+	for name := range traceWorkflows {
+		dot := flow.DOT(flowDefOf(t, name))
+		if len(dot) < 100 || dot[:8] != "digraph " {
+			t.Fatalf("%s: DOT output looks wrong: %.60q", name, dot)
+		}
+	}
+}

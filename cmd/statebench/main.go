@@ -7,6 +7,7 @@
 //	statebench trace -impl <style> -workflow <wf> [-runs N] [-o trace.json]
 //	statebench chaos -impl <style>|all -workflow <wf> [-seed N] [-faultrate R]
 //	statebench traffic [-tenants N] [-rate R] [-duration D] [-process P] [-shards S]
+//	statebench graph [-o FILE] <workflow>
 //	statebench providers
 //
 // With no arguments every experiment runs in paper order. Experiments:
@@ -25,6 +26,11 @@
 // The chaos subcommand runs one workflow under a deterministic injected
 // fault schedule and prints the reliability table (success rate,
 // retries, redeliveries, dead letters, tail/cost inflation).
+//
+// The graph subcommand renders a workflow's provider-neutral IR as
+// Graphviz DOT plus a one-line-per-style lowering summary derived from
+// the lowerer registry (compiled program size, provider caps, or the
+// reason a style is excluded) and the static payload lint.
 //
 // The traffic subcommand drives open-loop arrival streams (Poisson,
 // bursty MMPP, diurnal) over a large tenant population — a million by
@@ -81,6 +87,10 @@ func main() {
 	}
 	if len(os.Args) > 1 && os.Args[1] == "traffic" {
 		runTraffic(os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "graph" {
+		runGraph(os.Args[2:])
 		return
 	}
 

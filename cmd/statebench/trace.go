@@ -12,18 +12,21 @@ import (
 	"statebench/internal/obs/metrics"
 	"statebench/internal/obs/span"
 	"statebench/internal/obs/tseries"
+	"statebench/internal/workloads/mapreduce"
 	"statebench/internal/workloads/mlinfer"
 	"statebench/internal/workloads/mlpipe"
 	"statebench/internal/workloads/mltrain"
 	"statebench/internal/workloads/videoproc"
 )
 
-// traceWorkflows maps the -workflow flag values to constructors.
+// traceWorkflows maps the -workflow flag values to constructors (shared
+// by the trace, chaos, and graph subcommands).
 var traceWorkflows = map[string]func() core.Workflow{
 	"ml-training-small": func() core.Workflow { return mltrain.New(mlpipe.Small) },
 	"ml-training-large": func() core.Workflow { return mltrain.New(mlpipe.Large) },
 	"ml-inference":      func() core.Workflow { return mlinfer.New(mlpipe.Small) },
 	"video":             func() core.Workflow { return videoproc.New(20) },
+	"mapreduce":         func() core.Workflow { return mapreduce.New() },
 }
 
 func traceWorkflowNames() string {

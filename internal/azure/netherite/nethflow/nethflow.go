@@ -1,0 +1,29 @@
+// Package nethflow registers the Netherite variants of the Durable
+// lowerings: the same generic orchestrator/entity compilation as
+// azureflow, targeted at the Netherite task hub's partitioned commit
+// log instead of the classic storage-backed hub. Registering here (not
+// in azureflow) keeps the classic Azure build free of the Netherite
+// backend unless a campaign links it in.
+package nethflow
+
+import (
+	"statebench/internal/azure/azureflow"
+	"statebench/internal/azure/netherite"
+	"statebench/internal/core"
+	"statebench/internal/flow"
+)
+
+// providerName is the registered Netherite provider display name.
+const providerName = "Netherite"
+
+func init() {
+	flow.RegisterLowerer(azureflow.NewDurableLowerer(netherite.Dorch, flow.DurableOrch, "n", providerName, target))
+	flow.RegisterLowerer(azureflow.NewDurableLowerer(netherite.Dent, flow.DurableEnt, "n", providerName, target))
+}
+
+// target resolves the Netherite hub backend lazily, so campaigns that
+// never deploy a Netherite style never construct it.
+func target(env *core.Env) azureflow.DurableTarget {
+	nc := netherite.FromEnv(env)
+	return azureflow.DurableTarget{Hub: nc.Hub, Client: nc.Client, Blob: nc.Blob}
+}

@@ -6,6 +6,7 @@ import (
 	"statebench/internal/chaos"
 	"statebench/internal/core"
 	"statebench/internal/parallel"
+	"statebench/internal/workloads/mapreduce"
 	"statebench/internal/workloads/mlinfer"
 	"statebench/internal/workloads/mlpipe"
 	"statebench/internal/workloads/mltrain"
@@ -47,6 +48,9 @@ func CrossCloud(o Options) (*Report, error) {
 	add(mltrain.New(mlpipe.Small), o.Iters)
 	add(mlinfer.New(mlpipe.Small), o.Iters)
 	add(videoproc.New(10), o.VideoIters)
+	// MapReduce is IR-only (no paper styles): every style it lands on
+	// here was discovered from the lowerer registry via ExtraImpls.
+	add(mapreduce.New(), o.Iters)
 
 	r := &Report{
 		ID: "crosscloud",

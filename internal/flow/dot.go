@@ -1,0 +1,117 @@
+package flow
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DOT renders a definition's graphs as a single Graphviz digraph, one
+// cluster per lowering class, deterministically (fixed class order,
+// node order as registered). Task nodes show their platform function
+// or entity operation; fan-out nodes show their iterator as a dashed
+// expansion edge.
+func DOT(def *Definition) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "digraph %q {\n", def.Name)
+	sb.WriteString("  rankdir=LR;\n")
+	sb.WriteString("  node [fontname=\"Helvetica\", shape=box];\n")
+	for _, class := range classOrder {
+		g, ok := def.Graphs[class]
+		if !ok {
+			continue
+		}
+		fmt.Fprintf(&sb, "  subgraph \"cluster_%s\" {\n", class)
+		label := string(class)
+		if len(g.Variants) > 1 {
+			label += " (variants: " + strings.Join(g.Variants, ",") + ")"
+		}
+		fmt.Fprintf(&sb, "    label=%q;\n", label)
+		writeDotGraph(&sb, string(class), g, "    ")
+		sb.WriteString("  }\n")
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+func dotID(prefix, name string) string {
+	return prefix + "/" + name
+}
+
+func writeDotGraph(sb *strings.Builder, prefix string, g *Graph, indent string) {
+	for _, n := range g.Nodes {
+		writeDotNode(sb, prefix, n, indent)
+	}
+	// Entry marker.
+	fmt.Fprintf(sb, "%s%q [shape=point];\n", indent, dotID(prefix, "@start"))
+	fmt.Fprintf(sb, "%s%q -> %q;\n", indent, dotID(prefix, "@start"), dotID(prefix, g.Start))
+	for _, n := range g.Nodes {
+		if n.Next != "" {
+			fmt.Fprintf(sb, "%s%q -> %q;\n", indent, dotID(prefix, n.Name), dotID(prefix, n.Next))
+		}
+		for _, c := range n.Cases {
+			fmt.Fprintf(sb, "%s%q -> %q [label=%q];\n", indent, dotID(prefix, n.Name), dotID(prefix, c.To), caseLabel(c))
+		}
+		if n.Default != "" {
+			fmt.Fprintf(sb, "%s%q -> %q [label=\"default\"];\n", indent, dotID(prefix, n.Name), dotID(prefix, n.Default))
+		}
+	}
+}
+
+func writeDotNode(sb *strings.Builder, prefix string, n *Node, indent string) {
+	id := dotID(prefix, n.Name)
+	switch n.Kind {
+	case KindTask:
+		label := n.Name
+		switch {
+		case n.Pure:
+			label += "\\n(pure " + n.Stage + ")"
+		case n.Entity != "":
+			label += "\\n" + n.Entity + "." + n.Op
+		default:
+			label += "\\n" + n.Fn
+		}
+		shape := "box"
+		if n.Entity != "" {
+			shape = "cylinder"
+		}
+		fmt.Fprintf(sb, "%s%q [label=%q, shape=%s];\n", indent, id, label, shape)
+	case KindMap:
+		width := "N"
+		if n.MaxConcurrency > 0 {
+			width = fmt.Sprintf("N (max %d)", n.MaxConcurrency)
+		}
+		if n.Serial {
+			width += " serial"
+		}
+		fmt.Fprintf(sb, "%s%q [label=%q, shape=box3d];\n", indent, id, n.Name+"\\nmap x "+width)
+		writeDotNode(sb, prefix, n.Iter, indent)
+		fmt.Fprintf(sb, "%s%q -> %q [style=dashed, label=\"each\"];\n", indent, id, dotID(prefix, n.Iter.Name))
+	case KindParallel:
+		fmt.Fprintf(sb, "%s%q [label=%q, shape=box3d];\n", indent, id, fmt.Sprintf("%s\\nparallel x %d", n.Name, len(n.Branches)))
+		for _, b := range n.Branches {
+			writeDotNode(sb, prefix, b, indent)
+			fmt.Fprintf(sb, "%s%q -> %q [style=dashed];\n", indent, id, dotID(prefix, b.Name))
+		}
+	case KindChoice:
+		fmt.Fprintf(sb, "%s%q [label=%q, shape=diamond];\n", indent, id, n.Name)
+	case KindWait:
+		fmt.Fprintf(sb, "%s%q [label=%q, shape=circle];\n", indent, id, fmt.Sprintf("%s\\nwait %gs", n.Name, n.WaitSeconds))
+	case KindSub:
+		fmt.Fprintf(sb, "%s%q [label=%q, shape=folder];\n", indent, id, n.Name+"\\nsub")
+		sub := prefix + "/" + n.Name
+		writeDotGraph(sb, sub, n.SubGraph, indent)
+		fmt.Fprintf(sb, "%s%q -> %q [style=dotted];\n", indent, id, dotID(sub, "@start"))
+	}
+}
+
+func caseLabel(c ChoiceCase) string {
+	switch {
+	case c.NumLT != nil:
+		return fmt.Sprintf("%s < %g", c.Var, *c.NumLT)
+	case c.NumGTE != nil:
+		return fmt.Sprintf("%s >= %g", c.Var, *c.NumGTE)
+	case c.StrEq != nil:
+		return fmt.Sprintf("%s == %q", c.Var, *c.StrEq)
+	}
+	return c.Var
+}

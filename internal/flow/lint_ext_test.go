@@ -1,0 +1,101 @@
+package flow_test
+
+// External test: links the real provider lowerers so the payload lint
+// runs against the registered caps (256 KB on SFN, 64 KB on Durable
+// and storage queues) rather than stand-ins.
+
+import (
+	"testing"
+
+	"statebench/internal/flow"
+	_ "statebench/internal/flow/lowerers"
+)
+
+// lintDef builds a definition whose machine graph carries a 300 KB
+// edge (over SFN's 256 KB cap, under GCP Workflows' 512 KB cap) and
+// whose queue and durable graphs carry a 70 KB edge (over the Azure
+// 64 KB cap) — plus edges sitting exactly AT each cap, which must not
+// be flagged: the lint bounds strictly-over estimates only, because
+// riding the cap is exactly the regime the paper measures.
+func lintDef() *flow.Definition {
+	node := func(name, next string, in, out int) *flow.Node {
+		return &flow.Node{
+			Name: name, Kind: flow.KindTask, Fn: "fn-" + name, Stage: "s",
+			Next: next, InEst: in, OutEst: out,
+		}
+	}
+	def := &flow.Definition{
+		Name: "lint-probe",
+		Graphs: map[flow.Class]*flow.Graph{
+			flow.Machine: {
+				Class: flow.Machine, Start: "A",
+				Nodes: []*flow.Node{
+					node("A", "B", 0, 300_000),
+					node("B", "AtCap", 300_000, 0),
+					node("AtCap", "", 256<<10, 256<<10),
+				},
+			},
+			flow.Queue: {
+				Class: flow.Queue, Start: "Q1",
+				Nodes: []*flow.Node{
+					node("Q1", "Q2", 0, 70_000),
+					node("Q2", "Q3", 70_000, 0),
+					node("Q3", "", 64<<10, 64<<10),
+				},
+			},
+			flow.DurableOrch: {
+				Class: flow.DurableOrch, Start: "D1",
+				Variants: []string{"", "n"},
+				Nodes: []*flow.Node{
+					node("D1", "D2", 0, 70_000),
+					node("D2", "", 70_000, 0),
+				},
+			},
+		},
+	}
+	return def
+}
+
+// TestLintReportGolden pins the lint output byte for byte: which
+// styles flag which edges, in registry order, with the 256 KB and
+// 64 KB caps spelled out — and silence for the at-cap edges.
+func TestLintReportGolden(t *testing.T) {
+	def := lintDef()
+	if err := flow.Validate(def); err != nil {
+		t.Fatalf("probe definition is invalid: %v", err)
+	}
+	want := `AWS-Step [machine]: edge A -> carries ~300000 B, provider cap 262144 B
+AWS-Step [machine]: edge -> B carries ~300000 B, provider cap 262144 B
+Az-Queue [queue]: edge Q1 -> carries ~70000 B, provider cap 65536 B
+Az-Queue [queue]: edge -> Q2 carries ~70000 B, provider cap 65536 B
+Az-Dorch [dorch]: edge D1 -> carries ~70000 B, provider cap 65536 B
+Az-Dorch [dorch]: edge -> D2 carries ~70000 B, provider cap 65536 B
+Az-Dorch-N [dorch]: edge D1 -> carries ~70000 B, provider cap 65536 B
+Az-Dorch-N [dorch]: edge -> D2 carries ~70000 B, provider cap 65536 B
+`
+	if got := flow.LintReport(def); got != want {
+		t.Fatalf("lint report drifted:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestLintIsAdvisory: an over-cap estimate must not block lowering —
+// Supports and Deploy ignore the lint (the paper deliberately measures
+// behaviour at the caps).
+func TestLintIsAdvisory(t *testing.T) {
+	def := lintDef()
+	if !flow.Supports(def, "AWS-Step") {
+		t.Fatal("a lint finding blocked Supports; the lint must stay advisory")
+	}
+}
+
+func TestLintCleanDefinitionReportsClean(t *testing.T) {
+	def := lintDef()
+	for _, g := range def.Graphs {
+		for _, n := range g.Nodes {
+			n.InEst, n.OutEst = 0, 0
+		}
+	}
+	if got := flow.LintReport(def); got != "(payload lint clean)\n" {
+		t.Fatalf("clean definition produced findings:\n%s", got)
+	}
+}

@@ -1,0 +1,12 @@
+// Package lowerers links every per-provider flow compiler into a
+// binary. Workload packages that define themselves in the IR import it
+// blank — the same one-line opt-in the core provider registry uses —
+// so adding a backend never touches workload code.
+package lowerers
+
+import (
+	_ "statebench/internal/aws/awsflow"
+	_ "statebench/internal/azure/azureflow"
+	_ "statebench/internal/azure/netherite/nethflow"
+	_ "statebench/internal/gcp/gcpflow"
+)

@@ -1,0 +1,337 @@
+package mlinfer
+
+import (
+	"fmt"
+	"time"
+
+	"statebench/internal/flow"
+	"statebench/internal/payload"
+	"statebench/internal/workloads/mlpipe"
+)
+
+// gcpSpeed scales the calibrated AWS-speed compute costs to a gen-1
+// Cloud Functions 2 GB instance (2.4 GHz fractional vCPU).
+const gcpSpeed = 0.85
+
+// estMsg approximates the {"run","key"} control message each edge
+// carries for the static payload lint; batches and artifacts travel by
+// blob key.
+const estMsg = 96
+
+// definition builds the provider-neutral IR for the ML inference
+// workflow. arts may be nil for static inspection; binding stages
+// requires real artifacts.
+func definition(size mlpipe.DatasetSize, arts *mlpipe.Artifacts) (*flow.Definition, error) {
+	sfx := "-" + string(size)
+	entSfx := "-inf-" + string(size)
+	perFnCode := 271.2 / 4
+
+	machineNode := func(name, fn, stage, next string) *flow.Node {
+		return &flow.Node{
+			Name: name, Kind: flow.KindTask, Next: next,
+			Fn: fn + sfx, Stage: stage,
+			ConsumedMemMB: mlpipe.MemInference, CodeSizeMB: perFnCode,
+			InEst: estMsg, OutEst: estMsg, EstSeconds: 10,
+		}
+	}
+	machine := &flow.Graph{
+		Class: flow.Machine,
+		Start: "Encode",
+		Nodes: []*flow.Node{
+			machineNode("Encode", "inf-encode", "encode", "Scale"),
+			machineNode("Scale", "inf-scale", "scale", "Decompose"),
+			machineNode("Decompose", "inf-decompose", "decompose", "Infer"),
+			machineNode("Infer", "inf-predict", "predict", ""),
+		},
+		MachineName: "ml-inference-" + string(size),
+		Comment:     "ML inference workflow (paper Fig 4, AWS variant)",
+		FuncCount:   4,
+		CodeSizeMB:  271.2,
+	}
+
+	entID := func(name string) string { return name + entSfx }
+	entities := func() []flow.EntityDecl {
+		decls := []flow.EntityDecl{
+			{Name: entID("Encoding"), ConsumedMemMB: mlpipe.MemInference,
+				Ops: map[string]string{"encode": "ent-encode"}, GetOp: "get", PreloadKey: "shared"},
+			{Name: entID("Scalar"), ConsumedMemMB: mlpipe.MemInference,
+				Ops: map[string]string{"scale": "ent-scale"}, GetOp: "get", PreloadKey: "shared"},
+			{Name: entID("DReduction"), ConsumedMemMB: mlpipe.MemInference,
+				Ops: map[string]string{"decompose": "ent-decompose"}, GetOp: "get", PreloadKey: "shared"},
+			{Name: entID("ModelSelection"), ConsumedMemMB: mlpipe.MemInference,
+				Ops: map[string]string{"predict": "ent-predict"}, GetOp: "get", PreloadKey: "best_fit"},
+		}
+		if arts != nil {
+			decls[0].PreloadState = arts.EncoderBytes
+			decls[1].PreloadState = arts.ScalerBytes
+			decls[2].PreloadState = arts.PCABytes
+			decls[3].PreloadState = marshal(msg{Key: "models/best"})
+		}
+		return decls
+	}
+
+	getBranch := func(name, entity, key string) *flow.Node {
+		return &flow.Node{
+			Name: name, Kind: flow.KindTask, Input: flow.InputNone,
+			Entity: entID(entity), EntityKey: key, Op: "get",
+			OutEst: estMsg,
+		}
+	}
+	dorch := &flow.Graph{
+		Class: flow.DurableOrch,
+		Start: "GetArtifacts",
+		Nodes: []*flow.Node{
+			{
+				// Fetch the pre-trained object references from the
+				// entities (Fig 4 lines 9–12) — issued in parallel.
+				Name: "GetArtifacts", Kind: flow.KindParallel, Next: "Infer",
+				Join: flow.JoinDiscard,
+				Branches: []*flow.Node{
+					getBranch("GetEncoder", "Encoding", "shared"),
+					getBranch("GetScaler", "Scalar", "shared"),
+					getBranch("GetPCA", "DReduction", "shared"),
+					getBranch("GetModel", "ModelSelection", "best_fit"),
+				},
+			},
+			{
+				// Apply everything in the stateless activity (the
+				// paper's §IV optimization).
+				Name: "Infer", Kind: flow.KindTask,
+				Fn: "dorch-infer" + entSfx, Stage: "dorch-infer",
+				ConsumedMemMB: mlpipe.MemInference,
+				InEst:         estMsg, OutEst: estMsg, EstSeconds: 15,
+			},
+		},
+		MachineName:       "ml-infer-dorch" + entSfx,
+		OrchConsumedMemMB: mlpipe.MemOrch,
+		FuncCount:         6,
+		CodeSizeMB:        304,
+		Entities:          entities(),
+	}
+
+	entChain := func(name, entity, key, op, next string) *flow.Node {
+		return &flow.Node{
+			Name: name, Kind: flow.KindTask, Next: next,
+			Entity: entID(entity), EntityKey: key, Op: op,
+			InEst: estMsg, OutEst: estMsg, EstSeconds: 15,
+		}
+	}
+	dent := &flow.Graph{
+		Class: flow.DurableEnt,
+		Start: "Encode",
+		Nodes: []*flow.Node{
+			entChain("Encode", "Encoding", "shared", "encode", "Scale"),
+			entChain("Scale", "Scalar", "shared", "scale", "Decompose"),
+			entChain("Decompose", "DReduction", "shared", "decompose", "Predict"),
+			entChain("Predict", "ModelSelection", "best_fit", "predict", ""),
+		},
+		MachineName:       "ml-infer-dent" + entSfx,
+		OrchConsumedMemMB: mlpipe.MemOrch,
+		FuncCount:         7,
+		CodeSizeMB:        304,
+		Entities:          entities(),
+	}
+
+	if arts != nil {
+		machine.Preloads = []flow.Preload{
+			{Key: testKey(size), Data: batchCSV(arts)},
+			{Key: "models/encoder", Data: arts.EncoderBytes},
+			{Key: "models/scaler", Data: arts.ScalerBytes},
+			{Key: "models/pca", Data: arts.PCABytes},
+			{Key: "models/best", Data: arts.ModelBytes[arts.BestName]},
+		}
+		durablePre := []flow.Preload{
+			{Key: "models/best", Data: arts.ModelBytes[arts.BestName]},
+			{Key: testKey(size), Data: batchCSV(arts)},
+		}
+		dorch.Preloads = durablePre
+		dent.Preloads = durablePre
+	}
+
+	def := &flow.Definition{
+		Name:      "ml-inference-" + string(size),
+		ErrPrefix: "mlinfer",
+		Graphs: map[flow.Class]*flow.Graph{
+			flow.Machine:     machine,
+			flow.DurableOrch: dorch,
+			flow.DurableEnt:  dent,
+		},
+		Bind: bindStages(size, arts),
+		Entry: func(_ flow.Class, run int64) []byte {
+			return marshal(msg{Run: run, Key: testKey(size)})
+		},
+		EntryMap: func(run int64) map[string]any {
+			return map[string]any{"run": float64(run), "key": testKey(size)}
+		},
+		Speeds: map[string]float64{
+			"AWS":   mlpipe.AWSSpeed,
+			"Azure": mlpipe.AzureSpeed,
+			"GCP":   gcpSpeed,
+		},
+	}
+	if err := flow.Validate(def); err != nil {
+		return nil, err
+	}
+	return def, nil
+}
+
+// costsScope reproduces the per-deployment cost-model RNG scopes of
+// the pre-IR implementations.
+func costsScope(b flow.Binding) (scope string, speed float64, err error) {
+	switch {
+	case b.Provider == "AWS":
+		return "aws-mlinfer", mlpipe.AWSSpeed, nil
+	case b.Provider == "GCP":
+		return "gcp-mlinfer", gcpSpeed, nil
+	case b.Class == flow.DurableOrch:
+		return "az-mlinfer-dorch", mlpipe.AzureSpeed, nil
+	case b.Class == flow.DurableEnt:
+		return "az-mlinfer-dent", mlpipe.AzureSpeed, nil
+	}
+	return "", 0, fmt.Errorf("mlinfer: no cost scope for %s/%s", b.Provider, b.Class)
+}
+
+// bindStages builds the per-deployment stage closures: the exact
+// pre-IR handler bodies, parameterized by the binding's blob store,
+// cost scope, and class.
+func bindStages(size mlpipe.DatasetSize, arts *mlpipe.Artifacts) func(b flow.Binding) (*flow.Stages, error) {
+	return func(b flow.Binding) (*flow.Stages, error) {
+		if arts == nil {
+			return nil, fmt.Errorf("mlinfer: binding requires trained artifacts")
+		}
+		scope, speed, err := costsScope(b)
+		if err != nil {
+			return nil, err
+		}
+		store := b.Blob
+		costs := mlpipe.NewCosts(b.Env.K, scope, speed)
+		third := func() time.Duration { return costs.InferencePrep(size) / 3 }
+
+		// machineStage is the Fig 4 AWS/GCP state body: fetch the input
+		// frame and the artifact from remote storage, deserialize, run a
+		// third of the feature-engineering compute, stage the output.
+		machineStage := func(name, artifact string, outBytes int) flow.StageFn {
+			return func(a flow.Act, input []byte) ([]byte, error) {
+				m, err := parse(input)
+				if err != nil {
+					return nil, err
+				}
+				p := a.Proc()
+				if _, err := store.Get(p, m.Key); err != nil {
+					return nil, err
+				}
+				art, err := store.Get(p, artifact)
+				if err != nil {
+					return nil, err
+				}
+				a.Busy(rehydrate(len(art)))
+				a.Busy(third())
+				key := runKey(m.Run, name)
+				store.PutShared(p, key, payload.Zeros(outBytes))
+				return marshal(msg{Run: m.Run, Key: key}), nil
+			}
+		}
+
+		// entStage runs one feature-engineering op inside a serialized
+		// entity (Az-Dent, with the paper's §V-A compute penalty); on the
+		// get-only Az-Dorch deployment compute ops are rejected.
+		entStage := func(entity, op, outNm string, outBytes int) flow.StageFn {
+			return func(a flow.Act, input []byte) ([]byte, error) {
+				if b.Class != flow.DurableEnt {
+					return nil, fmt.Errorf("mlinfer: %s: compute op %q on get-only deployment", entity, op)
+				}
+				m, err := parse(input)
+				if err != nil {
+					return nil, err
+				}
+				p := a.Proc()
+				if _, err := store.Get(p, m.Key); err != nil {
+					return nil, err
+				}
+				a.Busy(time.Duration(float64(costs.InferencePrep(size)) / 3 * entityComputePenalty))
+				key := runKey(m.Run, outNm)
+				store.PutShared(p, key, payload.Zeros(outBytes))
+				return marshal(msg{Run: m.Run, Key: key}), nil
+			}
+		}
+
+		entSfx := "-inf-" + string(size)
+		warm := false
+		tasks := map[string]flow.StageFn{
+			"encode":    machineStage("encoded", "models/encoder", batchEncodedBytes()),
+			"scale":     machineStage("scaled", "models/scaler", batchEncodedBytes()),
+			"decompose": machineStage("projected", "models/pca", batchProjectedBytes()),
+			"predict": func(a flow.Act, input []byte) ([]byte, error) {
+				m, err := parse(input)
+				if err != nil {
+					return nil, err
+				}
+				p := a.Proc()
+				if _, err := store.Get(p, m.Key); err != nil {
+					return nil, err
+				}
+				model, err := store.Get(p, "models/best")
+				if err != nil {
+					return nil, err
+				}
+				a.Busy(rehydrate(len(model)))
+				a.Busy(costs.Predict(size))
+				key := runKey(m.Run, "predictions")
+				store.PutShared(p, key, payload.Zeros(resultBytes(size)))
+				return marshal(msg{Run: m.Run, Key: key}), nil
+			},
+			// The activity keeps the deserialized objects in process
+			// globals after the first run (warm Azure Functions
+			// instances), so runs pay only the compute.
+			"dorch-infer": func(a flow.Act, input []byte) ([]byte, error) {
+				m, err := parse(input)
+				if err != nil {
+					return nil, err
+				}
+				p := a.Proc()
+				if _, err := store.Get(p, m.Key); err != nil {
+					return nil, err
+				}
+				if !warm {
+					model, err := store.Get(p, "models/best")
+					if err != nil {
+						return nil, err
+					}
+					a.Busy(rehydrate(len(model) + len(arts.EncoderBytes) + len(arts.ScalerBytes) + len(arts.PCABytes)))
+					warm = true
+				}
+				a.Busy(costs.InferencePrep(size))
+				a.Busy(costs.Predict(size))
+				key := runKey(m.Run, "predictions")
+				store.PutShared(p, key, payload.Zeros(resultBytes(size)))
+				return marshal(msg{Run: m.Run, Key: key}), nil
+			},
+			"ent-encode":    entStage("Encoding"+entSfx, "encode", "encoded", batchEncodedBytes()),
+			"ent-scale":     entStage("Scalar"+entSfx, "scale", "scaled", batchEncodedBytes()),
+			"ent-decompose": entStage("DReduction"+entSfx, "decompose", "projected", batchProjectedBytes()),
+			// Prediction inside the ModelSelection entity applies the warm
+			// in-memory model (serialized, so the penalty applies).
+			"ent-predict": func(a flow.Act, input []byte) ([]byte, error) {
+				m, err := parse(input)
+				if err != nil {
+					return nil, err
+				}
+				p := a.Proc()
+				if _, err := store.Get(p, m.Key); err != nil {
+					return nil, err
+				}
+				a.Busy(time.Duration(float64(costs.Predict(size)) * entityComputePenalty))
+				key := runKey(m.Run, "predictions")
+				store.PutShared(p, key, payload.Zeros(resultBytes(size)))
+				return marshal(msg{Run: m.Run, Key: key}), nil
+			},
+		}
+		return &flow.Stages{Tasks: tasks}, nil
+	}
+}
+
+// FlowDef exposes the workload's IR for static consumers; stages are
+// unbound.
+func (w *Workflow) FlowDef() (*flow.Definition, error) {
+	return definition(w.Size, nil)
+}

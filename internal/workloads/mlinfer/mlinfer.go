@@ -14,6 +14,11 @@
 // serialized entities (Fig 4's call_entity chain), which the paper
 // found ~24% slower than Az-Dorch's get-then-stateless-activity
 // optimization (§IV).
+//
+// The workflow is defined once as a provider-neutral flow graph
+// (def.go); per-provider deployments are produced by the registered
+// flow lowerers, so this package contains zero provider-specific
+// deployment code.
 package mlinfer
 
 import (
@@ -21,13 +26,9 @@ import (
 	"fmt"
 	"time"
 
-	"statebench/internal/aws/lambda"
-	"statebench/internal/aws/sfn"
-	"statebench/internal/azure/durable"
-	"statebench/internal/azure/functions"
 	"statebench/internal/core"
-	"statebench/internal/payload"
-	"statebench/internal/sim"
+	"statebench/internal/flow"
+	_ "statebench/internal/flow/lowerers"
 	"statebench/internal/workloads/mlpipe"
 )
 
@@ -60,34 +61,28 @@ func (w *Workflow) Impls() []core.Impl {
 	return []core.Impl{core.AWSStep, core.AzDorch, core.AzDent}
 }
 
-// ExtraImpls implements core.ExtendedWorkflow: deployable styles
-// beyond the Fig 9 set, contributed by provider-specific files.
-func (w *Workflow) ExtraImpls() []core.Impl { return extraImpls }
-
-// deployFunc installs the workflow for one style.
-type deployFunc func(env *core.Env, size mlpipe.DatasetSize, arts *mlpipe.Artifacts) (*core.Deployment, error)
-
-// deployers routes each style to its deployment routine; provider
-// files append additional entries from init.
-var deployers = map[core.Impl]deployFunc{
-	core.AWSStep: deployAWSStep,
-	core.AzDorch: deployAzDorch,
-	core.AzDent:  deployAzDent,
+// ExtraImpls implements core.ExtendedWorkflow: every registered
+// lowerer the IR supports beyond the Fig 9 set, discovered from the
+// flow registry.
+func (w *Workflow) ExtraImpls() []core.Impl {
+	def, err := definition(w.Size, nil)
+	if err != nil {
+		return nil
+	}
+	return flow.Extras(def, w.Impls())
 }
 
-var extraImpls []core.Impl
-
-// Deploy implements core.Workflow.
+// Deploy implements core.Workflow by lowering the IR definition.
 func (w *Workflow) Deploy(env *core.Env, impl core.Impl) (*core.Deployment, error) {
-	fn, ok := deployers[impl]
-	if !ok {
-		return nil, &core.UnsupportedImplError{Workflow: w.Name(), Impl: impl}
-	}
 	arts, err := mlpipe.TrainWith(env.Payload, w.Size)
 	if err != nil {
 		return nil, fmt.Errorf("mlinfer: prepare artifacts: %w", err)
 	}
-	return fn(env, w.Size, arts)
+	def, err := definition(w.Size, arts)
+	if err != nil {
+		return nil, err
+	}
+	return flow.Deploy(env, def, impl)
 }
 
 func testKey(size mlpipe.DatasetSize) string { return "datasets/cars-batch-" + string(size) + ".csv" }
@@ -124,337 +119,3 @@ func runKey(run int64, name string) string { return fmt.Sprintf("tmp/infer%06d/%
 // resultBytes is the prediction output payload size (one value per
 // batch row).
 func resultBytes(mlpipe.DatasetSize) int { return mlpipe.InferBatchRows * 12 }
-
-// deployAWSStep installs the Step Functions inference chain: Encode →
-// Scale → Decompose → Infer, every state fetching its artifact from S3
-// and the final state fetching + deserializing the model.
-func deployAWSStep(env *core.Env, size mlpipe.DatasetSize, arts *mlpipe.Artifacts) (*core.Deployment, error) {
-	costs := mlpipe.NewCosts(env.K, "aws-mlinfer", mlpipe.AWSSpeed)
-	s3 := env.AWS.S3
-	s3.Preload(testKey(size), batchCSV(arts))
-	s3.Preload("models/encoder", arts.EncoderBytes)
-	s3.Preload("models/scaler", arts.ScalerBytes)
-	s3.Preload("models/pca", arts.PCABytes)
-	s3.Preload("models/best", arts.ModelBytes[arts.BestName])
-	sfx := "-" + string(size)
-
-	stage := func(name, artifact string, busy func() time.Duration, inBytes, outBytes int) lambda.Handler {
-		return func(ctx *lambda.Context, input []byte) ([]byte, error) {
-			m, err := parse(input)
-			if err != nil {
-				return nil, err
-			}
-			p := ctx.Proc()
-			if _, err := s3.Get(p, m.Key); err != nil {
-				return nil, err
-			}
-			art, err := s3.Get(p, artifact)
-			if err != nil {
-				return nil, err
-			}
-			ctx.Busy(rehydrate(len(art)))
-			ctx.Busy(busy())
-			key := runKey(m.Run, name)
-			s3.PutShared(p, key, payload.Zeros(outBytes))
-			return marshal(msg{Run: m.Run, Key: key}), nil
-		}
-	}
-
-	type st struct {
-		name string
-		h    lambda.Handler
-	}
-	third := func() time.Duration { return costs.InferencePrep(size) / 3 }
-	stages := []st{
-		{"inf-encode" + sfx, stage("encoded", "models/encoder", third, len(batchCSV(arts)), batchEncodedBytes())},
-		{"inf-scale" + sfx, stage("scaled", "models/scaler", third, batchEncodedBytes(), batchEncodedBytes())},
-		{"inf-decompose" + sfx, stage("projected", "models/pca", third, batchEncodedBytes(), batchProjectedBytes())},
-	}
-	for _, s := range stages {
-		if _, err := env.AWS.Lambda.Register(lambda.Config{
-			Name: s.name, MemoryMB: 1536, ConsumedMemMB: mlpipe.MemInference, CodeSizeMB: 271.2 / 4, Handler: s.h,
-		}); err != nil {
-			return nil, err
-		}
-	}
-	// Final state: fetch + deserialize the model from S3 (the paper's
-	// "slow remote storage" path), then predict.
-	if _, err := env.AWS.Lambda.Register(lambda.Config{
-		Name: "inf-predict" + sfx, MemoryMB: 1536, ConsumedMemMB: mlpipe.MemInference, CodeSizeMB: 271.2 / 4,
-		Handler: func(ctx *lambda.Context, input []byte) ([]byte, error) {
-			m, err := parse(input)
-			if err != nil {
-				return nil, err
-			}
-			p := ctx.Proc()
-			if _, err := s3.Get(p, m.Key); err != nil {
-				return nil, err
-			}
-			model, err := s3.Get(p, "models/best")
-			if err != nil {
-				return nil, err
-			}
-			ctx.Busy(rehydrate(len(model)))
-			ctx.Busy(costs.Predict(size))
-			key := runKey(m.Run, "predictions")
-			s3.PutShared(p, key, payload.Zeros(resultBytes(size)))
-			return marshal(msg{Run: m.Run, Key: key}), nil
-		},
-	}); err != nil {
-		return nil, err
-	}
-
-	machine := &sfn.StateMachine{
-		Comment: "ML inference workflow (paper Fig 4, AWS variant)",
-		StartAt: "Encode",
-		States: map[string]*sfn.State{
-			"Encode":    {Type: sfn.TypeTask, Resource: "inf-encode" + sfx, Next: "Scale"},
-			"Scale":     {Type: sfn.TypeTask, Resource: "inf-scale" + sfx, Next: "Decompose"},
-			"Decompose": {Type: sfn.TypeTask, Resource: "inf-decompose" + sfx, Next: "Infer"},
-			"Infer":     {Type: sfn.TypeTask, Resource: "inf-predict" + sfx, End: true},
-		},
-	}
-	smName := "ml-inference-" + string(size)
-	if err := env.AWS.SFN.CreateStateMachine(smName, machine); err != nil {
-		return nil, err
-	}
-	return &core.Deployment{Runner: &stepRunner{env: env, machine: smName, size: size}, FuncCount: 4, CodeSizeMB: 271.2}, nil
-}
-
-type stepRunner struct {
-	env     *core.Env
-	machine string
-	size    mlpipe.DatasetSize
-	nextRun int64
-}
-
-// Invoke implements core.Runner.
-func (r *stepRunner) Invoke(p *sim.Proc, _ []byte) (core.RunStats, error) {
-	r.nextRun++
-	exec, err := r.env.AWS.SFN.StartExecution(p, r.machine,
-		map[string]any{"run": float64(r.nextRun), "key": testKey(r.size)})
-	if err != nil {
-		return core.RunStats{}, err
-	}
-	cold := exec.FirstTaskDelay
-	if cold < 0 {
-		cold = 0
-	}
-	var out []byte
-	if exec.Err == nil {
-		out, _ = json.Marshal(exec.Output)
-	}
-	return core.RunStats{E2E: exec.Duration(), ColdStart: cold, Output: out, Err: exec.Err}, nil
-}
-
-// stageEntities registers the pre-trained feature-engineering and
-// model-holder entities and preloads their durable state, shared by
-// both Azure variants. The entity ops mirror Fig 4: "encode", "scale",
-// "decompose", and ModelSelection's "get".
-func stageEntities(env *core.Env, size mlpipe.DatasetSize, arts *mlpipe.Artifacts, costs *mlpipe.Costs, inEntity bool) error {
-	blob := env.Azure.Blob
-	hub := env.Azure.Hub
-	sfx := "-inf-" + string(size)
-	penalty := 1.0
-	if inEntity {
-		penalty = entityComputePenalty
-	}
-	third := func() time.Duration {
-		return time.Duration(float64(costs.InferencePrep(size)) / 3 * penalty)
-	}
-
-	type spec struct {
-		name  string
-		op    string
-		state []byte
-		out   int
-		outNm string
-	}
-	specs := []spec{
-		{"Encoding" + sfx, "encode", arts.EncoderBytes, batchEncodedBytes(), "encoded"},
-		{"Scalar" + sfx, "scale", arts.ScalerBytes, batchEncodedBytes(), "scaled"},
-		{"DReduction" + sfx, "decompose", arts.PCABytes, batchProjectedBytes(), "projected"},
-	}
-	for _, s := range specs {
-		s := s
-		fn := func(ctx *durable.EntityContext, op string, input []byte) ([]byte, error) {
-			switch op {
-			case s.op:
-				if !inEntity {
-					return nil, fmt.Errorf("mlinfer: %s: compute op %q on get-only deployment", s.name, op)
-				}
-				m, err := parse(input)
-				if err != nil {
-					return nil, err
-				}
-				p := ctx.Proc()
-				if _, err := blob.Get(p, m.Key); err != nil {
-					return nil, err
-				}
-				ctx.Busy(third())
-				key := runKey(m.Run, s.outNm)
-				blob.PutShared(p, key, payload.Zeros(s.out))
-				return marshal(msg{Run: m.Run, Key: key}), nil
-			case "get":
-				return ctx.State(), nil
-			}
-			return nil, fmt.Errorf("mlinfer: %s: unknown op %q", s.name, op)
-		}
-		if err := hub.RegisterEntity(s.name, mlpipe.MemInference, fn); err != nil {
-			return err
-		}
-		env.Azure.Hub.InstancesTable().Preload("@"+s.name+"@shared", "state", s.state)
-	}
-
-	// ModelSelection entity: holds the winning model reference; "get"
-	// returns the small reference, "predict" (Az-Dent) applies the
-	// warm in-memory model inside the serialized entity.
-	if err := hub.RegisterEntity("ModelSelection"+sfx, mlpipe.MemInference, func(ctx *durable.EntityContext, op string, input []byte) ([]byte, error) {
-		switch op {
-		case "get":
-			return ctx.State(), nil
-		case "predict":
-			m, err := parse(input)
-			if err != nil {
-				return nil, err
-			}
-			p := ctx.Proc()
-			if _, err := blob.Get(p, m.Key); err != nil {
-				return nil, err
-			}
-			ctx.Busy(time.Duration(float64(costs.Predict(size)) * entityComputePenalty))
-			key := runKey(m.Run, "predictions")
-			blob.PutShared(p, key, payload.Zeros(resultBytes(size)))
-			return marshal(msg{Run: m.Run, Key: key}), nil
-		}
-		return nil, fmt.Errorf("mlinfer: ModelSelection: unknown op %q", op)
-	}); err != nil {
-		return err
-	}
-	ref := marshal(msg{Key: "models/best"})
-	env.Azure.Hub.InstancesTable().Preload("@ModelSelection"+sfx+"@best_fit", "state", ref)
-	blob.Preload("models/best", arts.ModelBytes[arts.BestName])
-	blob.Preload(testKey(size), batchCSV(arts))
-	return nil
-}
-
-// deployAzDorch installs the optimized durable variant (paper §IV):
-// read the artifacts from the entities with "get", run feature
-// engineering and prediction in a stateless activity that holds the
-// rehydrated objects warm.
-func deployAzDorch(env *core.Env, size mlpipe.DatasetSize, arts *mlpipe.Artifacts) (*core.Deployment, error) {
-	costs := mlpipe.NewCosts(env.K, "az-mlinfer-dorch", mlpipe.AzureSpeed)
-	if err := stageEntities(env, size, arts, costs, false); err != nil {
-		return nil, err
-	}
-	blob := env.Azure.Blob
-	hub := env.Azure.Hub
-	sfx := "-inf-" + string(size)
-
-	// The activity keeps the deserialized objects in process globals
-	// after the first run (warm Azure Functions instances), so runs pay
-	// only the compute.
-	warm := false
-	if err := hub.RegisterActivity("dorch-infer"+sfx, mlpipe.MemInference, func(ctx *functions.Context, input []byte) ([]byte, error) {
-		m, err := parse(input)
-		if err != nil {
-			return nil, err
-		}
-		p := ctx.Proc()
-		if _, err := blob.Get(p, m.Key); err != nil {
-			return nil, err
-		}
-		if !warm {
-			model, err := blob.Get(p, "models/best")
-			if err != nil {
-				return nil, err
-			}
-			ctx.Busy(rehydrate(len(model) + len(arts.EncoderBytes) + len(arts.ScalerBytes) + len(arts.PCABytes)))
-			warm = true
-		}
-		ctx.Busy(costs.InferencePrep(size))
-		ctx.Busy(costs.Predict(size))
-		key := runKey(m.Run, "predictions")
-		blob.PutShared(p, key, payload.Zeros(resultBytes(size)))
-		return marshal(msg{Run: m.Run, Key: key}), nil
-	}); err != nil {
-		return nil, err
-	}
-
-	orch := "ml-infer-dorch" + sfx
-	if err := hub.RegisterOrchestrator(orch, mlpipe.MemOrch, func(ctx *durable.OrchestrationContext, input []byte) ([]byte, error) {
-		ent := func(name, key string) durable.EntityID { return durable.EntityID{Name: name + sfx, Key: key} }
-		// Fetch the pre-trained object references from the entities
-		// (Fig 4 lines 9–12) — issued in parallel.
-		enc := ctx.CallEntity(ent("Encoding", "shared"), "get", nil)
-		sca := ctx.CallEntity(ent("Scalar", "shared"), "get", nil)
-		pca := ctx.CallEntity(ent("DReduction", "shared"), "get", nil)
-		mdl := ctx.CallEntity(ent("ModelSelection", "best_fit"), "get", nil)
-		if _, err := ctx.WaitAll(enc, sca, pca, mdl); err != nil {
-			return nil, err
-		}
-		// Apply everything in the stateless activity (the paper's §IV
-		// optimization).
-		return ctx.CallActivity("dorch-infer"+sfx, input).Await()
-	}); err != nil {
-		return nil, err
-	}
-	return &core.Deployment{Runner: &durableRunner{env: env, orch: orch, size: size}, FuncCount: 6, CodeSizeMB: 304}, nil
-}
-
-// deployAzDent installs the Fig 4 entity-chain variant: encode, scale,
-// and decompose run as serialized entity operations, and prediction
-// runs inside the ModelSelection entity.
-func deployAzDent(env *core.Env, size mlpipe.DatasetSize, arts *mlpipe.Artifacts) (*core.Deployment, error) {
-	costs := mlpipe.NewCosts(env.K, "az-mlinfer-dent", mlpipe.AzureSpeed)
-	if err := stageEntities(env, size, arts, costs, true); err != nil {
-		return nil, err
-	}
-	hub := env.Azure.Hub
-	sfx := "-inf-" + string(size)
-
-	orch := "ml-infer-dent" + sfx
-	if err := hub.RegisterOrchestrator(orch, mlpipe.MemOrch, func(ctx *durable.OrchestrationContext, input []byte) ([]byte, error) {
-		ent := func(name, key string) durable.EntityID { return durable.EntityID{Name: name + sfx, Key: key} }
-		encoded, err := ctx.CallEntity(ent("Encoding", "shared"), "encode", input).Await()
-		if err != nil {
-			return nil, err
-		}
-		scaled, err := ctx.CallEntity(ent("Scalar", "shared"), "scale", encoded).Await()
-		if err != nil {
-			return nil, err
-		}
-		projected, err := ctx.CallEntity(ent("DReduction", "shared"), "decompose", scaled).Await()
-		if err != nil {
-			return nil, err
-		}
-		return ctx.CallEntity(ent("ModelSelection", "best_fit"), "predict", projected).Await()
-	}); err != nil {
-		return nil, err
-	}
-	return &core.Deployment{Runner: &durableRunner{env: env, orch: orch, size: size}, FuncCount: 7, CodeSizeMB: 304}, nil
-}
-
-// durableRunner drives the Azure orchestrations.
-type durableRunner struct {
-	env     *core.Env
-	orch    string
-	size    mlpipe.DatasetSize
-	nextRun int64
-}
-
-// Invoke implements core.Runner.
-func (r *durableRunner) Invoke(p *sim.Proc, _ []byte) (core.RunStats, error) {
-	r.nextRun++
-	input := marshal(msg{Run: r.nextRun, Key: testKey(r.size)})
-	out, hd, err := r.env.Azure.Client.Run(p, r.orch, input)
-	stats := core.RunStats{Output: out, Err: err}
-	if hd != nil {
-		stats.E2E = hd.E2E()
-		stats.ColdStart = hd.ColdStart()
-	}
-	if hd == nil && err != nil {
-		return stats, err
-	}
-	return stats, nil
-}

@@ -2,11 +2,15 @@
 // workflow (Fig 2–3: data preparation → dimension reduction → parallel
 // model selection → best-fit collection) in all six Table II styles.
 //
-// Real artifacts (datasets, fitted transformers, serialized models)
-// come from mlpipe's host-side pipeline; simulated execution times come
-// from mlpipe's calibrated cost model; every byte that crosses a
-// function boundary is a real payload routed through the platform's
-// queues, state machines, or blob storage with limits enforced.
+// The workflow is defined once as a provider-neutral flow graph
+// (def.go); per-provider deployments are produced by the registered
+// flow lowerers, so this package contains zero provider-specific
+// deployment code. Real artifacts (datasets, fitted transformers,
+// serialized models) come from mlpipe's host-side pipeline; simulated
+// execution times come from mlpipe's calibrated cost model; every byte
+// that crosses a function boundary is a real payload routed through
+// the platform's queues, state machines, or blob storage with limits
+// enforced.
 package mltrain
 
 import (
@@ -14,6 +18,8 @@ import (
 	"fmt"
 
 	"statebench/internal/core"
+	"statebench/internal/flow"
+	_ "statebench/internal/flow/lowerers"
 	"statebench/internal/workloads/mlpipe"
 )
 
@@ -33,39 +39,28 @@ func (w *Workflow) Name() string { return "ml-training-" + string(w.Size) }
 // paper's figures never see them.
 func (w *Workflow) Impls() []core.Impl { return core.AllImpls() }
 
-// ExtraImpls implements core.ExtendedWorkflow: deployable styles
-// beyond Table II, contributed by provider-specific files (gcp.go).
-func (w *Workflow) ExtraImpls() []core.Impl { return extraImpls }
-
-// deployFunc installs the workflow for one style.
-type deployFunc func(env *core.Env, size mlpipe.DatasetSize, arts *mlpipe.Artifacts) (*core.Deployment, error)
-
-// deployers routes each style to its deployment routine. Files for
-// additional providers append entries (and their styles to
-// extraImpls) from init, so plugging in a provider never edits the
-// dispatch below.
-var deployers = map[core.Impl]deployFunc{
-	core.AWSLambda: deployAWSLambda,
-	core.AWSStep:   deployAWSStep,
-	core.AzFunc:    deployAzFunc,
-	core.AzQueue:   deployAzQueue,
-	core.AzDorch:   deployAzDorch,
-	core.AzDent:    deployAzDent,
+// ExtraImpls implements core.ExtendedWorkflow: every registered
+// lowerer the IR supports beyond Table II, discovered from the flow
+// registry — plugging in a provider never edits this package.
+func (w *Workflow) ExtraImpls() []core.Impl {
+	def, err := definition(w.Size, nil)
+	if err != nil {
+		return nil
+	}
+	return flow.Extras(def, core.AllImpls())
 }
 
-var extraImpls []core.Impl
-
-// Deploy implements core.Workflow.
+// Deploy implements core.Workflow by lowering the IR definition.
 func (w *Workflow) Deploy(env *core.Env, impl core.Impl) (*core.Deployment, error) {
-	fn, ok := deployers[impl]
-	if !ok {
-		return nil, &core.UnsupportedImplError{Workflow: w.Name(), Impl: impl}
-	}
 	arts, err := mlpipe.TrainWith(env.Payload, w.Size)
 	if err != nil {
 		return nil, fmt.Errorf("mltrain: prepare artifacts: %w", err)
 	}
-	return fn(env, w.Size, arts)
+	def, err := definition(w.Size, arts)
+	if err != nil {
+		return nil, err
+	}
+	return flow.Deploy(env, def, impl)
 }
 
 // datasetKey is where the training dataset is staged.

@@ -8,6 +8,11 @@
 // Chunk payloads always exceed the service payload limits, so all video
 // bytes move through blob storage, exactly as the paper's
 // implementation was forced to do.
+//
+// The workflow is defined once as a provider-neutral flow graph
+// (def.go); per-provider deployments are produced by the registered
+// flow lowerers, so this package contains zero provider-specific
+// deployment code.
 package videoproc
 
 import (
@@ -16,6 +21,8 @@ import (
 	"time"
 
 	"statebench/internal/core"
+	"statebench/internal/flow"
+	_ "statebench/internal/flow/lowerers"
 )
 
 // Spec describes the (virtual) input video and detection workload.
@@ -75,31 +82,29 @@ func (w *Workflow) Impls() []core.Impl {
 	return []core.Impl{core.AWSLambda, core.AWSStep, core.AzFunc, core.AzDorch}
 }
 
-// ExtraImpls implements core.ExtendedWorkflow: deployable styles
-// beyond Table II's video column, contributed by provider files.
-func (w *Workflow) ExtraImpls() []core.Impl { return extraImpls }
-
-// deployers routes each style to its deployment routine; provider
-// files append additional entries from init.
-var deployers = map[core.Impl]func(*Workflow, *core.Env) (*core.Deployment, error){
-	core.AWSLambda: (*Workflow).deployAWSLambda,
-	core.AWSStep:   (*Workflow).deployAWSStep,
-	core.AzFunc:    (*Workflow).deployAzFunc,
-	core.AzDorch:   (*Workflow).deployAzDorch,
+// ExtraImpls implements core.ExtendedWorkflow: every registered
+// lowerer the IR supports beyond Table II's video column, discovered
+// from the flow registry. The monolith's execution estimate keeps
+// GCP-Func out — like Table II's video column, GCP offers only a
+// subset of styles.
+func (w *Workflow) ExtraImpls() []core.Impl {
+	def, err := definition(w)
+	if err != nil {
+		return nil
+	}
+	return flow.Extras(def, w.Impls())
 }
 
-var extraImpls []core.Impl
-
-// Deploy implements core.Workflow.
+// Deploy implements core.Workflow by lowering the IR definition.
 func (w *Workflow) Deploy(env *core.Env, impl core.Impl) (*core.Deployment, error) {
 	if w.Workers < 1 {
 		return nil, fmt.Errorf("videoproc: workers must be >= 1, got %d", w.Workers)
 	}
-	fn, ok := deployers[impl]
-	if !ok {
-		return nil, &core.UnsupportedImplError{Workflow: w.Name(), Impl: impl}
+	def, err := definition(w)
+	if err != nil {
+		return nil, err
 	}
-	return fn(w, env)
+	return flow.Deploy(env, def, impl)
 }
 
 const (
@@ -166,5 +171,26 @@ const (
 	memMono   = 980
 )
 
-// awsVideoMemoryMB is the paper's 2 GB configuration for video on AWS.
+// awsVideoMemoryMB is the paper's 2 GB configuration for video; GCP's
+// tier matches it.
 const awsVideoMemoryMB = 2048
+
+// WorkerSchedDelays exposes the Azure host's per-work-item scheduling
+// delays (Fig 14's metric) after a Dorch campaign.
+func WorkerSchedDelays(env *core.Env) []time.Duration {
+	return env.Azure.Host.Stats().SchedDelays
+}
+
+// finishScratchKey indexes the per-worker finish times in Env.Scratch.
+const finishScratchKey = "videoproc.finishes"
+
+// WorkerFinishTimes returns each detect worker's completion time
+// relative to its run's start (Table III's per-worker metric), for the
+// Az-Dorch deployment living in env.
+func WorkerFinishTimes(env *core.Env) []time.Duration {
+	v, ok := env.Scratch[finishScratchKey].(*[]time.Duration)
+	if !ok {
+		return nil
+	}
+	return append([]time.Duration(nil), (*v)...)
+}
