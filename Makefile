@@ -13,9 +13,10 @@
 # fuzz     — short native-fuzzing smoke runs for the SFN JSONPath and
 #            Choice evaluators.
 # bench    — kernel micro-benchmarks, the payload alloc benchmarks,
-#            the sequential-vs-parallel full-suite pair, and the
-#            sharded-kernel/traffic-engine suite (the numbers behind
-#            the committed BENCH_*.json baselines).
+#            the sequential-vs-parallel full-suite pair, the
+#            sharded-kernel/traffic-engine suite, and the optimizer's
+#            cold-vs-shared sweep pair (the numbers behind the
+#            committed BENCH_*.json baselines).
 
 GO ?= go
 GOFMT ?= gofmt
@@ -24,7 +25,7 @@ GOFMT ?= gofmt
 # `make cover` fails below this.
 COVER_FLOOR ?= 75
 
-.PHONY: tier1 tier1.5 tier2 cover fuzz bench bench-kernel bench-payload bench-all bench-traffic bench-netherite fmt-check golden golden-cache-off timeline-determinism netherite-determinism flow-conformance
+.PHONY: tier1 tier1.5 tier2 cover fuzz bench bench-kernel bench-payload bench-all bench-traffic bench-netherite bench-optimizer fmt-check golden golden-cache-off timeline-determinism netherite-determinism flow-conformance optimizer-determinism
 
 # fmt-check fails (listing the offenders) if any file needs gofmt.
 fmt-check:
@@ -58,6 +59,7 @@ tier2:
 	$(MAKE) timeline-determinism
 	$(MAKE) netherite-determinism
 	$(MAKE) flow-conformance
+	$(MAKE) optimizer-determinism
 	$(MAKE) fuzz
 	$(MAKE) cover
 
@@ -92,6 +94,18 @@ netherite-determinism:
 flow-conformance:
 	$(GO) test -run 'TestFlowConformance|TestGraph' -count=1 ./cmd/statebench/
 	$(GO) test -count=1 ./internal/flow/ ./internal/workloads/mapreduce/
+
+# optimizer-determinism is the sweep-engine gate: the frontier tables,
+# picks, and full candidate CSV for all five workload families must be
+# byte-identical at -parallel {1,8} against the checked-in goldens; the
+# shared-engine sweep must emit the exact bytes of the cold per-config
+# baseline; the frontier must be invariant under enumeration order and
+# shard splits; and the shared sweep must compute at most 0.35x the
+# payloads of the cold baseline (the deterministic pin behind
+# BENCH_PR10.json).
+optimizer-determinism:
+	$(GO) test -run 'TestOptimizeQuickMatchesGolden' -count=1 ./cmd/statebench/
+	$(GO) test -run 'TestSweep|TestEnumerateCanonicalOrder|TestClassifyShardInvariance|TestNoSilentSkips|TestAdvisoriesFlowThrough|TestMemoSharesSeries|TestPicks' -count=1 ./internal/optimizer/
 
 cover:
 	$(GO) test -count=1 -coverprofile=cover.out ./internal/...
@@ -133,4 +147,16 @@ bench-traffic:
 bench-netherite:
 	$(GO) test -run - -bench 'HubEpisodeThroughput' -benchmem ./internal/azure/netherite/
 
-bench: bench-kernel bench-payload bench-all bench-traffic bench-netherite
+# bench-optimizer is the cold-vs-shared sweep pair behind
+# BENCH_PR10.json: the same 220-config mltrain+mapreduce space swept
+# with per-candidate private payload caches (first invocation) and with
+# the sweep-shared engine plus delta evaluation (second). Both modes
+# run under one benchmark name, so capturing each to a JSON with
+# cmd/benchjson -label and diffing via cmd/benchjson -compare renders
+# the speedup column; TestSweepSharedDoesLessWork pins the <=0.35x
+# compute ratio deterministically in CI.
+bench-optimizer:
+	STATEBENCH_SWEEP_COLD=1 $(GO) test -run - -bench 'OptimizerSweep' -benchtime 1x -benchmem -timeout 30m ./internal/optimizer/
+	$(GO) test -run - -bench 'OptimizerSweep' -benchtime 1x -benchmem -timeout 30m ./internal/optimizer/
+
+bench: bench-kernel bench-payload bench-all bench-traffic bench-netherite bench-optimizer

@@ -197,7 +197,7 @@ func runCompare(oldPath, newPath string) error {
 	}
 
 	w := tabwriter.NewWriter(os.Stdout, 0, 0, 2, ' ', 0)
-	fmt.Fprintf(w, "benchmark\told time/op\tnew time/op\tdelta\told allocs/op\tnew allocs/op\tdelta")
+	fmt.Fprintf(w, "benchmark\told time/op\tnew time/op\tdelta\tspeedup\told allocs/op\tnew allocs/op\tdelta")
 	if events {
 		fmt.Fprintf(w, "\told events/s\tnew events/s\tdelta")
 	}
@@ -205,21 +205,22 @@ func runCompare(oldPath, newPath string) error {
 	row := func(name string, or, nr *Result) {
 		switch {
 		case or == nil:
-			fmt.Fprintf(w, "%s\t-\t%s\t(new)\t-\t%s\t(new)",
+			fmt.Fprintf(w, "%s\t-\t%s\t(new)\t-\t-\t%s\t(new)",
 				name, fmtNs(nr.NsPerOp), fmtAllocs(nr.AllocsPerOp))
 			if events {
 				fmt.Fprintf(w, "\t-\t%s\t(new)", fmtEvents(nr.EventsPerSec()))
 			}
 		case nr == nil:
-			fmt.Fprintf(w, "%s\t%s\t-\t(removed)\t%s\t-\t(removed)",
+			fmt.Fprintf(w, "%s\t%s\t-\t(removed)\t-\t%s\t-\t(removed)",
 				name, fmtNs(or.NsPerOp), fmtAllocs(or.AllocsPerOp))
 			if events {
 				fmt.Fprintf(w, "\t%s\t-\t(removed)", fmtEvents(or.EventsPerSec()))
 			}
 		default:
-			fmt.Fprintf(w, "%s\t%s\t%s\t%s\t%s\t%s\t%s",
+			fmt.Fprintf(w, "%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s",
 				name,
 				fmtNs(or.NsPerOp), fmtNs(nr.NsPerOp), fmtDelta(or.NsPerOp, nr.NsPerOp),
+				fmtSpeedup(or.NsPerOp, nr.NsPerOp),
 				fmtAllocs(or.AllocsPerOp), fmtAllocs(nr.AllocsPerOp),
 				fmtDeltaAllocs(or.AllocsPerOp, nr.AllocsPerOp))
 			if events {
@@ -282,6 +283,17 @@ func fmtAllocs(a *int64) string {
 		return "-"
 	}
 	return strconv.FormatInt(*a, 10)
+}
+
+// fmtSpeedup renders old/new as a ratio ("4.00x" = the new side is
+// four times faster), the natural reading for before/after pairs like
+// the optimizer's cold-vs-shared sweep baselines, where a percentage
+// delta compresses large wins.
+func fmtSpeedup(old, new float64) string {
+	if old <= 0 || new <= 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.2fx", old/new)
 }
 
 func fmtDelta(old, new float64) string {

@@ -91,7 +91,7 @@ func writeLoweringSummary(w io.Writer, def *flow.Definition) {
 			}
 			fmt.Fprintf(w, "%s program %d B\n", line, len(prog))
 		default:
-			fmt.Fprintf(w, "%s excluded (%s)\n", line, excludeReason(def, l))
+			fmt.Fprintf(w, "%s excluded (%s)\n", line, flow.ExcludeReason(def, impl))
 		}
 	}
 	fmt.Fprint(w, "payload lint:\n")
@@ -110,23 +110,4 @@ func capsLabel(c flow.Caps) string {
 		task = fmt.Sprintf("task %gs", c.MaxTaskSeconds)
 	}
 	return payload + ", " + task
-}
-
-// excludeReason explains why flow.Supports said no.
-func excludeReason(def *flow.Definition, l flow.Lowerer) string {
-	g, ok := def.Graphs[l.Class()]
-	if !ok {
-		return fmt.Sprintf("no %s graph", l.Class())
-	}
-	allowed := l.Variant() == "" && g.Variants == nil
-	for _, v := range g.Variants {
-		if v == l.Variant() {
-			allowed = true
-		}
-	}
-	if !allowed {
-		return fmt.Sprintf("graph does not opt into variant %q", l.Variant())
-	}
-	speed := def.SpeedFor(flow.ProviderNameOf(l.Impl()))
-	return fmt.Sprintf("an execution estimate exceeds %gs at speed %.2f", l.Caps().MaxTaskSeconds, speed)
 }

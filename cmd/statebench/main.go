@@ -8,6 +8,7 @@
 //	statebench chaos -impl <style>|all -workflow <wf> [-seed N] [-faultrate R]
 //	statebench traffic [-tenants N] [-rate R] [-duration D] [-process P] [-shards S]
 //	statebench graph [-o FILE] <workflow>
+//	statebench optimize [-slo D] [-budget USD] [-csv FILE]
 //	statebench providers
 //
 // With no arguments every experiment runs in paper order. Experiments:
@@ -31,6 +32,17 @@
 // Graphviz DOT plus a one-line-per-style lowering summary derived from
 // the lowerer registry (compiled program size, provider caps, or the
 // reason a style is excluded) and the static payload lint.
+//
+// The optimize subcommand runs the cross-cloud cost/latency optimizer:
+// it sweeps every workload family's configuration space (style ×
+// provider × memory tier × fan-out × chunking) on one shared payload
+// engine — identical stage computations run once per sweep, and
+// configurations that are provably indistinguishable (an unbilled
+// memory tier, a fan-out a monolith ignores) share one measurement —
+// and prints each family's Pareto frontier over (p50 latency, mean
+// cost) with cheapest-under-SLO and fastest-under-budget picks. The
+// full candidate record, including the dominated set and every
+// statically excluded configuration with its reason, goes to -csv.
 //
 // The traffic subcommand drives open-loop arrival streams (Poisson,
 // bursty MMPP, diurnal) over a large tenant population — a million by
@@ -91,6 +103,10 @@ func main() {
 	}
 	if len(os.Args) > 1 && os.Args[1] == "graph" {
 		runGraph(os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "optimize" {
+		runOptimize(os.Args[2:])
 		return
 	}
 

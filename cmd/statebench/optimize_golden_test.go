@@ -1,0 +1,54 @@
+package main
+
+import (
+	"bytes"
+	"testing"
+
+	"statebench/internal/experiments"
+	"statebench/internal/optimizer"
+	"statebench/internal/payload"
+)
+
+// optimizeOutputs runs the optimize sweep at quick scale and renders
+// both artifacts the subcommand can emit: the report (frontier tables,
+// picks, notes) and the full candidate CSV (frontier, dominated set,
+// exclusions with reasons).
+func optimizeOutputs(t *testing.T, workers int) (report, csv string) {
+	t.Helper()
+	o := quickOpts(workers)
+	// A fresh engine per run, like the subcommand: without it the
+	// second run would resolve every campaign from the first run's
+	// memo on the process-global engine, proving nothing about
+	// worker-count invariance.
+	o.PayloadCache = payload.NewEngine()
+	results, err := experiments.OptimizeResults(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := optimizer.WriteCSV(&buf, results); err != nil {
+		t.Fatal(err)
+	}
+	return experiments.OptimizeReport(results, 0, 0).String(), buf.String()
+}
+
+// TestOptimizeQuickMatchesGolden pins the frontier tables, the SLO and
+// budget picks, the exclusion notes, and the complete candidate record
+// for all five workload families at quick scale against checked-in
+// goldens — and demands the same bytes at -parallel 1 and 8. Shared
+// payload compute, config-level delta evaluation, and candidate
+// scheduling must change wall-clock time only, never a byte of output.
+func TestOptimizeQuickMatchesGolden(t *testing.T) {
+	skipUnderRace(t)
+	wantReport := golden(t, "optimize_quick.txt")
+	wantCSV := golden(t, "optimize_quick.csv")
+	for _, workers := range []int{1, 8} {
+		report, csv := optimizeOutputs(t, workers)
+		if report != wantReport {
+			t.Fatalf("optimize report diverged from the golden at -parallel %d", workers)
+		}
+		if csv != wantCSV {
+			t.Fatalf("optimize candidate CSV diverged from the golden at -parallel %d", workers)
+		}
+	}
+}

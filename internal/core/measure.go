@@ -66,6 +66,14 @@ type Series struct {
 	// activity. Zero unless MeasureOptions.Chaos was set.
 	Faults chaos.Stats
 
+	// Payload is the campaign's payload-cache activity, attributed with
+	// first-touch semantics (see payload.Engine.Scope): misses count the
+	// distinct compute keys this campaign touched, hits the repeat
+	// lookups — both properties of the workload alone, so the snapshot
+	// is byte-identical whether the campaign ran alone or raced other
+	// campaigns on a shared engine. Zero when caching is disabled.
+	Payload payload.Stats
+
 	// Timeline is the campaign's windowed telemetry (arrivals,
 	// completions, cold starts, scheduling delays, faults, occupancy
 	// gauges per virtual-time window). Populated only when
@@ -162,6 +170,11 @@ func Measure(wf Workflow, impl Impl, opt MeasureOptions) (*Series, error) {
 	if opt.PayloadCache != nil {
 		env.Payload = opt.PayloadCache
 	}
+	// Scope the engine so this campaign's cache activity is observable
+	// on the Series without disturbing the root engine's suite-level
+	// counters (storage and single-flight stay shared).
+	scope := env.Payload.Scope()
+	env.Payload = scope
 	var tl *tseries.Series
 	if opt.Timeline != nil {
 		tl = tseries.New(opt.Timeline.Interval())
@@ -273,6 +286,7 @@ func Measure(wf Workflow, impl Impl, opt MeasureOptions) (*Series, error) {
 	s.MeanTxns = txns / n
 	s.SuccessRate = float64(opt.Iters-s.Errors) / n
 	s.Faults = inj.Stats()
+	s.Payload = scope.Stats()
 	if tl != nil {
 		s.Timeline = tl
 		opt.Timeline.Merge(tl)

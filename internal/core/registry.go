@@ -71,6 +71,14 @@ type ProviderSpec struct {
 	// providers are overridden by the Env's live AWSPrices/AzurePrices
 	// fields (which ablations perturb); see Env.BookFor.
 	DefaultBook func() pricing.Book
+	// BillsConfiguredMem reports whether the provider bills compute by
+	// the configured memory tier (AWS Lambda, GCP Cloud Functions) as
+	// opposed to consumed memory (Azure consumption plan). Registry
+	// data, not program text: the AWS Step Functions ASL omits Lambda
+	// memory even though it shapes the bill, so optimizers must ask
+	// the provider, not the lowered program, whether a memory knob is
+	// cost-relevant.
+	BillsConfiguredMem bool
 	// Traffic returns the provider's open-loop traffic calibration
 	// (see internal/traffic). Optional: providers without a profile
 	// simply do not appear in the traffic experiment.
@@ -162,9 +170,10 @@ func init() {
 			{Impl: AWSLambda, Description: "One stateless Lambda function."},
 			{Impl: AWSStep, Stateful: true, Description: "Workflow implementation using AWS Step Functions, calling AWS Lambda functions on each state."},
 		},
-		NewBackend:  func(e *Env) Backend { return aws.New(e.K, platform.DefaultAWS()) },
-		DefaultBook: func() pricing.Book { return pricing.DefaultAWS() },
-		Traffic:     func() platform.TrafficProfile { return platform.DefaultAWS().Traffic() },
+		NewBackend:         func(e *Env) Backend { return aws.New(e.K, platform.DefaultAWS()) },
+		DefaultBook:        func() pricing.Book { return pricing.DefaultAWS() },
+		Traffic:            func() platform.TrafficProfile { return platform.DefaultAWS().Traffic() },
+		BillsConfiguredMem: true,
 	})
 	RegisterProvider(ProviderSpec{
 		Kind: Azure,

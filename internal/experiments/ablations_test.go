@@ -59,10 +59,13 @@ func TestAblationMapConcurrency(t *testing.T) {
 }
 
 func TestRegistryWithAblations(t *testing.T) {
-	if len(RegistryWithAblations()) != 23 {
+	if len(RegistryWithAblations()) != 24 {
 		t.Fatalf("size = %d", len(RegistryWithAblations()))
 	}
 	if _, err := Find("ablation-memory"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Find("optimize"); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := Find("reliability"); err != nil {

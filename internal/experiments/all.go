@@ -53,6 +53,7 @@ func RegistryWithAblations() []Runner {
 		Runner{"traffic", single(TrafficSweep)},
 		Runner{"timeline", single(Timeline)},
 		Runner{"netherite", NetheriteHubs},
+		Runner{"optimize", single(Optimize)},
 	)
 	return append(Registry(), extra...)
 }

@@ -1,0 +1,248 @@
+package experiments
+
+// This file holds the optimize experiment: the cross-cloud
+// cost/latency optimizer run over every workload family's
+// configuration space. Like crosscloud, it is registry-derived — the
+// style dimension of every space comes from core.RegisteredImpls and
+// the flow lowerer registry, so a provider registered tomorrow is
+// swept with no edit here — and it is not part of the paper's output.
+// Run it with `statebench optimize`.
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"statebench/internal/core"
+	"statebench/internal/flow"
+	"statebench/internal/optimizer"
+	"statebench/internal/payload"
+	"statebench/internal/workloads/mapreduce"
+	"statebench/internal/workloads/mlinfer"
+	"statebench/internal/workloads/mlpipe"
+	"statebench/internal/workloads/mltrain"
+	"statebench/internal/workloads/videoproc"
+)
+
+// memTiers is the provisioned-memory dimension shared by the ML
+// spaces: the default tier plus the sizes every registered provider
+// accepts (GCP validates tiers against its discrete list at function
+// registration, so only list-valid sizes may appear here).
+var memTiers = []int{0, 512, 1024, 2048}
+
+// OptimizeSpaces declares the five sweep spaces — one per workload
+// family. Each space is pure data plus a constructor; everything about
+// providers and styles is discovered from the registries at sweep
+// time.
+func OptimizeSpaces() []optimizer.Space {
+	mlSpace := func(name string, build func(c optimizer.Config) core.Workflow) optimizer.Space {
+		return optimizer.Space{Workload: name, Build: build, MemTiersMB: memTiers}
+	}
+	return []optimizer.Space{
+		mlSpace("ml-training-small", func(c optimizer.Config) core.Workflow {
+			w := mltrain.New(mlpipe.Small)
+			w.MemMB = c.MemMB
+			return w
+		}),
+		mlSpace("ml-training-large", func(c optimizer.Config) core.Workflow {
+			w := mltrain.New(mlpipe.Large)
+			w.MemMB = c.MemMB
+			return w
+		}),
+		mlSpace("ml-inference-small", func(c optimizer.Config) core.Workflow {
+			w := mlinfer.New(mlpipe.Small)
+			w.MemMB = c.MemMB
+			return w
+		}),
+		{
+			// Video sweeps the fan-out (worker count) alongside memory.
+			// No shape collapse is declared: the monolith's simulated
+			// execution is genuinely shaped by the worker count's
+			// absence, and the sweep proves rather than assumes
+			// equivalences.
+			Workload: "video-processing",
+			Build: func(c optimizer.Config) core.Workflow {
+				workers := c.FanOut
+				if workers == 0 {
+					workers = 10
+				}
+				w := videoproc.New(workers)
+				w.MemMB = c.MemMB
+				return w
+			},
+			MemTiersMB: []int{0, 2048},
+			FanOuts:    []int{4, 8},
+		},
+		{
+			Workload: "mapreduce",
+			Build: func(c optimizer.Config) core.Workflow {
+				w := mapreduce.New()
+				w.MemMB = c.MemMB
+				if c.FanOut > 0 {
+					w.Mappers = c.FanOut
+				}
+				if c.Chunk > 0 {
+					w.Reducers = c.Chunk
+				}
+				return w
+			},
+			MemTiersMB: []int{0, 1024, 2048},
+			FanOuts:    []int{4, 8},
+			Chunks:     []int{2, 4},
+			// The monolith counts the whole corpus whatever the
+			// mapper/reducer knobs say, so its shape dimensions
+			// collapse into one evaluation.
+			ShapeIrrelevantClasses: []flow.Class{flow.Mono},
+		},
+	}
+}
+
+// OptimizeResults sweeps every space on one shared payload engine (the
+// run's engine, so suite-level cache totals and the Prometheus export
+// pick the sweep's activity up automatically) and returns the full
+// per-workload candidate records in declaration order.
+func OptimizeResults(o Options) ([]*optimizer.Result, error) {
+	spaces := OptimizeSpaces()
+	results := make([]*optimizer.Result, len(spaces))
+	for i, space := range spaces {
+		opt := optimizer.Options{
+			Iters:   o.Iters,
+			Warmup:  1,
+			Seed:    o.Seed,
+			Workers: o.Workers,
+			Engine:  o.payloadCache(),
+			Metrics: o.Metrics,
+		}
+		if space.Workload == "video-processing" {
+			opt.Iters = o.VideoIters
+		}
+		r, err := optimizer.Sweep(space, opt)
+		if err != nil {
+			return nil, err
+		}
+		results[i] = r
+	}
+	return results, nil
+}
+
+// Optimize runs the full sweep with per-workload automatic SLO and
+// budget picks (see OptimizeWith).
+func Optimize(o Options) (*Report, error) { return OptimizeWith(o, 0, 0) }
+
+// OptimizeWith runs the sweep and reports each workload's Pareto
+// frontier plus its cheapest-under-SLO and fastest-under-budget picks.
+// An slo of 0 defaults each workload's SLO to the median measured p50;
+// a budget of 0 defaults to the median measured cost — both derived
+// from the sweep itself, so the defaults are deterministic. The CLI's
+// -slo and -budget flags override them globally.
+func OptimizeWith(o Options, slo time.Duration, budget float64) (*Report, error) {
+	results, err := OptimizeResults(o)
+	if err != nil {
+		return nil, err
+	}
+	return OptimizeReport(results, slo, budget), nil
+}
+
+// OptimizeReport renders sweep results (see OptimizeResults) as the
+// optimize report; slo and budget follow OptimizeWith's conventions.
+// Split from the sweep so the CLI can render the report and dump the
+// full candidate CSV from a single set of results.
+func OptimizeReport(results []*optimizer.Result, slo time.Duration, budget float64) *Report {
+	r := &Report{
+		ID: "optimize",
+		Title: fmt.Sprintf("Cross-cloud cost/latency frontier, %d registered providers (shared-compute sweep)",
+			len(core.Providers())),
+	}
+	r.Table.Header = []string{"workload", "config", "p50", "mean cost", "delta of"}
+
+	var payloadTotals payload.Stats
+	for _, res := range results {
+		for _, c := range res.Frontier() {
+			delta := c.DeltaOf
+			if delta == "" {
+				delta = "-"
+			}
+			r.Table.AddRow(res.Workload, c.Config.Label(), fmtDur(c.Lat), fmtUSD(c.Cost), delta)
+		}
+
+		total, excluded, measured := len(res.Candidates), 0, 0
+		reasons := map[string]int{}
+		var order []string
+		for i := range res.Candidates {
+			c := &res.Candidates[i]
+			if c.Status == optimizer.StatusExcluded {
+				excluded++
+				if reasons[c.Reason] == 0 {
+					order = append(order, c.Reason)
+				}
+				reasons[c.Reason]++
+			} else {
+				measured++
+			}
+		}
+		r.Notes = append(r.Notes, fmt.Sprintf(
+			"%s: %d configs, %d excluded, %d measured via %d campaigns (delta evaluation saved %d)",
+			res.Workload, total, excluded, measured, res.Evals, measured-res.Evals))
+		for _, reason := range order {
+			r.Notes = append(r.Notes, fmt.Sprintf("%s: excluded %d: %s", res.Workload, reasons[reason], reason))
+		}
+
+		wslo, wbudget := slo, budget
+		if wslo == 0 {
+			wslo = medianLat(res)
+		}
+		if wbudget == 0 {
+			wbudget = medianCost(res)
+		}
+		if c := res.CheapestUnder(wslo); c != nil {
+			r.Notes = append(r.Notes, fmt.Sprintf("%s: cheapest under %s SLO: %s (%s, %s)",
+				res.Workload, fmtDur(wslo), c.Config.Label(), fmtDur(c.Lat), fmtUSD(c.Cost)))
+		} else {
+			r.Notes = append(r.Notes, fmt.Sprintf("%s: no config meets the %s SLO", res.Workload, fmtDur(wslo)))
+		}
+		if c := res.FastestUnder(wbudget); c != nil {
+			r.Notes = append(r.Notes, fmt.Sprintf("%s: fastest under %s budget: %s (%s, %s)",
+				res.Workload, fmtUSD(wbudget), c.Config.Label(), fmtDur(c.Lat), fmtUSD(c.Cost)))
+		} else {
+			r.Notes = append(r.Notes, fmt.Sprintf("%s: no config fits the %s budget", res.Workload, fmtUSD(wbudget)))
+		}
+		payloadTotals = payloadTotals.Merge(res.Payload)
+	}
+	r.Notes = append(r.Notes, fmt.Sprintf(
+		"payload cache across all campaigns: %d lookups, %d computed, hit rate %s",
+		payloadTotals.Lookups(), payloadTotals.Misses, fmtPct(payloadTotals.HitRate())))
+	r.Notes = append(r.Notes, "full candidate record (frontier, dominated set, exclusions): statebench optimize -csv")
+	return r
+}
+
+// medianLat returns the median measured p50 across a result's
+// candidates (the deterministic default SLO).
+func medianLat(r *optimizer.Result) time.Duration {
+	var lats []time.Duration
+	for i := range r.Candidates {
+		if r.Candidates[i].Status != optimizer.StatusExcluded {
+			lats = append(lats, r.Candidates[i].Lat)
+		}
+	}
+	if len(lats) == 0 {
+		return 0
+	}
+	sort.Slice(lats, func(a, b int) bool { return lats[a] < lats[b] })
+	return lats[len(lats)/2]
+}
+
+// medianCost returns the median measured mean cost (the deterministic
+// default budget).
+func medianCost(r *optimizer.Result) float64 {
+	var costs []float64
+	for i := range r.Candidates {
+		if r.Candidates[i].Status != optimizer.StatusExcluded {
+			costs = append(costs, r.Candidates[i].Cost)
+		}
+	}
+	if len(costs) == 0 {
+		return 0
+	}
+	sort.Float64s(costs)
+	return costs[len(costs)/2]
+}

@@ -455,6 +455,28 @@ func (d *Definition) MachineNameFor(g *Graph, provider string) string {
 	return d.Name
 }
 
+// OverrideMemMB sets the provisioned memory tier of every platform
+// task node in every graph of the definition — the single knob the
+// cost/latency optimizer sweeps. memMB <= 0 leaves the definition
+// untouched (each node keeps its declared tier or the lowering
+// provider's default). Pure transforms and entity operations run in
+// the orchestrator or the entity host, not in their own provisioned
+// function, so they are skipped; whether the tier actually shapes the
+// bill is the provider's ProviderSpec.BillsConfiguredMem, not the
+// definition's concern.
+func OverrideMemMB(d *Definition, memMB int) {
+	if memMB <= 0 || d == nil {
+		return
+	}
+	for _, g := range d.Graphs {
+		for _, n := range allNodes(g) {
+			if n.Kind == KindTask && n.Fn != "" && !n.Pure && n.Entity == "" {
+				n.MemMB = memMB
+			}
+		}
+	}
+}
+
 // InputFor resolves a node's input payload from the current and entry
 // payloads.
 func InputFor(n *Node, cur, entry []byte) []byte {

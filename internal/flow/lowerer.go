@@ -122,6 +122,32 @@ func Supports(def *Definition, impl core.Impl) bool {
 	return true
 }
 
+// ExcludeReason explains why Supports(def, impl) said no, in the
+// wording the graph-command summary pins: missing graph class, a
+// variant the graph does not opt into, or an execution-estimate
+// ceiling at the workload's calibrated provider speed. Returns "" when
+// the style is in fact supported, so callers (the optimizer's
+// dominated-set CSV, the graph summary) can never silently skip a
+// config: a skip either carries a reason or did not happen.
+func ExcludeReason(def *Definition, impl core.Impl) string {
+	l, ok := lowererRegistry[impl]
+	if !ok {
+		return "no lowerer registered"
+	}
+	if Supports(def, impl) {
+		return ""
+	}
+	g, ok := def.Graphs[l.Class()]
+	if !ok {
+		return fmt.Sprintf("no %s graph", l.Class())
+	}
+	if !variantAllowed(g, l.Variant()) {
+		return fmt.Sprintf("graph does not opt into variant %q", l.Variant())
+	}
+	speed := def.SpeedFor(ProviderNameOf(impl))
+	return fmt.Sprintf("an execution estimate exceeds %gs at speed %.2f", l.Caps().MaxTaskSeconds, speed)
+}
+
 // Deploy lowers a definition to one style, dispatching through the
 // lowerer registry. It is the single Deploy body every IR-defined
 // workload shares.

@@ -101,8 +101,9 @@ func init() {
 			{Impl: Func, Description: "One stateless Cloud Function."},
 			{Impl: Wflow, Stateful: true, Description: "Workflow implemented using GCP Workflows, calling Cloud Functions on each step."},
 		},
-		NewBackend:  func(e *core.Env) core.Backend { return New(e.K, platform.DefaultGCP()) },
-		DefaultBook: func() pricing.Book { return pricing.DefaultGCP() },
-		Traffic:     func() platform.TrafficProfile { return platform.DefaultGCP().Traffic() },
+		NewBackend:         func(e *core.Env) core.Backend { return New(e.K, platform.DefaultGCP()) },
+		DefaultBook:        func() pricing.Book { return pricing.DefaultGCP() },
+		Traffic:            func() platform.TrafficProfile { return platform.DefaultGCP().Traffic() },
+		BillsConfiguredMem: true,
 	})
 }

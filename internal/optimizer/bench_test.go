@@ -1,0 +1,85 @@
+package optimizer
+
+// The cold-vs-shared sweep pair behind BENCH_PR10.json: the same
+// >=200-config mltrain+mapreduce space swept with per-candidate
+// private payload caches (the pre-optimizer baseline: every campaign
+// recomputes all of its payload work) and with the sweep-shared engine
+// plus config-level delta evaluation. Both modes run under one
+// benchmark name, switched by STATEBENCH_SWEEP_COLD=1, so capturing
+// each mode to a JSON (cmd/benchjson -label) and diffing them with
+// cmd/benchjson -compare lines the two up and renders the speedup
+// column. TestSweepSharedDoesLessWork pins the compute-count ratio
+// deterministically in CI, so the committed JSON is evidence, not the
+// gate. Run both modes with `make bench-optimizer`.
+
+import (
+	"os"
+	"testing"
+
+	"statebench/internal/core"
+	"statebench/internal/payload"
+	"statebench/internal/workloads/mlpipe"
+	"statebench/internal/workloads/mltrain"
+)
+
+// benchSpaces is the benchmark's configuration space: the ML training
+// family's memory sweep plus a mapreduce shape sweep, 220 candidate
+// configurations across every registered style.
+func benchSpaces() []Space {
+	mr := testSpace()
+	mr.MemTiersMB = []int{0, 1024}
+	mr.FanOuts = []int{4, 6, 8}
+	mr.Chunks = []int{2, 3, 4}
+	return []Space{
+		{
+			Workload: "ml-training-small",
+			Build: func(c Config) core.Workflow {
+				w := mltrain.New(mlpipe.Small)
+				w.MemMB = c.MemMB
+				return w
+			},
+			MemTiersMB: []int{0, 512, 1024, 2048},
+		},
+		mr,
+	}
+}
+
+// BenchmarkOptimizerSweep sweeps the 220-config space once per
+// iteration. STATEBENCH_SWEEP_COLD=1 selects the cold baseline (a
+// private fresh payload engine per candidate, no delta memo);
+// otherwise the sweep shares one engine, which is the subcommand's
+// mode. The emitted candidates are byte-identical either way — the
+// golden and mode-equivalence tests pin that — so the pair measures
+// pure harness cost.
+func BenchmarkOptimizerSweep(b *testing.B) {
+	cold := os.Getenv("STATEBENCH_SWEEP_COLD") != ""
+	spaces := benchSpaces()
+	configs := 0
+	for _, s := range spaces {
+		configs += len(Enumerate(s))
+	}
+	if configs < 200 {
+		b.Fatalf("benchmark space shrank to %d configs, want >= 200", configs)
+	}
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		o := Options{Iters: 3, Warmup: 1, Seed: 42, Cold: cold}
+		if !cold {
+			o.Engine = payload.NewEngine()
+		}
+		campaigns := 0
+		for _, s := range spaces {
+			r, err := Sweep(s, o)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(r.Frontier()) == 0 {
+				b.Fatal("empty frontier")
+			}
+			campaigns += r.Evals
+		}
+		b.ReportMetric(float64(campaigns), "campaigns")
+		b.ReportMetric(float64(configs), "configs")
+	}
+}

@@ -1,0 +1,58 @@
+package optimizer
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+)
+
+// WriteCSV emits the full sweep record — frontier, dominated set, and
+// statically excluded configurations with their reasons — as one CSV
+// table. Latency is the measured p50 in milliseconds, cost the mean
+// per-run bill in USD; both are empty on excluded rows. delta_of names
+// the representative configuration a candidate's measurement resolved
+// from (empty when the candidate was measured itself), and advisories
+// carries the static payload-cap lint findings, semicolon-joined.
+func WriteCSV(w io.Writer, results []*Result) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"workload", "impl", "mem_mb", "fan_out", "chunk",
+		"status", "latency_ms", "cost_usd", "delta_of", "reason", "advisories",
+	}); err != nil {
+		return err
+	}
+	for _, r := range results {
+		for i := range r.Candidates {
+			c := &r.Candidates[i]
+			lat, cost := "", ""
+			if c.Status != StatusExcluded {
+				lat = fmt.Sprintf("%.3f", float64(c.Lat.Microseconds())/1e3)
+				cost = fmt.Sprintf("%.6f", c.Cost)
+			}
+			adv := ""
+			for j, a := range c.Advisories {
+				if j > 0 {
+					adv += "; "
+				}
+				adv += a
+			}
+			if err := cw.Write([]string{
+				c.Config.Workload,
+				string(c.Config.Impl),
+				fmt.Sprintf("%d", c.Config.MemMB),
+				fmt.Sprintf("%d", c.Config.FanOut),
+				fmt.Sprintf("%d", c.Config.Chunk),
+				c.Status,
+				lat,
+				cost,
+				c.DeltaOf,
+				c.Reason,
+				adv,
+			}); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -48,6 +48,21 @@ func DigestOf(args ...any) Digest {
 	return DigestString(fmt.Sprintln(args...))
 }
 
+// DigestChunks digests a sequence of byte slices with length framing,
+// so ("ab","c") and ("a","bc") produce distinct digests.
+func DigestChunks(chunks ...[]byte) Digest {
+	h := sha256.New()
+	var buf [8]byte
+	for _, c := range chunks {
+		binary.LittleEndian.PutUint64(buf[:], uint64(len(c)))
+		h.Write(buf[:])
+		h.Write(c)
+	}
+	var d Digest
+	h.Sum(d[:0])
+	return d
+}
+
 // DigestInts digests a sequence of integers (chunk indices, sizes,
 // seeds) without going through fmt.
 func DigestInts(vs ...int64) Digest {
@@ -85,6 +100,25 @@ type Stats struct {
 	Bytes int64
 }
 
+// Merge returns the counter-wise sum of s and o. Addition is
+// commutative and associative, so folding per-campaign snapshots in
+// any order yields the same sweep-level totals — the property the
+// optimizer's -parallel invariance gate relies on.
+func (s Stats) Merge(o Stats) Stats {
+	return Stats{Hits: s.Hits + o.Hits, Misses: s.Misses + o.Misses, Bytes: s.Bytes + o.Bytes}
+}
+
+// Lookups is the total number of cache lookups behind the snapshot.
+func (s Stats) Lookups() int64 { return s.Hits + s.Misses }
+
+// HitRate is Hits over Lookups, 0 when no lookups were made.
+func (s Stats) HitRate() float64 {
+	if n := s.Lookups(); n > 0 {
+		return float64(s.Hits) / float64(n)
+	}
+	return 0
+}
+
 // entry is one cached (or in-flight) computation. ready is closed when
 // val/size/err are final; waiters block on it outside the engine lock,
 // which is what makes concurrent lookups single-flight.
@@ -101,8 +135,14 @@ type entry struct {
 type Engine struct {
 	disabled bool
 
+	// root is non-nil on scope views (see Scope): storage and the
+	// root counters live on the root engine, while this view keeps
+	// its own first-touch attribution in seen/hits/misses/bytes.
+	root *Engine
+
 	mu      sync.Mutex
 	entries map[Key]*entry
+	seen    map[Key]struct{}
 	hits    int64
 	misses  int64
 	bytes   int64
@@ -129,6 +169,30 @@ func Shared() *Engine { return shared }
 // Enabled reports whether lookups can be served from cache.
 func (e *Engine) Enabled() bool { return e != nil && !e.disabled }
 
+// Scope returns a view of e that shares its entry store and
+// single-flight machinery but keeps independent statistics with
+// first-touch attribution: within a scope, the first lookup of a key
+// counts as a miss and every repeat as a hit, regardless of whether
+// another scope (or an earlier run on the same root) computed the
+// entry first. Root counters advance exactly as if the lookup had hit
+// the root directly, so scoping is invisible to suite-level totals.
+//
+// First-touch attribution is what keeps per-scope stats deterministic
+// when scopes race: which scope's lookup actually computes a shared
+// entry depends on goroutine interleaving, but the distinct-key set a
+// scope touches is a property of its workload alone. Scoping a nil or
+// disabled engine returns the engine unchanged (no stats either way).
+func (e *Engine) Scope() *Engine {
+	if !e.Enabled() {
+		return e
+	}
+	r := e
+	if r.root != nil {
+		r = r.root
+	}
+	return &Engine{root: r, seen: make(map[Key]struct{})}
+}
+
 // Stats returns a snapshot of the counters.
 func (e *Engine) Stats() Stats {
 	if e == nil {
@@ -139,13 +203,17 @@ func (e *Engine) Stats() Stats {
 	return Stats{Hits: e.hits, Misses: e.misses, Bytes: e.bytes}
 }
 
-// Len returns the number of cached entries.
+// Len returns the number of cached entries (on a scope view, the
+// number of distinct keys the scope has touched).
 func (e *Engine) Len() int {
 	if e == nil {
 		return 0
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	if e.root != nil {
+		return len(e.seen)
+	}
 	return len(e.entries)
 }
 
@@ -157,6 +225,25 @@ func (e *Engine) do(key Key, compute func() (any, int, error)) (any, bool, error
 	if !e.Enabled() {
 		v, _, err := compute()
 		return v, false, err
+	}
+	if e.root != nil {
+		e.mu.Lock()
+		_, repeat := e.seen[key]
+		if repeat {
+			e.hits++
+		} else {
+			e.seen[key] = struct{}{}
+			e.misses++
+		}
+		e.mu.Unlock()
+		v, hit, err := e.root.do(key, compute)
+		if !repeat && err == nil {
+			size := e.root.sizeOf(key)
+			e.mu.Lock()
+			e.bytes += size
+			e.mu.Unlock()
+		}
+		return v, hit, err
 	}
 	e.mu.Lock()
 	if ent, ok := e.entries[key]; ok {
@@ -180,6 +267,18 @@ func (e *Engine) do(key Key, compute func() (any, int, error)) (any, bool, error
 	}
 	close(ent.ready)
 	return ent.val, false, ent.err
+}
+
+// sizeOf returns the cached size of key's entry (0 when absent or
+// still computing an error). Callers hold no lock; the entry is
+// guaranteed settled because sizeOf runs only after do returned.
+func (e *Engine) sizeOf(key Key) int64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if ent, ok := e.entries[key]; ok {
+		return ent.size
+	}
+	return 0
 }
 
 // Get memoizes compute under key in e, returning the (possibly cached)

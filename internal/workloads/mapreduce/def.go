@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"statebench/internal/flow"
+	"statebench/internal/payload"
 	"statebench/internal/workloads/mlpipe"
 )
 
@@ -219,6 +220,7 @@ func bindStages(w *Workflow, corpus []byte) func(b flow.Binding) (*flow.Stages, 
 			return nil, fmt.Errorf("mapreduce: binding requires a corpus")
 		}
 		store := b.Blob
+		eng := b.Env.Payload
 		m, r := w.Mappers, w.Reducers
 		speed := 1.0
 		switch b.Provider {
@@ -231,15 +233,46 @@ func bindStages(w *Workflow, corpus []byte) func(b flow.Binding) (*flow.Stages, 
 			a.Busy(time.Duration(float64(nbytes) / bw / speed * float64(time.Second)))
 		}
 
+		// partitionBufs tokenizes one chunk and serializes its r
+		// partitioned count documents, memoized by chunk content: the
+		// tokenize-and-tally pass dominates the workload's host-side
+		// compute, and every style, memory tier, and repetition maps
+		// the same chunk bytes, so a sweep pays for each (chunk, r)
+		// exactly once. Cached bytes are identical to a fresh pass, so
+		// simulated output never depends on cache state.
+		partitionBufs := func(data []byte) ([][]byte, error) {
+			key := payload.Key{
+				Workload: "mapreduce",
+				Stage:    "map/partition",
+				Input:    payload.DigestBytes(data),
+				Params:   payload.DigestInts(int64(r)),
+			}
+			bufs, _, err := payload.Get(eng, key, func() ([][]byte, int, error) {
+				parts := partitionCounts(countWords(data), r)
+				out := make([][]byte, len(parts))
+				size := 0
+				for j, pc := range parts {
+					buf, err := json.Marshal(pc)
+					if err != nil {
+						return nil, 0, err
+					}
+					out[j] = buf
+					size += len(buf)
+				}
+				return out, size, nil
+			})
+			return bufs, err
+		}
+
 		// mapChunk counts one chunk and writes its r partition files —
 		// the shuffle's storage-level regrouping.
 		mapChunk := func(a flow.Act, run int64, part int, data []byte) error {
 			busy(a, len(data), countBW)
-			for j, pc := range partitionCounts(countWords(data), r) {
-				buf, err := json.Marshal(pc)
-				if err != nil {
-					return err
-				}
+			bufs, err := partitionBufs(data)
+			if err != nil {
+				return err
+			}
+			for j, buf := range bufs {
 				store.PutShared(a.Proc(), partKey(run, part, j), buf)
 			}
 			return nil
@@ -300,13 +333,12 @@ func bindStages(w *Workflow, corpus []byte) func(b flow.Binding) (*flow.Stages, 
 					return nil, err
 				}
 				busy(a, len(data), countBW)
-				counts := countWords(data)
-				out, err := json.Marshal(counts)
+				res, err := countCorpus(eng, data)
 				if err != nil {
 					return nil, err
 				}
-				store.PutShared(p, resultKey, out)
-				return json.Marshal(summarize(counts))
+				store.PutShared(p, resultKey, res.Counts)
+				return res.Summary, nil
 			},
 			"split": func(a flow.Act, input []byte) ([]byte, error) {
 				msg, items, err := splitBody(a, input)

@@ -25,6 +25,7 @@ import (
 
 	"statebench/internal/core"
 	"statebench/internal/flow"
+	"statebench/internal/payload"
 )
 
 // Workflow is the MapReduce text-processing workload.
@@ -35,6 +36,10 @@ type Workflow struct {
 	Reducers int
 	// CorpusBytes is the input text size.
 	CorpusBytes int
+	// MemMB, when > 0, overrides the provisioned memory tier of every
+	// platform task (the optimizer's memory knob); 0 keeps each
+	// lowering provider's default.
+	MemMB int
 }
 
 // New returns the workload at its default shape: 8 mappers, 4
@@ -67,10 +72,11 @@ func (w *Workflow) Deploy(env *core.Env, impl core.Impl) (*core.Deployment, erro
 	if w.Mappers > flow.MaxFanOut {
 		return nil, fmt.Errorf("mapreduce: %d mappers exceed the fan-out limit %d", w.Mappers, flow.MaxFanOut)
 	}
-	def, err := definition(w, corpusText(w.CorpusBytes))
+	def, err := definition(w, corpusFor(env.Payload, w.CorpusBytes))
 	if err != nil {
 		return nil, err
 	}
+	flow.OverrideMemMB(def, w.MemMB)
 	return flow.Deploy(env, def, impl)
 }
 
@@ -150,6 +156,22 @@ func buildVocab() []string {
 	return out
 }
 
+// corpusFor is corpusText memoized through the Env's payload engine:
+// one sweep generates each corpus size exactly once, however many
+// campaigns deploy it. The returned bytes are shared and immutable.
+func corpusFor(eng *payload.Engine, n int) []byte {
+	key := payload.Key{
+		Workload: "mapreduce",
+		Stage:    "corpus",
+		Input:    payload.DigestInts(int64(n)),
+	}
+	data, _, _ := payload.Get(eng, key, func() ([]byte, int, error) {
+		text := corpusText(n)
+		return text, len(text), nil
+	})
+	return data
+}
+
 // corpusText generates n bytes of deterministic pseudo-text: an
 // xorshift stream picks vocabulary words on a squared (Zipf-flavored)
 // distribution. Same n, same bytes — the property every simulated
@@ -193,6 +215,37 @@ func wordChunks(corpus []byte, m int) [][]byte {
 		start = end
 	}
 	return chunks
+}
+
+// corpusCount is the memoized whole-corpus result: the serialized
+// count document the monolith publishes and the workflow's summary.
+type corpusCount struct {
+	Counts  []byte
+	Summary []byte
+}
+
+// countCorpus tallies the whole corpus, memoized by content through
+// the deployment's payload engine — the monolith styles of every
+// provider, tier, and repetition count the same bytes.
+func countCorpus(eng *payload.Engine, data []byte) (corpusCount, error) {
+	key := payload.Key{
+		Workload: "mapreduce",
+		Stage:    "count",
+		Input:    payload.DigestBytes(data),
+	}
+	res, _, err := payload.Get(eng, key, func() (corpusCount, int, error) {
+		counts := countWords(data)
+		out, err := json.Marshal(counts)
+		if err != nil {
+			return corpusCount{}, 0, err
+		}
+		sum, err := json.Marshal(summarize(counts))
+		if err != nil {
+			return corpusCount{}, 0, err
+		}
+		return corpusCount{Counts: out, Summary: sum}, len(out) + len(sum), nil
+	})
+	return res, err
 }
 
 // countWords tallies whitespace-separated words.

@@ -333,5 +333,10 @@ func bindStages(size mlpipe.DatasetSize, arts *mlpipe.Artifacts) func(b flow.Bin
 // FlowDef exposes the workload's IR for static consumers; stages are
 // unbound.
 func (w *Workflow) FlowDef() (*flow.Definition, error) {
-	return definition(w.Size, nil)
+	def, err := definition(w.Size, nil)
+	if err != nil {
+		return nil, err
+	}
+	flow.OverrideMemMB(def, w.MemMB)
+	return def, nil
 }

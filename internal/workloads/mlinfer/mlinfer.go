@@ -48,6 +48,10 @@ func rehydrate(n int) time.Duration {
 // Workflow is the ML inference workload for one dataset size.
 type Workflow struct {
 	Size mlpipe.DatasetSize
+	// MemMB, when > 0, overrides the provisioned memory tier of every
+	// platform task (the optimizer's memory knob); 0 keeps each
+	// lowering provider's default.
+	MemMB int
 }
 
 // New returns the inference workload.
@@ -82,6 +86,7 @@ func (w *Workflow) Deploy(env *core.Env, impl core.Impl) (*core.Deployment, erro
 	if err != nil {
 		return nil, err
 	}
+	flow.OverrideMemMB(def, w.MemMB)
 	return flow.Deploy(env, def, impl)
 }
 

@@ -26,6 +26,11 @@ import (
 // Workflow is the ML training workload for one dataset size.
 type Workflow struct {
 	Size mlpipe.DatasetSize
+	// MemMB, when > 0, overrides the provisioned memory tier of every
+	// platform task (the optimizer's memory knob); 0 keeps each
+	// lowering provider's default. Whether the tier shapes the bill is
+	// the provider's ProviderSpec.BillsConfiguredMem.
+	MemMB int
 }
 
 // New returns the workload for a dataset size.
@@ -60,6 +65,7 @@ func (w *Workflow) Deploy(env *core.Env, impl core.Impl) (*core.Deployment, erro
 	if err != nil {
 		return nil, err
 	}
+	flow.OverrideMemMB(def, w.MemMB)
 	return flow.Deploy(env, def, impl)
 }
 

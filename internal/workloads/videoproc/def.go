@@ -349,4 +349,11 @@ func bindStages(w *Workflow) func(b flow.Binding) (*flow.Stages, error) {
 
 // FlowDef exposes the workload's IR for static consumers (the graph
 // command, lint, lowering programs).
-func (w *Workflow) FlowDef() (*flow.Definition, error) { return definition(w) }
+func (w *Workflow) FlowDef() (*flow.Definition, error) {
+	def, err := definition(w)
+	if err != nil {
+		return nil, err
+	}
+	flow.OverrideMemMB(def, w.MemMB)
+	return def, nil
+}

@@ -69,6 +69,10 @@ type Workflow struct {
 	// MapConcurrency bounds the AWS Map state's parallelism
 	// (0 = unbounded), for the concurrency ablation.
 	MapConcurrency int
+	// MemMB, when > 0, overrides the provisioned memory tier of every
+	// platform task (the optimizer's memory knob); 0 keeps each
+	// lowering provider's default.
+	MemMB int
 }
 
 // New returns the workload with the default spec.
@@ -104,6 +108,7 @@ func (w *Workflow) Deploy(env *core.Env, impl core.Impl) (*core.Deployment, erro
 	if err != nil {
 		return nil, err
 	}
+	flow.OverrideMemMB(def, w.MemMB)
 	return flow.Deploy(env, def, impl)
 }
 
